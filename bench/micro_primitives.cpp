@@ -1,0 +1,143 @@
+// Google-benchmark microbenchmarks for the hot substrate primitives: the
+// event queue, namespace tree operations, journal batch serialization,
+// image save/load, Paxos voting logic, and the FNV checksum. These bound
+// how much simulated work the experiment harnesses can push per wall-clock
+// second.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.hpp"
+#include "fsns/tree.hpp"
+#include "journal/record.hpp"
+#include "paxos/acceptor.hpp"
+#include "paxos/proposer.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace mams;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim(1);
+    for (int i = 0; i < 1000; ++i) {
+      sim.After(i, [] {});
+    }
+    benchmark::DoNotOptimize(sim.RunAll());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_TreeCreate(benchmark::State& state) {
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fsns::Tree tree;
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      ClientOpId id{1, ++seq};
+      benchmark::DoNotOptimize(
+          tree.Create("/d" + std::to_string(i % 16) + "/f" + std::to_string(i),
+                      3, i, id));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TreeCreate);
+
+void BM_TreeGetFileInfo(benchmark::State& state) {
+  fsns::Tree tree;
+  for (int i = 0; i < 10'000; ++i) {
+    ClientOpId id{1, static_cast<std::uint64_t>(i + 1)};
+    (void)tree.Create("/d" + std::to_string(i % 64) + "/f" + std::to_string(i),
+                      3, i, id);
+  }
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.GetFileInfo(
+        "/d" + std::to_string(i % 64) + "/f" + std::to_string(i % 10'000)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeGetFileInfo);
+
+void BM_TreeFingerprint(benchmark::State& state) {
+  fsns::Tree tree;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    ClientOpId id{1, static_cast<std::uint64_t>(i + 1)};
+    (void)tree.Create("/d" + std::to_string(i % 64) + "/f" + std::to_string(i),
+                      3, i, id);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Fingerprint());
+  }
+}
+BENCHMARK(BM_TreeFingerprint)->Arg(1000)->Arg(10'000);
+
+void BM_BatchSerializeRoundTrip(benchmark::State& state) {
+  journal::Batch batch;
+  batch.sn = 1;
+  batch.first_txid = 1;
+  for (int i = 0; i < 64; ++i) {
+    journal::LogRecord r;
+    r.txid = static_cast<TxId>(i + 1);
+    r.op = journal::OpCode::kCreate;
+    r.path = "/bench/dir/file" + std::to_string(i);
+    batch.records.push_back(std::move(r));
+  }
+  for (auto _ : state) {
+    const auto bytes = batch.Serialize();
+    auto back = journal::Batch::Deserialize(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BatchSerializeRoundTrip);
+
+void BM_ImageSaveLoad(benchmark::State& state) {
+  fsns::Tree tree;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    ClientOpId id{1, static_cast<std::uint64_t>(i + 1)};
+    (void)tree.Create("/d" + std::to_string(i % 64) + "/f" + std::to_string(i),
+                      3, i, id);
+  }
+  for (auto _ : state) {
+    const auto bytes = tree.SaveImage();
+    fsns::Tree loaded;
+    benchmark::DoNotOptimize(loaded.LoadImage(bytes));
+  }
+}
+BENCHMARK(BM_ImageSaveLoad)->Arg(1000)->Arg(10'000);
+
+void BM_PaxosVoteRound(benchmark::State& state) {
+  for (auto _ : state) {
+    paxos::AcceptorState acceptors[3];
+    paxos::ProposerState proposer(0, 3);
+    const paxos::Ballot b = proposer.StartRound("value", {});
+    bool decided = false;
+    for (NodeId n = 0; n < 3; ++n) {
+      if (proposer.OnPromise(n, acceptors[n].OnPrepare(b))) {
+        for (NodeId m = 0; m < 3; ++m) {
+          auto reply = acceptors[m].OnAccept(b, proposer.ChooseValue());
+          if (reply.accepted && proposer.OnAccepted(m, b)) decided = true;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(decided);
+  }
+}
+BENCHMARK(BM_PaxosVoteRound);
+
+void BM_Fnv1a(benchmark::State& state) {
+  std::vector<char> data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fnv1a(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Fnv1a)->Arg(4096)->Arg(1 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// A guided tour of the three failure scenarios from the paper's Section
+// IV.C (Table II): lock loss, network partition of multiple servers, and
+// process restart — printing every group-view transition as it happens.
+#include <cstdio>
+#include <string>
+
+#include "cluster/cfs.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+using namespace mams;
+
+namespace {
+
+/// Runs `inject` against a fresh 1A3S cluster and prints view changes.
+void RunScenario(const char* title,
+                 const std::function<void(sim::Simulator&,
+                                          cluster::CfsCluster&)>& inject) {
+  std::printf("\n=== %s ===\n", title);
+  sim::Simulator sim(7);
+  net::Network network(sim);
+  cluster::CfsConfig config;
+  config.groups = 1;
+  config.standbys_per_group = 3;
+  config.clients = 1;
+  config.data_servers = 1;
+  cluster::CfsCluster cfs(network, config);
+  cfs.Start();
+  sim.RunUntil(sim.Now() + kSecond);
+
+  inject(sim, cfs);
+
+  std::string last;
+  const SimTime t0 = sim.Now();
+  while (sim.Now() < t0 + 60 * kSecond) {
+    sim.RunUntil(sim.Now() + 100 * kMillisecond);
+    const auto& view = cfs.coord().frontend().PeekView(0);
+    const std::string row = view.Row();
+    if (row != last) {
+      std::printf("  t=%6.1fs  [%s]  lock=%s\n", ToSeconds(sim.Now() - t0),
+                  row.c_str(),
+                  view.lock_holder == kInvalidNode ? "free" : "held");
+      last = row;
+    }
+  }
+  std::printf("  final: active=%s\n",
+              cfs.FindActive(0) ? cfs.FindActive(0)->name().c_str() : "NONE");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Server states: A=active  S=standby  J=junior  -=down\n");
+
+  RunScenario("Test A: the active loses the distributed lock",
+              [](sim::Simulator& sim, cluster::CfsCluster& cfs) {
+                sim.After(2 * kSecond, [&cfs] {
+                  std::printf("  >> forcing lock release (global view edit)\n");
+                  cfs.coord().frontend().AdminForceReleaseLock(0);
+                });
+              });
+
+  RunScenario("Test B: two servers lose their network, then re-plug",
+              [](sim::Simulator& sim, cluster::CfsCluster& cfs) {
+                sim.After(2 * kSecond, [&sim, &cfs] {
+                  std::printf("  >> unplugging active + one standby\n");
+                  cfs.network().SetLinkUp(cfs.mds(0, 0).id(), false);
+                  cfs.network().SetLinkUp(cfs.mds(0, 1).id(), false);
+                  sim.After(20 * kSecond, [&cfs] {
+                    std::printf("  >> plugging both back\n");
+                    cfs.network().SetLinkUp(cfs.mds(0, 0).id(), true);
+                    cfs.network().SetLinkUp(cfs.mds(0, 1).id(), true);
+                  });
+                });
+              });
+
+  RunScenario("Test C: kill the active process, restart it later",
+              [](sim::Simulator& sim, cluster::CfsCluster& cfs) {
+                sim.After(2 * kSecond, [&cfs] {
+                  std::printf("  >> kill -9 the active\n");
+                  auto* active = cfs.FindActive(0);
+                  active->Crash();
+                  active->Restart(15 * kSecond);  // ops restarts it later
+                });
+              });
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Runs every experiment harness and captures outputs under results/.
+# Usage: scripts/run_experiments.sh [build-dir]
+set -u
+BUILD="${1:-build}"
+OUT="results"
+mkdir -p "$OUT"
+
+for bench in "$BUILD"/bench/*; do
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  "$bench" | tee "$OUT/$name.txt"
+done
+echo "All outputs captured under $OUT/"

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Replaces one '### <name>' section of bench_output.txt with a new file."""
+import sys
+
+def main(bench_file, name, new_file):
+    with open(bench_file) as f:
+        lines = f.readlines()
+    with open(new_file) as f:
+        body = f.read()
+    out, i, replaced = [], 0, False
+    while i < len(lines):
+        if lines[i].rstrip() == f"### {name}":
+            out.append(lines[i])
+            out.append(body if body.endswith("\n") else body + "\n")
+            out.append("\n")
+            i += 1
+            while i < len(lines) and not lines[i].startswith("### "):
+                i += 1
+            replaced = True
+        else:
+            out.append(lines[i])
+            i += 1
+    with open(bench_file, "w") as f:
+        f.writelines(out)
+    print("replaced" if replaced else "SECTION NOT FOUND")
+
+if __name__ == "__main__":
+    main(sys.argv[1], sys.argv[2], sys.argv[3])

@@ -1,0 +1,138 @@
+// Client for the baseline systems: a fixed, ordered list of server
+// addresses (primary first). On timeout or "not serving" the client
+// advances to the next address after a configurable backoff — modelling
+// HDFS's ConfiguredFailoverProxyProvider / client-side reconfiguration.
+// The backoff constant differs per system and contributes the
+// client-visible share of each baseline's MTTR.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "core/messages.hpp"
+#include "net/host.hpp"
+
+namespace mams::baselines {
+
+struct BaselineClientOptions {
+  SimTime rpc_timeout = 2 * kSecond;
+  SimTime failover_backoff = kSecond;  ///< wait before trying the next NN
+  int max_attempts = 240;
+};
+
+class BaselineClient : public net::Host {
+ public:
+  using OpCallback = std::function<void(Status)>;
+  using Observer = std::function<void(const cluster::OpOutcome&)>;
+
+  BaselineClient(net::Network& network, std::string name,
+                 std::vector<NodeId> servers,
+                 BaselineClientOptions options = {})
+      : net::Host(network, std::move(name)),
+        servers_(std::move(servers)),
+        options_(options) {}
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  void Create(const std::string& path, OpCallback done,
+              std::uint32_t replication = 3) {
+    auto req = NewRequest(core::ClientOp::kCreate, path);
+    req->replication = replication;
+    Issue(std::move(req), std::move(done));
+  }
+  void Mkdir(const std::string& path, OpCallback done) {
+    Issue(NewRequest(core::ClientOp::kMkdir, path), std::move(done));
+  }
+  void Delete(const std::string& path, OpCallback done) {
+    Issue(NewRequest(core::ClientOp::kDelete, path), std::move(done));
+  }
+  void Rename(const std::string& src, const std::string& dst,
+              OpCallback done) {
+    auto req = NewRequest(core::ClientOp::kRename, src);
+    req->path2 = dst;
+    Issue(std::move(req), std::move(done));
+  }
+  void GetFileInfo(const std::string& path, OpCallback done) {
+    Issue(NewRequest(core::ClientOp::kGetFileInfo, path), std::move(done));
+  }
+
+ private:
+  std::shared_ptr<core::ClientRequestMsg> NewRequest(core::ClientOp op,
+                                                     const std::string& path) {
+    auto req = std::make_shared<core::ClientRequestMsg>();
+    req->op = op;
+    req->path = path;
+    req->client = {.client_id = static_cast<std::uint64_t>(id()) + 1,
+                   .op_seq = ++op_seq_};
+    return req;
+  }
+
+  struct OpState {
+    std::shared_ptr<core::ClientRequestMsg> request;
+    OpCallback done;
+    cluster::OpOutcome outcome;
+    NodeId last_target = kInvalidNode;
+  };
+
+  void Issue(std::shared_ptr<core::ClientRequestMsg> req, OpCallback done) {
+    auto state = std::make_shared<OpState>();
+    state->request = std::move(req);
+    state->done = std::move(done);
+    state->outcome.op = state->request->op;
+    state->outcome.issued = sim().Now();
+    Attempt(state);
+  }
+
+  void Attempt(const std::shared_ptr<OpState>& state) {
+    if (state->outcome.attempts > options_.max_attempts) {
+      Finish(state, Status::Unavailable("retries exhausted"));
+      return;
+    }
+    const NodeId target = servers_[current_];
+    state->last_target = target;
+    Call(target, state->request, options_.rpc_timeout,
+         [this, state](Result<net::MessagePtr> r) {
+           if (!r.ok()) {
+             FailOver(state);
+             return;
+           }
+           const auto& resp = net::Cast<core::ClientResponseMsg>(r.value());
+           if (!resp.ok && resp.code == StatusCode::kUnavailable) {
+             FailOver(state);
+             return;
+           }
+           Finish(state, resp.ok ? Status::Ok()
+                                 : Status(resp.code, resp.error));
+         });
+  }
+
+  void FailOver(const std::shared_ptr<OpState>& state) {
+    ++state->outcome.attempts;
+    // Shared failover-proxy semantics: advance the cursor only if the
+    // failed target is still the current one. Concurrent ops failing
+    // against the same dead server must not rotate it twice (they would
+    // cancel each other out and park the cursor on the dead node).
+    if (servers_[current_] == state->last_target) {
+      current_ = (current_ + 1) % servers_.size();
+    }
+    AfterLocal(options_.failover_backoff, [this, state] { Attempt(state); });
+  }
+
+  void Finish(const std::shared_ptr<OpState>& state, Status status) {
+    state->outcome.completed = sim().Now();
+    state->outcome.ok = status.ok();
+    if (observer_) observer_(state->outcome);
+    state->done(std::move(status));
+  }
+
+  std::vector<NodeId> servers_;
+  BaselineClientOptions options_;
+  std::size_t current_ = 0;
+  std::uint64_t op_seq_ = 0;
+  Observer observer_;
+};
+
+}  // namespace mams::baselines

@@ -1,0 +1,185 @@
+// CfsCluster — assembly of a complete CFS (Clover File System) deployment
+// with the MAMS policy: a coordination ensemble, per-group replica sets of
+// metadata servers, the shared storage pool (co-hosted with the metadata
+// nodes, as in the paper: "the pool is built on existing active or backup
+// servers"), data servers, and any number of clients.
+//
+// Naming: MAMS-<G>A<S>S means G replica groups ("actives") with S standby
+// nodes each, matching the paper's notation (e.g. MAMS-3A3S, MAMS-1A3S).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "cluster/data_server.hpp"
+#include "coord/service.hpp"
+#include "core/mds_server.hpp"
+#include "fsns/partition.hpp"
+#include "net/network.hpp"
+#include "storage/pool_node.hpp"
+
+namespace mams::cluster {
+
+struct CfsConfig {
+  GroupId groups = 1;          ///< number of "actives" (replica groups)
+  int standbys_per_group = 3;  ///< hot standbys per group
+  int juniors_per_group = 0;   ///< cold backups booted as juniors
+  int data_servers = 4;
+  int clients = 4;
+  SimTime block_report_interval = 3 * kSecond;
+  core::MdsOptions mds;        ///< per-server tunables (group id overridden)
+  coord::CoordOptions coord;
+  FsClientOptions client;
+  int coord_replicas = 3;
+  /// Stagger between booting actives and backups (deployment realism).
+  SimTime backup_boot_delay = 50 * kMillisecond;
+};
+
+class CfsCluster {
+ public:
+  CfsCluster(net::Network& network, CfsConfig config)
+      : network_(network),
+        config_(config),
+        partitioner_(config.groups),
+        coord_(network, config.coord_replicas, config.coord) {
+    // Pool nodes first so the SSP addresses exist for every MDS. One pool
+    // node per metadata node (co-hosted machine model).
+    const int members_per_group =
+        1 + config_.standbys_per_group + config_.juniors_per_group;
+    for (GroupId g = 0; g < config_.groups; ++g) {
+      for (int m = 0; m < members_per_group; ++m) {
+        pool_.push_back(std::make_unique<storage::PoolNode>(
+            network, "pool-g" + std::to_string(g) + "-" + std::to_string(m)));
+        pool_ids_.push_back(pool_.back()->id());
+      }
+    }
+
+    groups_.resize(config_.groups);
+    for (GroupId g = 0; g < config_.groups; ++g) {
+      core::MdsOptions opts = config_.mds;
+      opts.group = g;
+      for (int m = 0; m < members_per_group; ++m) {
+        auto mds = std::make_unique<core::MdsServer>(
+            network, "mds-g" + std::to_string(g) + "-" + std::to_string(m),
+            opts, coord_.frontend_id(), pool_ids_, &directory_);
+        groups_[g].push_back(std::move(mds));
+      }
+      std::vector<NodeId> member_ids;
+      for (auto& mds : groups_[g]) member_ids.push_back(mds->id());
+      for (auto& mds : groups_[g]) mds->SetGroupMembers(member_ids);
+    }
+
+    std::vector<NodeId> all_mds_ids;
+    for (auto& group : groups_) {
+      for (auto& mds : group) all_mds_ids.push_back(mds->id());
+    }
+    for (int d = 0; d < config_.data_servers; ++d) {
+      data_servers_.push_back(std::make_unique<DataServer>(
+          network, "dn" + std::to_string(d), config_.block_report_interval));
+      data_servers_.back()->SetMetadataNodes(all_mds_ids);
+    }
+
+    for (int c = 0; c < config_.clients; ++c) {
+      clients_.push_back(std::make_unique<FsClient>(
+          network, "client" + std::to_string(c), coord_.frontend_id(),
+          partitioner_, config_.client));
+    }
+  }
+
+  /// Boots everything: pool nodes and actives immediately, backups after a
+  /// short stagger, then data servers and clients.
+  void Start() {
+    for (auto& p : pool_) p->Boot();
+    for (auto& group : groups_) {
+      group[0]->Start(ServerState::kActive);
+    }
+    auto& sim = network_.sim();
+    sim.After(config_.backup_boot_delay, [this] {
+      for (auto& group : groups_) {
+        for (std::size_t m = 1; m < group.size(); ++m) {
+          const bool junior =
+              static_cast<int>(m) > config_.standbys_per_group;
+          group[m]->Start(junior ? ServerState::kJunior
+                                 : ServerState::kStandby);
+        }
+      }
+      for (auto& dn : data_servers_) dn->Boot();
+      for (auto& c : clients_) c->Boot();
+    });
+  }
+
+  // --- accessors ---------------------------------------------------------
+  net::Network& network() noexcept { return network_; }
+  const CfsConfig& config() const noexcept { return config_; }
+  const fsns::HashPartitioner& partitioner() const noexcept {
+    return partitioner_;
+  }
+  coord::CoordEnsemble& coord() noexcept { return coord_; }
+  core::GroupDirectory& directory() noexcept { return directory_; }
+
+  core::MdsServer& mds(GroupId g, int member) { return *groups_[g][member]; }
+  std::size_t group_size(GroupId g) const { return groups_[g].size(); }
+  FsClient& client(int i) { return *clients_[i]; }
+  int client_count() const { return static_cast<int>(clients_.size()); }
+  DataServer& data_server(int i) { return *data_servers_[i]; }
+  storage::PoolNode& pool_node(int i) { return *pool_[i]; }
+
+  /// The member currently acting as group g's active, or null mid-failover.
+  /// Trusts the coordination view: a partitioned ex-active may still
+  /// *believe* it is active until it learns its session expired.
+  core::MdsServer* FindActive(GroupId g) {
+    const NodeId in_view = coord_.frontend().PeekView(g).FindActive();
+    core::MdsServer* fallback = nullptr;
+    for (auto& mds : groups_[g]) {
+      if (!mds->alive() || mds->role() != ServerState::kActive) continue;
+      if (mds->id() == in_view) return mds.get();
+      fallback = mds.get();
+    }
+    return in_view == kInvalidNode ? fallback : nullptr;
+  }
+
+  /// Dynamically adds a backup node to group g at runtime (Section III.D:
+  /// "more new backup nodes can also be added in the replica group"); it
+  /// boots as a junior and is renewed into a standby by the active.
+  core::MdsServer& AddBackupNode(GroupId g) {
+    core::MdsOptions opts = config_.mds;
+    opts.group = g;
+    auto mds = std::make_unique<core::MdsServer>(
+        network_, "mds-g" + std::to_string(g) + "-add" +
+                     std::to_string(groups_[g].size()),
+        opts, coord_.frontend_id(), pool_ids_, &directory_);
+    groups_[g].push_back(std::move(mds));
+    std::vector<NodeId> member_ids;
+    for (auto& m : groups_[g]) member_ids.push_back(m->id());
+    for (auto& m : groups_[g]) m->SetGroupMembers(member_ids);
+    groups_[g].back()->Start(ServerState::kJunior);
+    return *groups_[g].back();
+  }
+
+  /// Pre-populates every member of group g with the same namespace (bench
+  /// setup for Table I image scaling).
+  void PreloadGroup(GroupId g,
+                    const std::function<void(fsns::Tree&)>& fn,
+                    SerialNumber base_sn = 0) {
+    for (auto& mds : groups_[g]) {
+      mds->Preload(fn);
+      if (base_sn != 0) mds->SetLastSn(base_sn);
+    }
+  }
+
+ private:
+  net::Network& network_;
+  CfsConfig config_;
+  fsns::HashPartitioner partitioner_;
+  coord::CoordEnsemble coord_;
+  core::GroupDirectory directory_;
+  std::vector<std::unique_ptr<storage::PoolNode>> pool_;
+  std::vector<NodeId> pool_ids_;
+  std::vector<std::vector<std::unique_ptr<core::MdsServer>>> groups_;
+  std::vector<std::unique_ptr<DataServer>> data_servers_;
+  std::vector<std::unique_ptr<FsClient>> clients_;
+};
+
+}  // namespace mams::cluster

@@ -1,0 +1,324 @@
+// FsClient — the file-system client library.
+//
+// Routing: the hash partitioner maps each path to its owner group; the
+// client caches each group's active server and talks to it directly.
+// Failover handling reproduces the paper's "client reconnection" stage
+// (Figure 7): on an RPC timeout or a "not active" rejection the client
+// invalidates its cache, polls the coordination service until the group
+// view exposes a (new) active, pays a reconnection charge (TCP + session
+// setup), and resends the request with the SAME ClientOpId — the server's
+// duplicate suppression makes the retry idempotent, so an operation that
+// committed just before the crash is acknowledged, not re-executed.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "coord/client.hpp"
+#include "core/messages.hpp"
+#include "fsns/partition.hpp"
+#include "net/host.hpp"
+
+namespace mams::cluster {
+
+struct FsClientOptions {
+  SimTime rpc_timeout = 2 * kSecond;
+  SimTime resolve_poll = 200 * kMillisecond;  ///< view polling backoff
+  SimTime reconnect_cost = 1500 * kMicrosecond;  ///< TCP + session setup
+  int max_attempts = 120;  ///< per op; ~ rpc_timeout * attempts budget
+};
+
+/// Per-operation observation for MTTR and throughput measurement.
+struct OpOutcome {
+  core::ClientOp op;
+  SimTime issued = 0;     ///< first send
+  SimTime completed = 0;  ///< final response
+  bool ok = false;
+  int attempts = 1;
+};
+
+class FsClient : public net::Host {
+ public:
+  using OpCallback = std::function<void(Status)>;
+  using InfoCallback = std::function<void(Result<fsns::FileInfo>)>;
+  using Observer = std::function<void(const OpOutcome&)>;
+
+  FsClient(net::Network& network, std::string name, NodeId coord,
+           fsns::HashPartitioner partitioner, FsClientOptions options = {})
+      : net::Host(network, std::move(name)),
+        partitioner_(partitioner),
+        options_(options),
+        rng_(network.sim().rng().Fork(Fnv1a(this->name()) | 2)) {
+    coord_client_ = std::make_unique<coord::CoordClient>(*this, coord);
+  }
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+  const fsns::HashPartitioner& partitioner() const noexcept {
+    return partitioner_;
+  }
+
+  // --- metadata operations ---------------------------------------------------
+  void Create(const std::string& path, OpCallback done,
+              std::uint32_t replication = 3) {
+    auto req = NewRequest(core::ClientOp::kCreate, path);
+    req->replication = replication;
+    Issue(std::move(req), WrapStatus(std::move(done)));
+  }
+
+  void Mkdir(const std::string& path, OpCallback done) {
+    auto req = NewRequest(core::ClientOp::kMkdir, path);
+    req->participant_group = partitioner_.OwnerOfDir(path);
+    Issue(std::move(req), WrapStatus(std::move(done)));
+  }
+
+  void Delete(const std::string& path, OpCallback done) {
+    auto req = NewRequest(core::ClientOp::kDelete, path);
+    req->participant_group = partitioner_.OwnerOfDir(path);
+    Issue(std::move(req), WrapStatus(std::move(done)));
+  }
+
+  void Rename(const std::string& src, const std::string& dst,
+              OpCallback done) {
+    auto req = NewRequest(core::ClientOp::kRename, src);
+    req->path2 = dst;
+    req->participant_group = partitioner_.OwnerOf(dst);
+    Issue(std::move(req), WrapStatus(std::move(done)));
+  }
+
+  void GetFileInfo(const std::string& path, InfoCallback done) {
+    auto req = NewRequest(core::ClientOp::kGetFileInfo, path);
+    Issue(std::move(req),
+          [done = std::move(done)](
+              Result<std::shared_ptr<const core::ClientResponseMsg>> r) {
+            if (!r.ok()) {
+              done(r.status());
+              return;
+            }
+            const auto& resp = *r.value();
+            if (!resp.ok) {
+              done(Status(resp.code, resp.error));
+              return;
+            }
+            done(resp.info);
+          });
+  }
+
+  void ListDir(const std::string& path,
+               std::function<void(Result<std::vector<std::string>>)> done) {
+    Issue(NewRequest(core::ClientOp::kListDir, path),
+          [done = std::move(done)](
+              Result<std::shared_ptr<const core::ClientResponseMsg>> r) {
+            if (!r.ok()) {
+              done(r.status());
+              return;
+            }
+            const auto& resp = *r.value();
+            if (!resp.ok) {
+              done(Status(resp.code, resp.error));
+              return;
+            }
+            done(resp.listing);
+          });
+  }
+
+  void AddBlock(const std::string& path, OpCallback done) {
+    Issue(NewRequest(core::ClientOp::kAddBlock, path),
+          WrapStatus(std::move(done)));
+  }
+
+  void SetReplication(const std::string& path, std::uint32_t replication,
+                      OpCallback done) {
+    auto req = NewRequest(core::ClientOp::kSetReplication, path);
+    req->replication = replication;
+    Issue(std::move(req), WrapStatus(std::move(done)));
+  }
+
+  void SetOwner(const std::string& path, const std::string& owner,
+                OpCallback done) {
+    auto req = NewRequest(core::ClientOp::kSetOwner, path);
+    req->path2 = owner;
+    Issue(std::move(req), WrapStatus(std::move(done)));
+  }
+
+  void SetPermission(const std::string& path, std::uint16_t permission,
+                     OpCallback done) {
+    auto req = NewRequest(core::ClientOp::kSetPermission, path);
+    req->replication = permission;
+    Issue(std::move(req), WrapStatus(std::move(done)));
+  }
+
+  void SetTimes(const std::string& path, OpCallback done) {
+    Issue(NewRequest(core::ClientOp::kSetTimes, path),
+          WrapStatus(std::move(done)));
+  }
+
+  void CompleteFile(const std::string& path, OpCallback done) {
+    Issue(NewRequest(core::ClientOp::kCompleteFile, path),
+          WrapStatus(std::move(done)));
+  }
+
+  struct Counters {
+    std::uint64_t ops_ok = 0;
+    std::uint64_t ops_failed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t reconnects = 0;
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+ protected:
+  void OnCrash() override {
+    net::Host::OnCrash();
+    coord_client_->Stop();
+    active_cache_.clear();
+  }
+
+ private:
+  using RawCallback = std::function<void(
+      Result<std::shared_ptr<const core::ClientResponseMsg>>)>;
+
+  std::shared_ptr<core::ClientRequestMsg> NewRequest(core::ClientOp op,
+                                                     const std::string& path) {
+    auto req = std::make_shared<core::ClientRequestMsg>();
+    req->op = op;
+    req->path = path;
+    req->client = {.client_id = static_cast<std::uint64_t>(id()) + 1,
+                   .op_seq = ++op_seq_};
+    return req;
+  }
+
+  RawCallback WrapStatus(OpCallback done) {
+    return [done = std::move(done)](
+               Result<std::shared_ptr<const core::ClientResponseMsg>> r) {
+      if (!r.ok()) {
+        done(r.status());
+        return;
+      }
+      const auto& resp = *r.value();
+      done(resp.ok ? Status::Ok() : Status(resp.code, resp.error));
+    };
+  }
+
+  struct OpState {
+    std::shared_ptr<core::ClientRequestMsg> request;
+    RawCallback done;
+    GroupId group = 0;
+    OpOutcome outcome;
+  };
+
+  void Issue(std::shared_ptr<core::ClientRequestMsg> req, RawCallback done) {
+    auto state = std::make_shared<OpState>();
+    state->group = partitioner_.OwnerOf(req->path);
+    state->request = std::move(req);
+    state->done = std::move(done);
+    state->outcome.op = state->request->op;
+    state->outcome.issued = sim().Now();
+    Attempt(state);
+  }
+
+  void Attempt(const std::shared_ptr<OpState>& state) {
+    if (state->outcome.attempts > options_.max_attempts) {
+      Finish(state, Status::Unavailable("retries exhausted"));
+      return;
+    }
+    const NodeId active = CachedActive(state->group);
+    if (active == kInvalidNode) {
+      Resolve(state);
+      return;
+    }
+    Call(active, state->request, options_.rpc_timeout,
+         [this, state, active](Result<net::MessagePtr> r) {
+           if (!r.ok()) {
+             // Timeout: the active may be gone. Re-resolve and resend.
+             InvalidateActive(state->group, active);
+             ++counters_.retries;
+             ++state->outcome.attempts;
+             Resolve(state);
+             return;
+           }
+           auto resp =
+               std::static_pointer_cast<const core::ClientResponseMsg>(
+                   std::move(r).value());
+           if (!resp->ok && resp->code == StatusCode::kUnavailable) {
+             // "not active" — the group is failing over.
+             InvalidateActive(state->group, active);
+             ++counters_.retries;
+             ++state->outcome.attempts;
+             Resolve(state);
+             return;
+           }
+           Finish(state, std::move(resp));
+         });
+  }
+
+  /// Polls the coordination service until the group exposes an active,
+  /// then pays the reconnection charge and resends. Each fruitless poll
+  /// consumes an attempt, so a client configured with max_attempts = 1
+  /// fails fast during an outage — that is how the MTTR benches observe
+  /// the paper's "operation returns failure" timestamps.
+  void Resolve(const std::shared_ptr<OpState>& state) {
+    coord_client_->GetView(
+        state->group, [this, state](Result<coord::GroupView> r) {
+          NodeId active = kInvalidNode;
+          if (r.ok()) active = r.value().FindActive();
+          if (active == kInvalidNode) {
+            if (++state->outcome.attempts > options_.max_attempts) {
+              Finish(state, Status::Unavailable("no active (failing over)"));
+              return;
+            }
+            const SimTime jitter = static_cast<SimTime>(
+                rng_.Below(static_cast<std::uint64_t>(options_.resolve_poll)));
+            AfterLocal(options_.resolve_poll + jitter,
+                       [this, state] { Resolve(state); });
+            return;
+          }
+          const bool fresh = CachedActive(state->group) != active;
+          active_cache_[state->group] = active;
+          if (fresh) {
+            ++counters_.reconnects;
+            AfterLocal(options_.reconnect_cost,
+                       [this, state] { Attempt(state); });
+          } else {
+            Attempt(state);
+          }
+        });
+  }
+
+  void Finish(const std::shared_ptr<OpState>& state,
+              Result<std::shared_ptr<const core::ClientResponseMsg>> result) {
+    state->outcome.completed = sim().Now();
+    state->outcome.ok = result.ok() && result.value()->ok;
+    if (state->outcome.ok) {
+      ++counters_.ops_ok;
+    } else {
+      ++counters_.ops_failed;
+    }
+    if (observer_) observer_(state->outcome);
+    state->done(std::move(result));
+  }
+
+  NodeId CachedActive(GroupId group) const {
+    auto it = active_cache_.find(group);
+    return it == active_cache_.end() ? kInvalidNode : it->second;
+  }
+
+  void InvalidateActive(GroupId group, NodeId stale) {
+    auto it = active_cache_.find(group);
+    if (it != active_cache_.end() && it->second == stale) {
+      active_cache_.erase(it);
+    }
+  }
+
+  fsns::HashPartitioner partitioner_;
+  FsClientOptions options_;
+  Rng rng_;
+  std::unique_ptr<coord::CoordClient> coord_client_;
+  std::map<GroupId, NodeId> active_cache_;
+  std::uint64_t op_seq_ = 0;
+  Observer observer_;
+  Counters counters_;
+};
+
+}  // namespace mams::cluster

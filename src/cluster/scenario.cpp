@@ -1,0 +1,457 @@
+#include "cluster/scenario.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mams::cluster {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;  // comment to end of line
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+/// Parses "2s" / "500ms" / "250us" into virtual time.
+Result<SimTime> ParseDuration(const std::string& s) {
+  std::size_t pos = 0;
+  double value = 0;
+  try {
+    value = std::stod(s, &pos);
+  } catch (...) {
+    return Status::InvalidArgument("bad duration: " + s);
+  }
+  const std::string unit = s.substr(pos);
+  if (unit == "s") return static_cast<SimTime>(value * kSecond);
+  if (unit == "ms") return static_cast<SimTime>(value * kMillisecond);
+  if (unit == "us") return static_cast<SimTime>(value * kMicrosecond);
+  return Status::InvalidArgument("bad duration unit: " + s);
+}
+
+Result<int> ParseInt(const std::string& s) {
+  try {
+    return std::stoi(s);
+  } catch (...) {
+    return Status::InvalidArgument("bad integer: " + s);
+  }
+}
+
+/// Parses "key=value" pairs.
+bool KeyValue(const std::string& tok, std::string& key, std::string& value) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos) return false;
+  key = tok.substr(0, eq);
+  value = tok.substr(eq + 1);
+  return true;
+}
+
+}  // namespace
+
+Status ScenarioRunner::Run(const std::string& script) {
+  std::istringstream in(script);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    Status s = Execute(tokens, line_no);
+    if (!s.ok()) {
+      return Status(s.code(), "line " + std::to_string(line_no) + ": " +
+                                  s.message());
+    }
+  }
+  if (!failures_.empty()) {
+    return Status::FailedPrecondition(
+        std::to_string(failures_.size()) + " expectation(s) failed; first: " +
+        failures_.front());
+  }
+  return Status::Ok();
+}
+
+Status ScenarioRunner::Execute(const std::vector<std::string>& tokens,
+                               int line_no) {
+  const std::string& cmd = tokens[0];
+  const std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+  if (options_.echo) {
+    std::string joined = cmd;
+    for (const auto& a : args) joined += " " + a;
+    std::printf("[scenario:%d] %s\n", line_no, joined.c_str());
+  }
+  if (cmd == "cluster") return CmdCluster(args);
+  if (cmd == "run") return CmdRun(args);
+  if (cmd == "create" || cmd == "mkdir" || cmd == "delete" ||
+      cmd == "stat") {
+    return CmdClientOp(cmd, args);
+  }
+  if (cmd == "crash-active") return CmdCrashActive(args);
+  if (cmd == "crash") return CmdCrash(args);
+  if (cmd == "restart") return CmdRestart(args);
+  if (cmd == "unplug") return CmdUnplug(args, false);
+  if (cmd == "replug") return CmdUnplug(args, true);
+  if (cmd == "force-lock-release") return CmdForceLockRelease(args);
+  if (cmd == "add-backup") return CmdAddBackup(args);
+  if (cmd == "expect-active") return CmdExpectActive(args);
+  if (cmd == "expect-exists") return CmdExpectExists(args, true);
+  if (cmd == "expect-missing") return CmdExpectExists(args, false);
+  if (cmd == "expect-converged") return CmdExpectConverged(args);
+  if (cmd == "expect-state") return CmdExpectState(args);
+  if (cmd == "expect-counts") return CmdExpectCounts(args);
+  if (cmd == "expect-ops-ok") {
+    if (ops_failed_ > 0) {
+      Fail("expect-ops-ok: " + std::to_string(ops_failed_) +
+           " client op(s) failed");
+    }
+    return Status::Ok();
+  }
+  if (cmd == "print-view") return CmdPrintView(args);
+  return Status::InvalidArgument("unknown command: " + cmd);
+}
+
+bool ScenarioRunner::RequireCluster(const char* cmd) {
+  if (cluster_) return true;
+  Fail(std::string(cmd) + ": no cluster (missing `cluster` command?)");
+  return false;
+}
+
+void ScenarioRunner::Fail(std::string what) {
+  if (options_.echo) std::printf("  FAIL: %s\n", what.c_str());
+  failures_.push_back(std::move(what));
+}
+
+void ScenarioRunner::Note(std::string what) {
+  if (options_.echo) std::printf("  %s\n", what.c_str());
+  log_.push_back(std::move(what));
+}
+
+bool ScenarioRunner::PumpUntil(const std::function<bool()>& done,
+                               SimTime budget) {
+  const SimTime deadline = sim_->Now() + budget;
+  while (!done() && sim_->Now() < deadline) {
+    sim_->RunUntil(sim_->Now() + 50 * kMillisecond);
+  }
+  return done();
+}
+
+Status ScenarioRunner::CmdCluster(const std::vector<std::string>& args) {
+  CfsConfig cfg;
+  cfg.clients = 2;
+  cfg.data_servers = 1;
+  std::uint64_t seed = 1;
+  for (const auto& tok : args) {
+    std::string key, value;
+    if (!KeyValue(tok, key, value)) {
+      return Status::InvalidArgument("expected key=value, got " + tok);
+    }
+    auto num = ParseInt(value);
+    if (!num.ok()) return num.status();
+    if (key == "groups") {
+      cfg.groups = static_cast<GroupId>(num.value());
+    } else if (key == "standbys") {
+      cfg.standbys_per_group = num.value();
+    } else if (key == "juniors") {
+      cfg.juniors_per_group = num.value();
+    } else if (key == "clients") {
+      cfg.clients = num.value();
+    } else if (key == "seed") {
+      seed = static_cast<std::uint64_t>(num.value());
+    } else {
+      return Status::InvalidArgument("unknown cluster option: " + key);
+    }
+  }
+  sim_ = std::make_unique<sim::Simulator>(seed);
+  net_ = std::make_unique<net::Network>(*sim_);
+  cluster_ = std::make_unique<CfsCluster>(*net_, cfg);
+  cluster_->Start();
+  sim_->RunUntil(sim_->Now() + kSecond);
+  Note("cluster up: " + std::to_string(cfg.groups) + " group(s), " +
+       std::to_string(cfg.standbys_per_group) + " standby(s) each");
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdRun(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("run <duration>");
+  if (!RequireCluster("run")) return Status::Ok();
+  auto dt = ParseDuration(args[0]);
+  if (!dt.ok()) return dt.status();
+  sim_->RunUntil(sim_->Now() + dt.value());
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdClientOp(const std::string& op,
+                                   const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument(op + " <path>");
+  if (!RequireCluster(op.c_str())) return Status::Ok();
+  const std::string path = args[0];
+  ++pending_ops_;
+  auto done = [this, op, path](Status s) {
+    --pending_ops_;
+    if (s.ok()) {
+      ++ops_ok_;
+    } else {
+      ++ops_failed_;
+      Note(op + " " + path + " -> " + s.ToString());
+    }
+  };
+  auto& client = cluster_->client(0);
+  if (op == "create") {
+    client.Create(path, done);
+  } else if (op == "mkdir") {
+    client.Mkdir(path, done);
+  } else if (op == "delete") {
+    client.Delete(path, done);
+  } else {  // stat
+    client.GetFileInfo(path, [done](Result<fsns::FileInfo> r) {
+      done(r.ok() ? Status::Ok() : r.status());
+    });
+  }
+  // Client ops are synchronous at scenario level: pump until answered.
+  if (!PumpUntil([this] { return pending_ops_ == 0; })) {
+    Fail(op + " " + path + ": no reply within budget");
+  }
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdCrashActive(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("crash-active <group>");
+  if (!RequireCluster("crash-active")) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  if (!g.ok()) return g.status();
+  core::MdsServer* active = cluster_->FindActive(
+      static_cast<GroupId>(g.value()));
+  if (active == nullptr) {
+    Fail("crash-active: group " + args[0] + " has no active");
+    return Status::Ok();
+  }
+  Note("crashing " + active->name());
+  active->Crash();
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdCrash(const std::vector<std::string>& args) {
+  if (args.size() != 2) return Status::InvalidArgument("crash <group> <member>");
+  if (!RequireCluster("crash")) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  auto m = ParseInt(args[1]);
+  if (!g.ok()) return g.status();
+  if (!m.ok()) return m.status();
+  cluster_->mds(static_cast<GroupId>(g.value()), m.value()).Crash();
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdRestart(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument("restart <group> <member>");
+  }
+  if (!RequireCluster("restart")) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  auto m = ParseInt(args[1]);
+  if (!g.ok()) return g.status();
+  if (!m.ok()) return m.status();
+  cluster_->mds(static_cast<GroupId>(g.value()), m.value()).Restart();
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdUnplug(const std::vector<std::string>& args,
+                                 bool up) {
+  const char* name = up ? "replug" : "unplug";
+  if (args.size() != 2) {
+    return Status::InvalidArgument(std::string(name) + " <group> <member>");
+  }
+  if (!RequireCluster(name)) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  auto m = ParseInt(args[1]);
+  if (!g.ok()) return g.status();
+  if (!m.ok()) return m.status();
+  auto& mds = cluster_->mds(static_cast<GroupId>(g.value()), m.value());
+  cluster_->network().SetLinkUp(mds.id(), up);
+  Note(std::string(name) + " " + mds.name());
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdForceLockRelease(
+    const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return Status::InvalidArgument("force-lock-release <group>");
+  }
+  if (!RequireCluster("force-lock-release")) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  if (!g.ok()) return g.status();
+  cluster_->coord().frontend().AdminForceReleaseLock(
+      static_cast<GroupId>(g.value()));
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdAddBackup(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("add-backup <group>");
+  if (!RequireCluster("add-backup")) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  if (!g.ok()) return g.status();
+  auto& added = cluster_->AddBackupNode(static_cast<GroupId>(g.value()));
+  Note("added " + added.name());
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdExpectActive(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("expect-active <group>");
+  if (!RequireCluster("expect-active")) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  if (!g.ok()) return g.status();
+  const auto group = static_cast<GroupId>(g.value());
+  // "Active" means EFFECTIVE active: the server the coordination view
+  // names, alive and serving. A fenced ex-active that is still partitioned
+  // away may believe otherwise — it is harmless (every peer and the pool
+  // reject its stale fence) and corrects itself on its next heartbeat, so
+  // believers are deliberately not counted here.
+  if (!PumpUntil(
+          [this, group] { return cluster_->FindActive(group) != nullptr; })) {
+    Fail("expect-active: group " + args[0] + " has no effective active");
+  }
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdExpectExists(const std::vector<std::string>& args,
+                                       bool want) {
+  const char* name = want ? "expect-exists" : "expect-missing";
+  if (args.size() != 1) {
+    return Status::InvalidArgument(std::string(name) + " <path>");
+  }
+  if (!RequireCluster(name)) return Status::Ok();
+  const GroupId group = cluster_->partitioner().OwnerOf(args[0]);
+  core::MdsServer* active = cluster_->FindActive(group);
+  if (active == nullptr) {
+    Fail(std::string(name) + ": no active for " + args[0]);
+    return Status::Ok();
+  }
+  const bool exists = active->tree().Exists(args[0]);
+  if (exists != want) {
+    Fail(std::string(name) + " " + args[0] + ": exists=" +
+         (exists ? "true" : "false"));
+  }
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdExpectConverged(
+    const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return Status::InvalidArgument("expect-converged <group>");
+  }
+  if (!RequireCluster("expect-converged")) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  if (!g.ok()) return g.status();
+  const auto group = static_cast<GroupId>(g.value());
+  core::MdsServer* active = cluster_->FindActive(group);
+  if (active == nullptr) {
+    Fail("expect-converged: group " + args[0] + " has no active");
+    return Status::Ok();
+  }
+  // Standbys may still be applying in-flight batches; give them a moment.
+  const bool ok = PumpUntil([this, group, active] {
+    for (std::size_t m = 0; m < cluster_->group_size(group); ++m) {
+      auto& mds = cluster_->mds(group, static_cast<int>(m));
+      if (&mds == active || !mds.alive() ||
+          mds.role() != ServerState::kStandby) {
+        continue;
+      }
+      if (mds.tree().Fingerprint() != active->tree().Fingerprint()) {
+        return false;
+      }
+    }
+    return true;
+  });
+  if (!ok) Fail("expect-converged: group " + args[0] + " diverged");
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdExpectState(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    return Status::InvalidArgument("expect-state <group> <A|S|J|- ...>");
+  }
+  if (!RequireCluster("expect-state")) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  if (!g.ok()) return g.status();
+  std::string want;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string part = args[i];
+    // Allow the row to be quoted as one token: strip quotes.
+    std::erase(part, '"');
+    if (part.empty()) continue;
+    if (!want.empty()) want += ' ';
+    want += part;
+  }
+  const auto group = static_cast<GroupId>(g.value());
+  const bool ok = PumpUntil([this, group, &want] {
+    return cluster_->coord().frontend().PeekView(group).Row() == want;
+  });
+  if (!ok) {
+    Fail("expect-state: group " + args[0] + " is [" +
+         cluster_->coord().frontend().PeekView(group).Row() + "], wanted [" +
+         want + "]");
+  }
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdExpectCounts(const std::vector<std::string>& args) {
+  // expect-counts <group> A=1 S=3 J=0   (omitted letters are unchecked)
+  if (args.size() < 2) {
+    return Status::InvalidArgument("expect-counts <group> <X>=<n>...");
+  }
+  if (!RequireCluster("expect-counts")) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  if (!g.ok()) return g.status();
+  const auto group = static_cast<GroupId>(g.value());
+  struct Want {
+    ServerState state;
+    int count;
+  };
+  std::vector<Want> wants;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string key, value;
+    if (!KeyValue(args[i], key, value)) {
+      return Status::InvalidArgument("expected X=n, got " + args[i]);
+    }
+    auto n = ParseInt(value);
+    if (!n.ok()) return n.status();
+    ServerState state;
+    if (key == "A") state = ServerState::kActive;
+    else if (key == "S") state = ServerState::kStandby;
+    else if (key == "J") state = ServerState::kJunior;
+    else return Status::InvalidArgument("unknown state letter: " + key);
+    wants.push_back({state, n.value()});
+  }
+  const bool ok = PumpUntil([this, group, &wants] {
+    const auto& view = cluster_->coord().frontend().PeekView(group);
+    for (const auto& w : wants) {
+      if (view.CountInState(w.state) != w.count) return false;
+    }
+    return true;
+  });
+  if (!ok) {
+    Fail("expect-counts: group " + args[0] + " is [" +
+         cluster_->coord().frontend().PeekView(group).Row() + "]");
+  }
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdPrintView(const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("print-view <group>");
+  if (!RequireCluster("print-view")) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  if (!g.ok()) return g.status();
+  const auto& view =
+      cluster_->coord().frontend().PeekView(static_cast<GroupId>(g.value()));
+  std::printf("t=%s group %s view: [%s] lock=%s fence=%llu\n",
+              FormatTime(sim_->Now()).c_str(), args[0].c_str(),
+              view.Row().c_str(),
+              view.lock_holder == kInvalidNode ? "free" : "held",
+              static_cast<unsigned long long>(view.fence_token));
+  return Status::Ok();
+}
+
+}  // namespace mams::cluster

@@ -1,0 +1,102 @@
+// A small scenario language for scripting fault-injection experiments
+// against a CFS cluster — the textual equivalent of the paper's Table II
+// test procedures. One command per line, '#' comments:
+//
+//   cluster groups=1 standbys=3 clients=2 seed=7
+//   run 2s
+//   mkdir /data
+//   create /data/file-1
+//   crash-active 0            # kill group 0's active
+//   run 10s
+//   expect-active 0           # exactly one active again
+//   expect-exists /data/file-1
+//   expect-converged 0        # every standby matches the active
+//   unplug 0 1                # pull member (group 0, index 1)'s cable
+//   run 8s
+//   replug 0 1
+//   restart 0 0               # restart member (0,0)
+//   force-lock-release 0      # the paper's Test A injection
+//   expect-state 0 "S A S S"  # Table II row
+//   print-view 0
+//
+// The runner executes commands sequentially, pumping the simulator as
+// needed; failed expectations are collected (not thrown) so a scenario
+// reports all its violations. Used by examples/scenario_runner and by
+// scenario-driven tests.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cfs.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mams::cluster {
+
+struct ScenarioRunnerOptions {
+  bool echo = false;  ///< print each command + outcome to stdout
+};
+
+class ScenarioRunner {
+ public:
+  using Options = ScenarioRunnerOptions;
+
+  explicit ScenarioRunner(Options options = {}) : options_(options) {}
+
+  /// Runs a whole script; returns OK when every command executed and every
+  /// expectation held. Parse errors abort; expectation failures accumulate.
+  Status Run(const std::string& script);
+
+  const std::vector<std::string>& failures() const noexcept {
+    return failures_;
+  }
+  const std::vector<std::string>& log() const noexcept { return log_; }
+
+  /// The cluster under test (valid after a `cluster` command ran).
+  CfsCluster* cluster() noexcept { return cluster_.get(); }
+  sim::Simulator* simulator() noexcept { return sim_.get(); }
+
+ private:
+  Status Execute(const std::vector<std::string>& tokens, int line_no);
+
+  // Command implementations (each returns a parse/shape error or OK;
+  // expectation outcomes go to failures_).
+  Status CmdCluster(const std::vector<std::string>& args);
+  Status CmdRun(const std::vector<std::string>& args);
+  Status CmdClientOp(const std::string& op,
+                     const std::vector<std::string>& args);
+  Status CmdCrashActive(const std::vector<std::string>& args);
+  Status CmdCrash(const std::vector<std::string>& args);
+  Status CmdRestart(const std::vector<std::string>& args);
+  Status CmdUnplug(const std::vector<std::string>& args, bool up);
+  Status CmdForceLockRelease(const std::vector<std::string>& args);
+  Status CmdAddBackup(const std::vector<std::string>& args);
+  Status CmdExpectActive(const std::vector<std::string>& args);
+  Status CmdExpectExists(const std::vector<std::string>& args, bool want);
+  Status CmdExpectConverged(const std::vector<std::string>& args);
+  Status CmdExpectState(const std::vector<std::string>& args);
+  Status CmdExpectCounts(const std::vector<std::string>& args);
+  Status CmdPrintView(const std::vector<std::string>& args);
+
+  bool RequireCluster(const char* cmd);
+  void Fail(std::string what);
+  void Note(std::string what);
+
+  /// Pumps the simulator until `done` or the budget elapses.
+  bool PumpUntil(const std::function<bool()>& done,
+                 SimTime budget = 120 * kSecond);
+
+  Options options_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<CfsCluster> cluster_;
+  std::vector<std::string> failures_;
+  std::vector<std::string> log_;
+  int pending_ops_ = 0;
+  std::uint64_t ops_ok_ = 0;
+  std::uint64_t ops_failed_ = 0;
+};
+
+}  // namespace mams::cluster

@@ -1,0 +1,124 @@
+// Binary serialization helpers for journal records, namespace images, and
+// message payloads. Little-endian, length-prefixed strings, varint-free
+// (fixed width) for simplicity and determinism. A running FNV-1a checksum
+// lets readers detect truncation/corruption — the journal layer depends on
+// this for its Corruption status paths.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace mams {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a over a byte range.
+constexpr std::uint64_t Fnv1a(const void* data, std::size_t size,
+                              std::uint64_t seed = kFnvOffset) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t Fnv1a(std::string_view s,
+                           std::uint64_t seed = kFnvOffset) noexcept {
+  return Fnv1a(s.data(), s.size(), seed);
+}
+
+/// Append-only byte sink.
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { Raw(&v, 1); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof v); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof v); }
+  void I64(std::int64_t v) { Raw(&v, sizeof v); }
+  void F64(double v) { Raw(&v, sizeof v); }
+
+  void Str(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  void Raw(const void* data, std::size_t size) {
+    const auto* p = static_cast<const char*>(data);
+    buf_.insert(buf_.end(), p, p + size);
+  }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+  const std::vector<char>& bytes() const noexcept { return buf_; }
+  std::vector<char> Take() && { return std::move(buf_); }
+
+  std::uint64_t Checksum() const noexcept {
+    return Fnv1a(buf_.data(), buf_.size());
+  }
+
+ private:
+  std::vector<char> buf_;
+};
+
+/// Sequential reader over a byte range; all accessors report truncation via
+/// ok(). A reader that has gone bad keeps returning zero values, so callers
+/// may parse a whole struct and check ok() once at the end.
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size)
+      : p_(static_cast<const char*>(data)), end_(p_ + size) {}
+  explicit ByteReader(const std::vector<char>& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  std::uint8_t U8() { return Fixed<std::uint8_t>(); }
+  std::uint32_t U32() { return Fixed<std::uint32_t>(); }
+  std::uint64_t U64() { return Fixed<std::uint64_t>(); }
+  std::int64_t I64() { return Fixed<std::int64_t>(); }
+  double F64() { return Fixed<double>(); }
+
+  std::string Str() {
+    const std::uint32_t n = U32();
+    if (!ok_ || static_cast<std::size_t>(end_ - p_) < n) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(p_, n);
+    p_ += n;
+    return s;
+  }
+
+  bool ok() const noexcept { return ok_; }
+  std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+  Status ToStatus(std::string_view what) const {
+    if (ok_) return Status::Ok();
+    return Status::Corruption(std::string("truncated ") + std::string(what));
+  }
+
+ private:
+  template <typename T>
+  T Fixed() {
+    if (static_cast<std::size_t>(end_ - p_) < sizeof(T)) {
+      ok_ = false;
+      return T{};
+    }
+    T v;
+    std::memcpy(&v, p_, sizeof(T));
+    p_ += sizeof(T);
+    return v;
+  }
+
+  const char* p_;
+  const char* end_;
+  bool ok_ = true;
+};
+
+}  // namespace mams

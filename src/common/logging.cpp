@@ -1,0 +1,46 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace mams {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::Log(LogLevel level, const char* module, const char* fmt, ...) {
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+  if (now_ != nullptr) {
+    std::fprintf(stderr, "[%s %10.6f %-8s] %s\n", LevelTag(level),
+                 ToSeconds(*now_), module, body);
+  } else {
+    std::fprintf(stderr, "[%s %-8s] %s\n", LevelTag(level), module, body);
+  }
+}
+
+}  // namespace mams

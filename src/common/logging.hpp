@@ -1,0 +1,48 @@
+// Minimal leveled logger aware of virtual time. Disabled (kWarn) by default
+// so that benchmarks measure protocol cost, not stdio. Tests and examples
+// raise the level to trace protocol decisions.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace mams {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  LogLevel level() const noexcept { return level_; }
+  bool Enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  /// The simulator registers itself so log lines carry virtual timestamps.
+  void set_time_source(const SimTime* now) noexcept { now_ = now; }
+
+  void Log(LogLevel level, const char* module, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  const SimTime* now_ = nullptr;
+};
+
+#define MAMS_LOG(level, module, ...)                                  \
+  do {                                                                \
+    if (::mams::Logger::Instance().Enabled(level)) {                  \
+      ::mams::Logger::Instance().Log(level, module, __VA_ARGS__);     \
+    }                                                                 \
+  } while (0)
+
+#define MAMS_TRACE(module, ...) MAMS_LOG(::mams::LogLevel::kTrace, module, __VA_ARGS__)
+#define MAMS_DEBUG(module, ...) MAMS_LOG(::mams::LogLevel::kDebug, module, __VA_ARGS__)
+#define MAMS_INFO(module, ...) MAMS_LOG(::mams::LogLevel::kInfo, module, __VA_ARGS__)
+#define MAMS_WARN(module, ...) MAMS_LOG(::mams::LogLevel::kWarn, module, __VA_ARGS__)
+#define MAMS_ERROR(module, ...) MAMS_LOG(::mams::LogLevel::kError, module, __VA_ARGS__)
+
+}  // namespace mams

@@ -1,0 +1,135 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the simulation (network jitter, election
+// draws, workload key choice, failure timing) flows through an explicitly
+// seeded Rng instance so that a given seed reproduces a figure bit-for-bit.
+// The generator is xoshiro256**, seeded via SplitMix64 per the authors'
+// recommendation.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace mams {
+
+/// SplitMix64 step; used to expand a single seed into generator state and
+/// to derive independent child seeds.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, 256-bit state PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) noexcept {
+    Reseed(seed);
+  }
+
+  void Reseed(std::uint64_t seed) noexcept {
+    for (auto& word : s_) word = SplitMix64(seed);
+  }
+
+  /// Derives an independent stream; children of distinct indices do not
+  /// correlate with the parent or each other.
+  Rng Fork(std::uint64_t index) noexcept {
+    std::uint64_t mix = Next() ^ (0x9e3779b97f4a7c15ull * (index + 1));
+    return Rng(mix);
+  }
+
+  std::uint64_t Next() noexcept {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) with Lemire's rejection method.
+  std::uint64_t Below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    // Unbiased multiply-shift.
+    while (true) {
+      const std::uint64_t x = Next();
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+      const std::uint64_t low = static_cast<std::uint64_t>(m);
+      if (low >= bound || low >= static_cast<std::uint64_t>(-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() noexcept {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * Uniform();
+  }
+
+  /// Bernoulli draw.
+  bool Chance(double p) noexcept { return Uniform() < p; }
+
+  /// Exponentially distributed with the given mean (inter-arrival times).
+  double Exponential(double mean) noexcept {
+    double u;
+    do {
+      u = Uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double Normal(double mean = 0.0, double stddev = 1.0) noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return mean + stddev * u * factor;
+  }
+
+  /// Zipf-like rank draw over [0, n) with skew `theta` in (0,1); used by
+  /// workload generators for directory popularity.
+  std::uint64_t Zipf(std::uint64_t n, double theta) noexcept {
+    // Approximate inverse-CDF sampling: rank ~ n * u^(1/(1-theta)).
+    const double u = Uniform();
+    const double r = std::pow(u, 1.0 / (1.0 - theta));
+    auto rank = static_cast<std::uint64_t>(r * static_cast<double>(n));
+    return rank >= n ? n - 1 : rank;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace mams

@@ -1,0 +1,99 @@
+// Lightweight Status / Result<T> error handling, in the spirit of
+// absl::Status but self-contained. Metadata operations report failures as
+// values rather than exceptions: a failed RPC or a rejected namespace edit
+// is ordinary control flow in a fault-tolerance study.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mams {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,          ///< path or inode does not exist
+  kAlreadyExists,     ///< create/mkdir target present
+  kInvalidArgument,   ///< malformed path, bad parameters
+  kFailedPrecondition,///< e.g. rename over non-empty directory
+  kUnavailable,       ///< server not active / failing over / partitioned
+  kTimedOut,          ///< RPC or protocol deadline exceeded
+  kAborted,           ///< lost election, fenced, superseded
+  kCorruption,        ///< checksum mismatch in journal or image
+  kInternal,          ///< invariant violation (bug)
+};
+
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+/// A status is a code plus an optional human-readable message. The OK
+/// status carries no allocation.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status TimedOut(std::string m) { return {StatusCode::kTimedOut, std::move(m)}; }
+  static Status Aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
+  static Status Corruption(std::string m) { return {StatusCode::kCorruption, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "NotFound: /a/b missing".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T> is either a value or a non-OK status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK status must carry a value");
+  }
+
+  bool ok() const noexcept { return value_.has_value(); }
+  const Status& status() const noexcept { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace mams

@@ -1,0 +1,41 @@
+#include "common/types.hpp"
+
+#include <cstdio>
+
+namespace mams {
+
+const char* ServerStateTag(ServerState s) noexcept {
+  switch (s) {
+    case ServerState::kDown:
+      return "-";
+    case ServerState::kJunior:
+      return "J";
+    case ServerState::kStandby:
+      return "S";
+    case ServerState::kActive:
+      return "A";
+  }
+  return "?";
+}
+
+const char* ServerStateName(ServerState s) noexcept {
+  switch (s) {
+    case ServerState::kDown:
+      return "down";
+    case ServerState::kJunior:
+      return "junior";
+    case ServerState::kStandby:
+      return "standby";
+    case ServerState::kActive:
+      return "active";
+  }
+  return "unknown";
+}
+
+std::string FormatTime(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", ToSeconds(t));
+  return buf;
+}
+
+}  // namespace mams

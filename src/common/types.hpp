@@ -1,0 +1,89 @@
+// Fundamental identifier and time types shared by every module.
+//
+// The whole system runs inside a deterministic discrete-event simulation, so
+// time is virtual: a signed 64-bit count of nanoseconds since simulation
+// start. All protocol timeouts (heartbeats, session expiry, election
+// windows) are expressed in this unit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mams {
+
+/// Virtual simulation time in nanoseconds. Signed so that subtraction of
+/// two timestamps is naturally a duration.
+using SimTime = std::int64_t;
+
+/// Duration helpers. `5 * kMillisecond` reads better than raw literals.
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts a virtual duration to fractional seconds (for reporting only).
+constexpr double ToSeconds(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+/// Converts a virtual duration to fractional milliseconds.
+constexpr double ToMillis(SimTime t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Identifies a simulated host (metadata server, backup node, pool node,
+/// data server, coordination replica, or client). Dense small integers;
+/// assigned by the Network when a node attaches.
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Identifies a replica group (one active + its backups). Group g manages
+/// the namespace partition with hash bucket g.
+using GroupId = std::uint32_t;
+
+/// Monotonically increasing serial number assigned by the active server to
+/// each journal batch (the paper's `sn`). 0 means "no journal applied yet"
+/// (a freshly formatted junior).
+using SerialNumber = std::uint64_t;
+
+/// Transaction id of an individual journal record. Batches are described by
+/// the pair <sn, first transaction id> as in Section III.A of the paper.
+using TxId = std::uint64_t;
+
+/// Inode number inside one namespace partition.
+using InodeId = std::uint64_t;
+inline constexpr InodeId kInvalidInode = 0;
+inline constexpr InodeId kRootInode = 1;
+
+/// Block id inside the (simulated) data-server cluster.
+using BlockId = std::uint64_t;
+
+/// Client-supplied identity used for duplicate suppression on resends.
+struct ClientOpId {
+  std::uint64_t client_id = 0;
+  std::uint64_t op_seq = 0;
+
+  friend bool operator==(const ClientOpId&, const ClientOpId&) = default;
+};
+
+/// Fencing token attached to the replica-group distributed lock. Strictly
+/// increases with every grant, so stale lock holders are detectable.
+using FenceToken = std::uint64_t;
+
+/// Server role within a replica group (Section III.A).
+enum class ServerState : std::uint8_t {
+  kDown = 0,     ///< process not running or unreachable
+  kJunior = 1,   ///< backup whose namespace lags the active (cold)
+  kStandby = 2,  ///< hot backup, journal-synchronized with the active
+  kActive = 3,   ///< serves client requests for its partition
+};
+
+/// Short human-readable tag ("A", "S", "J", "-") matching Table II.
+const char* ServerStateTag(ServerState s) noexcept;
+
+/// Long name ("active", "standby", ...), for logs and error messages.
+const char* ServerStateName(ServerState s) noexcept;
+
+/// Formats virtual time as "12.345s" for logs and reports.
+std::string FormatTime(SimTime t);
+
+}  // namespace mams

@@ -1,0 +1,235 @@
+// Client-side coordination handle: session registration, heartbeating,
+// watch subscription, lock bids, and fenced state flips. Owned by any Host
+// that participates in a replica group (metadata servers, backup nodes)
+// or observes one (file-system clients resolving the active).
+//
+// Ownership note: the owning Host must destroy (or Stop()) this object in
+// its OnCrash so heartbeats stop — that is exactly what makes the
+// coordination service expire the session and trigger failover.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "coord/messages.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+
+namespace mams::coord {
+
+class CoordClient {
+ public:
+  struct LockResult {
+    bool granted = false;
+    NodeId holder = kInvalidNode;
+    FenceToken fence = 0;
+    GroupView view;
+  };
+  using ViewCallback = std::function<void(Result<GroupView>)>;
+  using LockCallback = std::function<void(Result<LockResult>)>;
+  using WatchHandler = std::function<void(const GroupView&)>;
+
+  CoordClient(net::Host& host, NodeId coord,
+              SimTime heartbeat_interval = 2 * kSecond,
+              SimTime rpc_timeout = 2 * kSecond)
+      : host_(host),
+        coord_(coord),
+        heartbeat_interval_(heartbeat_interval),
+        rpc_timeout_(rpc_timeout) {}
+
+  ~CoordClient() { Stop(); }
+  CoordClient(const CoordClient&) = delete;
+  CoordClient& operator=(const CoordClient&) = delete;
+
+  SessionId session() const noexcept { return session_; }
+  bool registered() const noexcept { return session_ != 0; }
+
+  /// Fires when a heartbeat reveals the session has expired server-side
+  /// (the client was partitioned past the timeout). Heartbeating stops;
+  /// the owner decides how to rejoin.
+  void SetSessionLostHandler(std::function<void()> handler) {
+    session_lost_ = std::move(handler);
+  }
+
+  /// Routes incoming watch events to `handler`. Call once, before
+  /// Register; installs the Host request handler for kCoordWatchEvent.
+  void SetWatchHandler(WatchHandler handler) {
+    watch_handler_ = std::move(handler);
+    host_.OnRequest(net::kCoordWatchEvent,
+                    [this](const net::Envelope&, const net::MessagePtr& msg,
+                           const net::Host::ReplyFn&) {
+                      if (watch_handler_) {
+                        watch_handler_(net::Cast<WatchEventMsg>(msg).view);
+                      }
+                    });
+  }
+
+  /// Opens a session (joining `group` in `initial` state) and starts
+  /// heartbeating.
+  void Register(GroupId group, ServerState initial, ViewCallback done) {
+    auto req = std::make_shared<CoordRequestMsg>();
+    req->op = CoordOp::kRegister;
+    req->group = group;
+    req->subject = host_.id();
+    req->state = initial;
+    host_.Call(coord_, req, rpc_timeout_,
+               [this, done = std::move(done)](Result<net::MessagePtr> r) {
+                 if (!r.ok()) {
+                   done(r.status());
+                   return;
+                 }
+                 const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+                 if (!resp.ok) {
+                   done(Status::Unavailable(resp.error));
+                   return;
+                 }
+                 session_ = resp.session;
+                 StartHeartbeats();
+                 done(resp.view);
+               });
+  }
+
+  /// Subscribes this host to group-view change events.
+  void Watch(GroupId group, std::function<void(Status)> done) {
+    auto req = std::make_shared<CoordRequestMsg>();
+    req->op = CoordOp::kWatch;
+    req->group = group;
+    req->session = session_;
+    host_.Call(coord_, req, rpc_timeout_,
+               [done = std::move(done)](Result<net::MessagePtr> r) {
+                 if (!r.ok()) {
+                   done(r.status());
+                   return;
+                 }
+                 const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+                 done(resp.ok ? Status::Ok() : Status::Unavailable(resp.error));
+               });
+  }
+
+  /// Election bid (Algorithm 1): the draw and max_sn establish priority.
+  void TryLock(GroupId group, std::uint64_t draw, SerialNumber max_sn,
+               LockCallback done) {
+    auto req = std::make_shared<CoordRequestMsg>();
+    req->op = CoordOp::kTryLock;
+    req->group = group;
+    req->session = session_;
+    req->draw = draw;
+    req->max_sn = max_sn;
+    // Election replies wait out the service-side window; use a roomier
+    // deadline than plain RPCs.
+    host_.Call(coord_, req, rpc_timeout_ + 2 * kSecond,
+               [done = std::move(done)](Result<net::MessagePtr> r) {
+                 if (!r.ok()) {
+                   done(r.status());
+                   return;
+                 }
+                 const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+                 if (!resp.ok) {
+                   done(Status::Unavailable(resp.error));
+                   return;
+                 }
+                 LockResult lock;
+                 lock.granted = resp.lock_granted;
+                 lock.holder = resp.lock_holder;
+                 lock.fence = resp.fence_token;
+                 lock.view = resp.view;
+                 done(lock);
+               });
+  }
+
+  void ReleaseLock(GroupId group, std::function<void(Status)> done) {
+    auto req = std::make_shared<CoordRequestMsg>();
+    req->op = CoordOp::kReleaseLock;
+    req->group = group;
+    req->session = session_;
+    host_.Call(coord_, req, rpc_timeout_,
+               [done = std::move(done)](Result<net::MessagePtr> r) {
+                 if (!r.ok()) {
+                   done(r.status());
+                   return;
+                 }
+                 const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+                 done(resp.ok ? Status::Ok() : Status::Unavailable(resp.error));
+               });
+  }
+
+  /// Sets `subject`'s state; pass the fence token when flipping a peer.
+  void SetState(GroupId group, NodeId subject, ServerState state,
+                FenceToken fence, ViewCallback done) {
+    auto req = std::make_shared<CoordRequestMsg>();
+    req->op = CoordOp::kSetState;
+    req->group = group;
+    req->session = session_;
+    req->subject = subject;
+    req->state = state;
+    req->fence = fence;
+    host_.Call(coord_, req, rpc_timeout_,
+               [done = std::move(done)](Result<net::MessagePtr> r) {
+                 if (!r.ok()) {
+                   done(r.status());
+                   return;
+                 }
+                 const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+                 if (!resp.ok) {
+                   done(Status::Aborted(resp.error));
+                   return;
+                 }
+                 done(resp.view);
+               });
+  }
+
+  void GetView(GroupId group, ViewCallback done) {
+    auto req = std::make_shared<CoordRequestMsg>();
+    req->op = CoordOp::kGetView;
+    req->group = group;
+    req->session = session_;
+    host_.Call(coord_, req, rpc_timeout_,
+               [done = std::move(done)](Result<net::MessagePtr> r) {
+                 if (!r.ok()) {
+                   done(r.status());
+                   return;
+                 }
+                 done(net::Cast<CoordResponseMsg>(r.value()).view);
+               });
+  }
+
+  /// Stops heartbeating (crash path or graceful shutdown).
+  void Stop() {
+    if (heartbeat_) heartbeat_->Stop();
+    heartbeat_.reset();
+    session_ = 0;
+  }
+
+ private:
+  void StartHeartbeats() {
+    heartbeat_ = std::make_unique<sim::PeriodicTimer>(
+        host_.sim(), heartbeat_interval_, [this] {
+          auto hb = std::make_shared<HeartbeatMsg>();
+          hb->session = session_;
+          host_.Call(coord_, hb, heartbeat_interval_,
+                     [this](Result<net::MessagePtr> r) {
+                       // Timeouts are fine (transient partition); an
+                       // explicit "session expired" is terminal.
+                       if (!r.ok()) return;
+                       const auto& resp =
+                           net::Cast<CoordResponseMsg>(r.value());
+                       if (resp.ok || session_ == 0) return;
+                       Stop();
+                       if (session_lost_) session_lost_();
+                     });
+        });
+    heartbeat_->Start();
+  }
+
+  net::Host& host_;
+  NodeId coord_;
+  SimTime heartbeat_interval_;
+  SimTime rpc_timeout_;
+  SessionId session_ = 0;
+  WatchHandler watch_handler_;
+  std::function<void()> session_lost_;
+  std::unique_ptr<sim::PeriodicTimer> heartbeat_;
+};
+
+}  // namespace mams::coord

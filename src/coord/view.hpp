@@ -1,0 +1,83 @@
+// The global view: per-replica-group membership states, the distributed
+// lock, and its fencing token. This is the structure every server watches;
+// Figure 3's state transitions are flips of this view, and Table II's rows
+// are snapshots of it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace mams::coord {
+
+struct GroupView {
+  GroupId group = 0;
+  /// Member node -> its advertised state. A node absent from the map was
+  /// never registered; kDown means its session expired or it reported down.
+  std::map<NodeId, ServerState> states;
+  /// Holder of the group's distributed lock (kInvalidNode = free).
+  NodeId lock_holder = kInvalidNode;
+  /// Strictly increasing with every grant; stale holders are fenced.
+  FenceToken fence_token = 0;
+  /// Bumps on every mutation; watchers use it to discard stale events.
+  std::uint64_t version = 0;
+
+  NodeId FindActive() const {
+    for (const auto& [node, state] : states) {
+      if (state == ServerState::kActive) return node;
+    }
+    return kInvalidNode;
+  }
+
+  int CountInState(ServerState s) const {
+    int n = 0;
+    for (const auto& [node, state] : states) n += (state == s);
+    return n;
+  }
+
+  ServerState StateOf(NodeId node) const {
+    auto it = states.find(node);
+    return it == states.end() ? ServerState::kDown : it->second;
+  }
+
+  /// "A S S J" — the Table II row for this group, members in node order.
+  std::string Row() const {
+    std::string out;
+    for (const auto& [node, state] : states) {
+      if (!out.empty()) out += ' ';
+      out += ServerStateTag(state);
+    }
+    return out;
+  }
+
+  void Serialize(ByteWriter& w) const {
+    w.U32(group);
+    w.U32(static_cast<std::uint32_t>(states.size()));
+    for (const auto& [node, state] : states) {
+      w.U32(node);
+      w.U8(static_cast<std::uint8_t>(state));
+    }
+    w.U32(lock_holder);
+    w.U64(fence_token);
+    w.U64(version);
+  }
+
+  static GroupView Deserialize(ByteReader& r) {
+    GroupView v;
+    v.group = r.U32();
+    const std::uint32_t n = r.U32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const NodeId node = r.U32();
+      v.states[node] = static_cast<ServerState>(r.U8());
+    }
+    v.lock_holder = r.U32();
+    v.fence_token = r.U64();
+    v.version = r.U64();
+    return v;
+  }
+};
+
+}  // namespace mams::coord

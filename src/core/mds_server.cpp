@@ -1,0 +1,1381 @@
+#include "core/mds_server.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mams::core {
+
+namespace {
+constexpr GroupId kNoParticipant = 0xffffffffu;
+}
+
+const char* ClientOpName(ClientOp op) noexcept {
+  switch (op) {
+    case ClientOp::kCreate:
+      return "create";
+    case ClientOp::kMkdir:
+      return "mkdir";
+    case ClientOp::kDelete:
+      return "delete";
+    case ClientOp::kRename:
+      return "rename";
+    case ClientOp::kGetFileInfo:
+      return "getfileinfo";
+    case ClientOp::kListDir:
+      return "listdir";
+    case ClientOp::kSetReplication:
+      return "setReplication";
+    case ClientOp::kAddBlock:
+      return "addBlock";
+    case ClientOp::kCompleteFile:
+      return "completeFile";
+    case ClientOp::kSetOwner:
+      return "setOwner";
+    case ClientOp::kSetPermission:
+      return "setPermission";
+    case ClientOp::kSetTimes:
+      return "setTimes";
+  }
+  return "unknown";
+}
+
+MdsServer::MdsServer(net::Network& network, std::string name,
+                     MdsOptions options, NodeId coord,
+                     std::vector<NodeId> ssp_pool, GroupDirectory* directory)
+    : net::Host(network, std::move(name)),
+      options_(options),
+      coord_(coord),
+      directory_(directory),
+      rng_(network.sim().rng().Fork(Fnv1a(this->name()) | 1)) {
+  coord_client_ = std::make_unique<coord::CoordClient>(
+      *this, coord_, options_.heartbeat_interval);
+  coord_client_->SetWatchHandler(
+      [this](const coord::GroupView& v) { OnWatchEvent(v); });
+  coord_client_->SetSessionLostHandler([this] {
+    // The session expired while we were partitioned: whatever we believed
+    // about our role is stale. A deposed active steps down (and rebuilds
+    // if it holds uncommitted state); everyone rejoins as a junior and is
+    // renewed back to standby by the current active.
+    if (role_ == ServerState::kActive) {
+      StepDownFromActive("coordination session expired");
+    } else if (alive()) {
+      BecomeRole(ServerState::kJunior);
+      JoinGroup(ServerState::kJunior);
+    }
+  });
+  ssp_ = std::make_unique<storage::SspClient>(*this, std::move(ssp_pool),
+                                              options_.ssp);
+  RegisterHandlers();
+}
+
+MdsServer::~MdsServer() = default;
+
+void MdsServer::Start(ServerState initial_role) {
+  role_ = initial_role;  // desired; confirmed during OnStart
+  Boot();
+}
+
+// --- lifecycle ---------------------------------------------------------------
+
+void MdsServer::OnStart() {
+  const ServerState initial = role_;
+  role_ = ServerState::kDown;
+  JoinGroup(initial, [this, initial](Status s) {
+    if (!s.ok()) {
+      MAMS_WARN("mds", "%s: join failed: %s", name().c_str(),
+                s.ToString().c_str());
+      // Retry joining until the coordination service responds.
+      AfterLocal(kSecond, [this, initial] { OnStartRetry(initial); });
+      return;
+    }
+    if (initial == ServerState::kActive) {
+      // Deployment bootstrap: the configured active takes the group lock
+      // before serving (it is the only bidder at cluster start).
+      coord_client_->TryLock(
+          options_.group, std::numeric_limits<std::uint32_t>::max(), last_sn_,
+          [this](Result<coord::CoordClient::LockResult> r) {
+            if (!r.ok() || !r.value().granted) {
+              MAMS_WARN("mds", "%s: bootstrap lock denied", name().c_str());
+              BecomeRole(ServerState::kStandby);
+              return;
+            }
+            fence_ = r.value().fence;
+            writer_ = std::make_unique<journal::Writer>(
+                sim(), options_.writer,
+                [this](journal::Batch b) { OnBatchSealed(std::move(b)); });
+            writer_->Reseed(last_sn_, tree_.last_txid());
+            BecomeRole(ServerState::kActive);
+          });
+    } else {
+      BecomeRole(initial);
+    }
+  });
+}
+
+void MdsServer::OnStartRetry(ServerState initial) {
+  if (!alive()) return;
+  role_ = initial;
+  OnStart();
+}
+
+void MdsServer::OnCrash() {
+  net::Host::OnCrash();
+  coord_client_->Stop();
+  election_retry_.Cancel();
+  renew_scan_timer_.reset();
+  checkpoint_timer_.reset();
+  renew_progress_timer_.reset();
+  writer_.reset();
+  // All volatile state is lost with the process image.
+  tree_.Reset();
+  blocks_.Clear();
+  last_sn_ = 0;
+  cpu_free_at_ = 0;
+  pending_sync_.clear();
+  pending_replies_.clear();
+  sync_targets_.clear();
+  recent_batches_.clear();
+  pending_batches_.clear();
+  backfill_inflight_ = false;
+  inflight_tx_ = 0;
+  tx_queue_.clear();
+  election_in_progress_ = false;
+  upgrade_in_progress_ = false;
+  buffered_requests_.clear();
+  renew_ = RenewCursor{};
+  renew_target_ = kInvalidNode;
+  latest_image_.reset();
+  view_ = coord::GroupView{};
+  fence_ = 0;
+  dirty_ = false;
+  role_ = ServerState::kDown;
+}
+
+void MdsServer::OnRestart() {
+  // A restarted metadata server always comes back as a junior (Section
+  // III.A: a junior "can be a server which restarts after a failure").
+  role_ = ServerState::kJunior;
+  OnStart();
+}
+
+void MdsServer::BecomeRole(ServerState role) {
+  role_ = role;
+  MAMS_INFO("mds", "%s -> %s (sn=%llu)", name().c_str(),
+            ServerStateName(role), (unsigned long long)last_sn_);
+  if (role == ServerState::kActive) {
+    if (directory_ != nullptr) {
+      directory_->active_of[options_.group] = id();
+    }
+    // Seed the 2PC target set from the current view; watch events keep it
+    // fresh afterwards. (Standbys that registered before we became active
+    // would otherwise never receive journals.)
+    sync_targets_.clear();
+    for (const auto& [node, state] : view_.states) {
+      if (node != id() && state == ServerState::kStandby) {
+        sync_targets_.insert(node);
+      }
+    }
+    if (!writer_) {
+      writer_ = std::make_unique<journal::Writer>(
+          sim(), options_.writer,
+          [this](journal::Batch b) { OnBatchSealed(std::move(b)); });
+      writer_->Reseed(last_sn_, tree_.last_txid());
+    }
+    renew_scan_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim(), options_.renew_scan_period, [this] { RenewScan(); });
+    renew_scan_timer_->Start();
+    checkpoint_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim(), options_.checkpoint_interval, [this] { WriteCheckpoint(); });
+    checkpoint_timer_->Start();
+  } else {
+    renew_scan_timer_.reset();
+    checkpoint_timer_.reset();
+    writer_.reset();
+  }
+}
+
+void MdsServer::JoinGroup(ServerState state, std::function<void(Status)> done) {
+  coord_client_->Register(
+      options_.group, state, [this, done](Result<coord::GroupView> r) {
+        if (!r.ok()) {
+          if (done) done(r.status());
+          return;
+        }
+        view_ = std::move(r).value();
+        coord_client_->Watch(options_.group, [this, done](Status s) {
+          if (done) done(s);
+        });
+      });
+}
+
+// --- view / watch events -------------------------------------------------------
+
+void MdsServer::OnWatchEvent(const coord::GroupView& view) {
+  const NodeId prev_lock_holder = view_.lock_holder;
+  if (view.version < view_.version) return;  // stale (reordered) event
+  view_ = view;
+
+  if (directory_ != nullptr) {
+    const NodeId active = view.FindActive();
+    if (active != kInvalidNode) directory_->active_of[options_.group] = active;
+  }
+
+  // A deposed active stops immediately (Test A: lock stolen via the global
+  // view; also covers fencing after a spurious session expiry).
+  if (role_ == ServerState::kActive && view.lock_holder != id()) {
+    StepDownFromActive("lost the group lock");
+    return;
+  }
+
+  // Keep the 2PC target set in step with the view: standbys only.
+  if (role_ == ServerState::kActive) {
+    for (auto it = sync_targets_.begin(); it != sync_targets_.end();) {
+      if (view_.StateOf(*it) == ServerState::kStandby) {
+        ++it;
+      } else {
+        it = sync_targets_.erase(it);
+      }
+    }
+    for (const auto& [node, state] : view_.states) {
+      if (node != id() && state == ServerState::kStandby) {
+        sync_targets_.insert(node);
+      }
+    }
+  }
+
+  // Demotion observed in the view (the elected standby flipped us).
+  if (role_ == ServerState::kStandby &&
+      view.StateOf(id()) == ServerState::kJunior) {
+    BecomeRole(ServerState::kJunior);
+  }
+  // Promotion observed in the view (the active finished renewing us). The
+  // active only promotes on a progress report showing a near-zero gap, so
+  // our applied prefix is consistent — cancel whatever renewal machinery
+  // is still spinning and serve as a standby (the live stream + backfill
+  // cover any residual tail).
+  if (role_ == ServerState::kJunior &&
+      view.StateOf(id()) == ServerState::kStandby) {
+    renew_.running = false;
+    renew_progress_timer_.reset();
+    BecomeRole(ServerState::kStandby);
+  }
+
+  // Election trigger: the lock is free and either there is no active or a
+  // previously held lock was just released (Test A).
+  const bool lock_freed =
+      prev_lock_holder != kInvalidNode && view.lock_holder == kInvalidNode;
+  if (view.lock_holder == kInvalidNode &&
+      (view.FindActive() == kInvalidNode || lock_freed)) {
+    MaybeStartElection(view);
+  }
+}
+
+// --- election (Algorithm 1) ---------------------------------------------------
+
+void MdsServer::MaybeStartElection(const coord::GroupView& view) {
+  if (!alive() || election_in_progress_ || upgrade_in_progress_) return;
+  if (role_ != ServerState::kStandby && role_ != ServerState::kJunior) return;
+  // Juniors only stand when no standby is left (Algorithm 1, line 8).
+  if (role_ == ServerState::kJunior &&
+      view.CountInState(ServerState::kStandby) > 0) {
+    return;
+  }
+  election_in_progress_ = true;
+  trace_ = FailoverTrace{};
+  trace_.group = options_.group;
+  trace_.elected = id();
+  trace_.failure_detected = sim().Now();
+  BidForLock();
+}
+
+void MdsServer::BidForLock() {
+  if (!election_in_progress_ || !alive()) return;
+  if (trace_.election_started < 0) trace_.election_started = sim().Now();
+  const std::uint64_t draw =
+      role_ == ServerState::kStandby
+          ? static_cast<std::uint64_t>(rng_.Range(1, 1 << 30))
+          : 0;  // juniors lose to any standby; sn breaks junior-vs-junior
+  coord_client_->TryLock(
+      options_.group, draw, last_sn_,
+      [this](Result<coord::CoordClient::LockResult> r) {
+        if (!election_in_progress_) return;
+        if (!r.ok()) {
+          election_retry_ =
+              AfterLocal(options_.election_retry, [this] { BidForLock(); });
+          return;
+        }
+        if (r.value().granted) {
+          fence_ = r.value().fence;
+          trace_.lock_granted = sim().Now();
+          ++counters_.elections_won;
+          upgrade_in_progress_ = true;
+          UpgradeStep1CheckState();
+          return;
+        }
+        ++counters_.elections_lost;
+        if (r.value().holder != kInvalidNode) {
+          // Someone else won; they will upgrade. Stop competing (the
+          // coordination events notify us of the outcome).
+          election_in_progress_ = false;
+          return;
+        }
+        // Window produced no grant for us and the lock is still free
+        // (e.g. our bid raced the window close); "each standby tries to
+        // obtain a distributed lock periodically".
+        election_retry_ =
+            AfterLocal(options_.election_retry, [this] { BidForLock(); });
+      });
+}
+
+// --- failover protocol: the six upgrade steps (Section III.C) --------------------
+
+void MdsServer::UpgradeStep1CheckState() {
+  coord_client_->GetView(options_.group, [this](Result<coord::GroupView> r) {
+    if (!r.ok()) {
+      AbortUpgrade("cannot read view");
+      return;
+    }
+    view_ = std::move(r).value();
+    // Step 1: a node that was demoted to junior while competing must stop
+    // upgrading and give up the lock; re-election follows.
+    if (view_.StateOf(id()) == ServerState::kJunior &&
+        role_ == ServerState::kStandby) {
+      AbortUpgrade("demoted to junior during election");
+      return;
+    }
+    UpgradeStep2FlipStates();
+  });
+}
+
+void MdsServer::UpgradeStep2FlipStates() {
+  // Step 2: set ourselves active in the global view. From this moment
+  // operations from the previous active are refused by all nodes (its
+  // fence token is stale).
+  coord_client_->SetState(
+      options_.group, id(), ServerState::kActive, fence_,
+      [this](Result<coord::GroupView> r) {
+        if (!r.ok()) {
+          AbortUpgrade("cannot flip own state: " + r.status().ToString());
+          return;
+        }
+        view_ = std::move(r).value();
+        // Step 3 is implicit: HandleClientRequest buffers mutations while
+        // upgrade_in_progress_ and keeps serving reads.
+        UpgradeStep4ReflushJournals();
+      });
+}
+
+void MdsServer::UpgradeStep4ReflushJournals() {
+  // Before re-flushing, drain any journal tail the previous active managed
+  // to persist in the SSP but never replicated to us (e.g. while every
+  // standby was transiently demoted). Acked operations must never be lost.
+  ssp_->ReadAfter(
+      JournalFile(), last_sn_,
+      [this](Result<std::shared_ptr<const storage::SspReadReplyMsg>> r) {
+        if (!upgrade_in_progress_) return;
+        if (r.ok() && r.value()->found) {
+          for (const auto& rec : r.value()->records) {
+            auto batch = journal::Batch::Deserialize(rec.bytes);
+            if (batch.ok() && batch.value().sn == last_sn_ + 1) {
+              ApplyBatch(batch.value());
+            }
+          }
+          if (!r.value()->eof) {
+            UpgradeStep4ReflushJournals();  // keep draining
+            return;
+          }
+        }
+        UpgradeStep4DoReflush();
+      });
+}
+
+void MdsServer::UpgradeStep4DoReflush() {
+  // Step 4: re-flush the last cached journals to the whole group so that
+  // nothing the previous active half-replicated is missing anywhere.
+  // Receivers dedup by sn, so this is idempotent.
+  const std::size_t n = std::min<std::size_t>(recent_batches_.size(), 8);
+  for (std::size_t i = recent_batches_.size() - n; i < recent_batches_.size();
+       ++i) {
+    auto msg = std::make_shared<JournalPrepareMsg>();
+    msg->group = options_.group;
+    msg->fence = fence_;
+    msg->batch = recent_batches_[i];
+    for (NodeId peer : members_) {
+      if (peer != id()) Send(peer, msg);
+    }
+  }
+  UpgradeStep5GatherRegistrations();
+}
+
+void MdsServer::UpgradeStep5GatherRegistrations() {
+  // Step 5: every group member registers with the elected standby, which
+  // confirms each one's state from its journal position.
+  auto acks = std::make_shared<std::map<NodeId, SerialNumber>>();
+  auto req = std::make_shared<GroupRegisterMsg>();
+  req->group = options_.group;
+  req->new_active = id();
+  req->fence = fence_;
+  req->active_sn = last_sn_;
+  for (NodeId peer : members_) {
+    if (peer == id()) continue;
+    Call(peer, req, options_.register_rpc_timeout,
+         [this, peer, acks](Result<net::MessagePtr> r) {
+           if (!r.ok()) return;  // dead peer: stays Down in the view
+           const auto& ack = net::Cast<GroupRegisterAckMsg>(r.value());
+           (*acks)[peer] = ack.max_sn;
+         });
+  }
+  AfterLocal(options_.register_wait, [this, acks] {
+    if (!upgrade_in_progress_) return;
+    for (const auto& [peer, sn] : *acks) {
+      const ServerState target =
+          sn == last_sn_ ? ServerState::kStandby : ServerState::kJunior;
+      coord_client_->SetState(options_.group, peer, target, fence_,
+                              [](Result<coord::GroupView>) {});
+      if (target == ServerState::kStandby) sync_targets_.insert(peer);
+    }
+    UpgradeStep6BecomeActive();
+  });
+}
+
+void MdsServer::UpgradeStep6BecomeActive() {
+  upgrade_in_progress_ = false;
+  election_in_progress_ = false;
+  BecomeRole(ServerState::kActive);
+  trace_.switch_completed = sim().Now();
+  FailoverTraceLog::Instance().Record(trace_);
+  // Commit the requests buffered during the switch (step 3/6).
+  auto buffered = std::move(buffered_requests_);
+  buffered_requests_.clear();
+  for (auto& [req, reply] : buffered) {
+    ProcessClientRequest(req, reply);
+  }
+}
+
+void MdsServer::AbortUpgrade(const std::string& why) {
+  MAMS_WARN("mds", "%s: upgrade aborted: %s", name().c_str(), why.c_str());
+  upgrade_in_progress_ = false;
+  election_in_progress_ = false;
+  coord_client_->ReleaseLock(options_.group, [](Status) {});
+  fence_ = 0;
+  // Buffered mutations cannot be honored here; clients retry at the next
+  // active after their RPC deadline.
+  buffered_requests_.clear();
+}
+
+void MdsServer::StepDownFromActive(const char* why) {
+  MAMS_INFO("mds", "%s: stepping down (%s)", name().c_str(), why);
+  // An active applies mutations to its tree when it executes them, before
+  // the journal batch is replicated. If any such op is still in flight,
+  // this tree holds state the cluster never committed — it must NOT rejoin
+  // as a standby at its current position, or it would silently diverge
+  // when clients' retries re-execute those ops on the new active. The
+  // paper handles this by degrading the deposed active to junior; we keep
+  // the fast path when the server is provably clean.
+  const bool dirty = dirty_ || !pending_replies_.empty() ||
+                     !pending_sync_.empty() ||
+                     (writer_ && writer_->pending_records() > 0);
+  BecomeRole(ServerState::kJunior);
+  fence_ = 0;
+  // Obsolete buffered data may still be flushed to peers and the SSP; the
+  // sn rule and fencing make it harmless (Section III.C). Fail our pending
+  // client replies so callers re-resolve the active.
+  for (auto& [txid, replies] : pending_replies_) {
+    for (auto& reply : replies) {
+      ReplyStatus(reply, Status::Unavailable("server deposed"));
+    }
+  }
+  pending_replies_.clear();
+  pending_sync_.clear();
+  sync_targets_.clear();
+  if (dirty) {
+    MAMS_INFO("mds", "%s: discarding uncommitted namespace state",
+              name().c_str());
+    tree_.Reset();
+    blocks_.Clear();
+    last_sn_ = 0;
+    recent_batches_.clear();
+    pending_batches_.clear();
+    renew_ = RenewCursor{};
+    dirty_ = false;
+  }
+  // Leave the view ("-" in Table II) and wait for the new active's
+  // registration round; if none arrives we rejoin as a junior ourselves.
+  coord_client_->Stop();
+  AfterLocal(2 * kSecond, [this] {
+    if (!coord_client_->registered()) {
+      JoinGroup(ServerState::kJunior);
+    }
+  });
+}
+
+// --- client requests ---------------------------------------------------------
+
+SimTime MdsServer::ChargeCpu(SimTime cost) {
+  const SimTime start = std::max(sim().Now(), cpu_free_at_);
+  cpu_free_at_ = start + cost;
+  return cpu_free_at_ - sim().Now();
+}
+
+void MdsServer::ReplyStatus(const ReplyFn& reply, const Status& status) {
+  auto out = std::make_shared<ClientResponseMsg>();
+  out->ok = status.ok();
+  out->code = status.code();
+  out->error = status.message();
+  reply(out);
+}
+
+void MdsServer::HandleClientRequest(const net::Envelope&,
+                                    const net::MessagePtr& msg,
+                                    const ReplyFn& reply) {
+  auto req = std::static_pointer_cast<const ClientRequestMsg>(msg);
+
+  if (req->tx_participant) {
+    // Cross-group coordination leg: validate and charge only.
+    if (role_ != ServerState::kActive) {
+      ReplyStatus(reply, Status::Unavailable("participant not active"));
+      return;
+    }
+    AfterLocal(ChargeCpu(options_.costs.tx_participant),
+               [this, reply] { ReplyStatus(reply, Status::Ok()); });
+    return;
+  }
+
+  if (upgrade_in_progress_) {
+    // Step 3: reads are allowed; mutations are saved in memory and not
+    // committed until the upgrade finishes.
+    if (IsMutation(req->op)) {
+      ++counters_.buffered_during_upgrade;
+      buffered_requests_.emplace_back(std::move(req), reply);
+      return;
+    }
+    ExecuteRead(*req, reply);
+    return;
+  }
+
+  if (role_ != ServerState::kActive) {
+    ReplyStatus(reply, Status::Unavailable("not active"));
+    return;
+  }
+  ProcessClientRequest(req, reply);
+}
+
+void MdsServer::ProcessClientRequest(
+    const std::shared_ptr<const ClientRequestMsg>& req, const ReplyFn& reply) {
+  const OpCosts& c = options_.costs;
+  SimTime cost = c.getfileinfo;
+  switch (req->op) {
+    case ClientOp::kCreate:
+      cost = c.create;
+      break;
+    case ClientOp::kMkdir:
+      cost = c.mkdir;
+      break;
+    case ClientOp::kDelete:
+      cost = c.remove;
+      break;
+    case ClientOp::kRename:
+      cost = c.rename;
+      break;
+    case ClientOp::kGetFileInfo:
+      cost = c.getfileinfo;
+      break;
+    case ClientOp::kListDir:
+      cost = c.listdir;
+      break;
+    case ClientOp::kSetReplication:
+    case ClientOp::kAddBlock:
+    case ClientOp::kCompleteFile:
+    case ClientOp::kSetOwner:
+    case ClientOp::kSetPermission:
+    case ClientOp::kSetTimes:
+      cost = c.add_block;
+      break;
+  }
+  AfterLocal(ChargeCpu(cost), [this, req, reply] {
+    if (role_ != ServerState::kActive) {
+      ReplyStatus(reply, Status::Unavailable("not active"));
+      return;
+    }
+    if (!IsMutation(req->op)) {
+      ExecuteRead(*req, reply);
+      return;
+    }
+    // A distributed transaction is only genuinely distributed when the
+    // other side of the operation belongs to a different group; within a
+    // single partition it commutes with ordinary mutations (the 1A3S
+    // configuration of Figures 6/8 pays no transaction overhead).
+    const GroupId participant = req->participant_group;
+    const bool cross_group = IsDistributedTx(req->op) &&
+                             participant != kNoParticipant &&
+                             participant != options_.group;
+    if (cross_group) {
+      if (inflight_tx_ >= kTxWindow) {
+        tx_queue_.emplace_back(req, reply);
+        return;
+      }
+      ++inflight_tx_;
+      ReplyFn wrapped = [this, reply](net::MessagePtr out) {
+        reply(std::move(out));
+        --inflight_tx_;
+        if (!tx_queue_.empty() && inflight_tx_ < kTxWindow) {
+          auto [next_req, next_reply] = std::move(tx_queue_.front());
+          tx_queue_.pop_front();
+          ProcessClientRequest(next_req, next_reply);
+        }
+      };
+      // Cross-group prepare leg first (the paper's distributed
+      // transactions synchronize state among servers before commit).
+      if (directory_ == nullptr) {
+        ReplyStatus(wrapped, Status::Unavailable("no group directory"));
+        return;
+      }
+      const NodeId peer = directory_->Active(participant);
+      if (peer == kInvalidNode) {
+        ReplyStatus(wrapped, Status::Unavailable("participant unknown"));
+        return;
+      }
+      auto leg = std::make_shared<ClientRequestMsg>(*req);
+      leg->tx_participant = true;
+      Call(peer, leg, kSecond,
+           [this, req, wrapped](Result<net::MessagePtr> r) {
+             if (!r.ok()) {
+               ReplyStatus(wrapped,
+                           Status::Unavailable("participant unreachable"));
+               return;
+             }
+             const auto& resp = net::Cast<ClientResponseMsg>(r.value());
+             if (!resp.ok) {
+               ReplyStatus(wrapped, Status::Unavailable(resp.error));
+               return;
+             }
+             ExecuteMutation(req, wrapped, /*tx_commit=*/true);
+           });
+      return;
+    }
+    ExecuteMutation(req, reply, /*tx_commit=*/false);
+  });
+}
+
+void MdsServer::ExecuteRead(const ClientRequestMsg& req, const ReplyFn& reply) {
+  ++counters_.ops_served;
+  ++counters_.reads;
+  auto out = std::make_shared<ClientResponseMsg>();
+  if (req.op == ClientOp::kGetFileInfo) {
+    auto info = tree_.GetFileInfo(req.path);
+    out->ok = info.ok();
+    if (info.ok()) {
+      out->info = std::move(info).value();
+    } else {
+      out->code = info.status().code();
+      out->error = info.status().message();
+    }
+  } else {  // kListDir
+    auto names = tree_.ListDir(req.path);
+    out->ok = names.ok();
+    if (names.ok()) {
+      out->listing = std::move(names).value();
+    } else {
+      out->code = names.status().code();
+      out->error = names.status().message();
+    }
+  }
+  reply(out);
+}
+
+void MdsServer::ExecuteMutation(
+    const std::shared_ptr<const ClientRequestMsg>& req, const ReplyFn& reply,
+    bool tx_commit) {
+  const SimTime now = sim().Now();
+  Result<journal::LogRecord> rec = Status::Internal("unhandled op");
+  switch (req->op) {
+    case ClientOp::kCreate:
+      rec = tree_.Create(req->path, req->replication, now, req->client);
+      break;
+    case ClientOp::kMkdir:
+      rec = tree_.Mkdir(req->path, now, req->client);
+      break;
+    case ClientOp::kDelete:
+      rec = tree_.Delete(req->path, now, req->client);
+      break;
+    case ClientOp::kRename:
+      rec = tree_.Rename(req->path, req->path2, now, req->client);
+      break;
+    case ClientOp::kSetReplication:
+      rec = tree_.SetReplication(req->path, req->replication, now, req->client);
+      break;
+    case ClientOp::kAddBlock:
+      rec = tree_.AddBlock(req->path, now, req->client);
+      break;
+    case ClientOp::kCompleteFile:
+      rec = tree_.CompleteFile(req->path, now, req->client);
+      break;
+    case ClientOp::kSetOwner:
+      rec = tree_.SetOwner(req->path, req->path2, now, req->client);
+      break;
+    case ClientOp::kSetPermission:
+      rec = tree_.SetPermission(
+          req->path, static_cast<std::uint16_t>(req->replication), now,
+          req->client);
+      break;
+    case ClientOp::kSetTimes:
+      rec = tree_.SetTimes(req->path, now, req->client);
+      break;
+    default:
+      break;
+  }
+  ++counters_.ops_served;
+  ++counters_.mutations;
+  if (!rec.ok()) {
+    // Idempotent resend: the op already committed in a previous life of
+    // this request; acknowledge success without re-journaling.
+    if (rec.status().code() == StatusCode::kAborted &&
+        rec.status().message() == "duplicate") {
+      ReplyStatus(reply, Status::Ok());
+      return;
+    }
+    ReplyStatus(reply, rec.status());
+    return;
+  }
+  const TxId txid = writer_->Append(std::move(rec).value());
+  tree_.set_last_txid(txid);  // keep the active's replay cursor in step
+  pending_replies_[txid].push_back(reply);
+  if (tx_commit) {
+    // Transaction boundary: cross-group transactions commit their own
+    // batch instead of riding the aggregation window.
+    writer_->Flush();
+  } else if (pending_sync_.empty()) {
+    // Group commit: flush immediately when no sync is in flight; while one
+    // is, records aggregate and flush as soon as it completes.
+    writer_->Flush();
+  }
+}
+
+// --- journal sync: active side -------------------------------------------------
+
+void MdsServer::OnBatchSealed(journal::Batch batch) {
+  last_sn_ = batch.sn;
+  recent_batches_.push_back(batch);
+  if (recent_batches_.size() > kRecentBatchCap) recent_batches_.pop_front();
+
+  PendingSync& ps = pending_sync_[batch.sn];
+  ps.batch = batch;
+  ps.awaiting = sync_targets_;
+  ps.ssp_done = !options_.ssp_in_commit_path;  // ablation: SSP off-path
+
+  // Replication fan-out costs CPU on the active: the batch is serialized,
+  // checksummed and sent once per target (plus the SSP copy), so sends are
+  // staggered through the CPU cursor. This is the per-standby overhead
+  // Figure 5 quantifies (~4% per added standby on transactional ops).
+  const auto batch_bytes = static_cast<double>(batch.EncodedSize());
+  const auto per_target =
+      options_.costs.sync_cpu_base +
+      static_cast<SimTime>(batch_bytes / options_.costs.sync_bytes_per_sec *
+                           static_cast<double>(kSecond));
+
+  auto msg = std::make_shared<JournalPrepareMsg>();
+  msg->group = options_.group;
+  msg->fence = fence_;
+  msg->batch = batch;
+  const SerialNumber sn = batch.sn;
+  for (NodeId peer : ps.awaiting) {
+    AfterLocal(ChargeCpu(per_target), [this, peer, sn, msg] {
+      Call(peer, msg, options_.sync_timeout,
+           [this, peer, sn](Result<net::MessagePtr> r) {
+             auto it = pending_sync_.find(sn);
+             if (it == pending_sync_.end()) return;
+             if (!r.ok()) {
+               DemoteUnresponsiveStandby(peer);
+             } else {
+               const auto& ack = net::Cast<JournalAckMsg>(r.value());
+               if (ack.stale_fence) {
+                 StepDownFromActive("standby reported stale fence");
+                 return;
+               }
+               ++it->second.acks;
+             }
+             it->second.awaiting.erase(peer);
+             MaybeCompleteSync(sn);
+           });
+    });
+  }
+
+  // The SSP copy (journal segment shared file), fenced with our token.
+  storage::SspRecord record;
+  record.sn = batch.sn;
+  record.fence = fence_;
+  record.bytes = batch.Serialize();
+  AfterLocal(ChargeCpu(per_target),
+             [this, sn, record = std::move(record)]() mutable {
+               ssp_->Append(JournalFile(), std::move(record),
+                            [this, sn](Status s) {
+                              auto it = pending_sync_.find(sn);
+                              if (it == pending_sync_.end()) return;
+                              if (!s.ok()) {
+                                MAMS_WARN("mds", "%s: ssp append failed: %s",
+                                          name().c_str(),
+                                          s.ToString().c_str());
+                              }
+                              it->second.ssp_ok = s.ok();
+                              it->second.ssp_done = true;
+                              MaybeCompleteSync(sn);
+                            });
+             });
+  MaybeCompleteSync(sn);
+}
+
+void MdsServer::MaybeCompleteSync(SerialNumber sn) {
+  auto it = pending_sync_.find(sn);
+  if (it == pending_sync_.end()) return;
+  PendingSync& ps = it->second;
+  if (ps.completed || !ps.awaiting.empty() || !ps.ssp_done) return;
+  ps.completed = true;
+  ++counters_.batches_synced;
+  if (ps.acks == 0 && !ps.ssp_ok) {
+    // The batch completed by timeouts alone: it exists only in this
+    // process. Should we be deposed before it replicates, our namespace
+    // holds uncommitted state and must be rebuilt (see StepDownFromActive).
+    dirty_ = true;
+  }
+  for (const auto& rec : ps.batch.records) {
+    auto rit = pending_replies_.find(rec.txid);
+    if (rit == pending_replies_.end()) continue;
+    for (auto& reply : rit->second) ReplyStatus(reply, Status::Ok());
+    pending_replies_.erase(rit);
+  }
+  pending_sync_.erase(it);
+  // Group commit: release the records that aggregated during this sync.
+  if (pending_sync_.empty() && writer_ && writer_->pending_records() > 0) {
+    writer_->Flush();
+  }
+}
+
+void MdsServer::DemoteUnresponsiveStandby(NodeId peer) {
+  if (!sync_targets_.contains(peer)) return;
+  MAMS_INFO("mds", "%s: demoting unresponsive standby node %u",
+            name().c_str(), peer);
+  // Only stop replicating to the peer once the demotion has actually
+  // committed in the global view. If WE are the partitioned one, the
+  // SetState fails and the peer stays a target — dropping it locally
+  // while the view still says "standby" would silently diverge.
+  coord_client_->SetState(options_.group, peer, ServerState::kJunior, fence_,
+                          [this, peer](Result<coord::GroupView> r) {
+                            if (r.ok()) sync_targets_.erase(peer);
+                          });
+}
+
+// --- journal sync: standby/junior side ------------------------------------------
+
+void MdsServer::HandleJournalPrepare(const net::Envelope& env,
+                                     const net::MessagePtr& msg,
+                                     const ReplyFn& reply) {
+  const auto& req = net::Cast<JournalPrepareMsg>(msg);
+  auto ack = std::make_shared<JournalAckMsg>();
+
+  // IO fencing: a sender with an older fence token than the view's is a
+  // deposed active; refuse it so it steps down.
+  if (req.fence < view_.fence_token) {
+    ++counters_.fenced_rejections;
+    ack->stale_fence = true;
+    ack->max_sn = last_sn_;
+    reply(ack);
+    return;
+  }
+  if (role_ == ServerState::kActive) {
+    // Two actives cannot coexist; the one with the newer fence wins.
+    if (req.fence > fence_) {
+      StepDownFromActive("saw a newer fence in replication traffic");
+    } else {
+      ack->stale_fence = true;
+      ack->max_sn = last_sn_;
+      reply(ack);
+      return;
+    }
+  }
+
+  const journal::Batch& batch = req.batch;
+  if (batch.sn <= last_sn_) {
+    // "Only if sn from the active is larger than the current maximum serial
+    // number, the standby applies journals" — duplicate, already applied.
+    ++counters_.duplicate_batches;
+    ack->applied = true;
+    ack->max_sn = last_sn_;
+    reply(ack);
+    return;
+  }
+  pending_batches_.emplace(batch.sn, batch);
+  ApplyReadyBatches();
+  if (!pending_batches_.empty()) RequestBackfill(env.from);
+  ack->applied = pending_batches_.empty();
+  ack->max_sn = last_sn_;
+  reply(ack);
+}
+
+void MdsServer::ApplyReadyBatches() {
+  while (true) {
+    auto it = pending_batches_.find(last_sn_ + 1);
+    if (it == pending_batches_.end()) break;
+    ApplyBatch(it->second);
+    pending_batches_.erase(it);
+  }
+  // Anything at or below last_sn_ is now garbage.
+  while (!pending_batches_.empty() &&
+         pending_batches_.begin()->first <= last_sn_) {
+    pending_batches_.erase(pending_batches_.begin());
+  }
+}
+
+void MdsServer::ApplyBatch(const journal::Batch& batch) {
+  for (const auto& rec : batch.records) {
+    Status s = tree_.Apply(rec);
+    if (!s.ok()) {
+      MAMS_ERROR("mds", "%s: replay divergence: %s", name().c_str(),
+                 s.ToString().c_str());
+    }
+  }
+  last_sn_ = batch.sn;
+  ++counters_.batches_applied;
+  recent_batches_.push_back(batch);
+  if (recent_batches_.size() > kRecentBatchCap) recent_batches_.pop_front();
+}
+
+void MdsServer::RequestBackfill(NodeId from) {
+  if (backfill_inflight_) return;
+  backfill_inflight_ = true;
+  auto req = std::make_shared<RenewJournalFetchMsg>();
+  req->group = options_.group;
+  req->after_sn = last_sn_;
+  Call(from, req, kSecond, [this](Result<net::MessagePtr> r) {
+    backfill_inflight_ = false;
+    if (!r.ok()) return;
+    const auto& resp = net::Cast<RenewJournalReplyMsg>(r.value());
+    for (const auto& b : resp.batches) {
+      if (b.sn > last_sn_) pending_batches_.emplace(b.sn, b);
+    }
+    ApplyReadyBatches();
+  });
+}
+
+// --- renewing protocol: active side ---------------------------------------------
+
+void MdsServer::RenewScan() {
+  if (role_ != ServerState::kActive) return;
+  // Anti-entropy: reconcile the replication target set with the view (a
+  // transient partition may have left it stale) and nudge every target
+  // with the most recent batch — receivers that silently missed traffic
+  // detect the sn gap and backfill, even on an otherwise idle system.
+  for (const auto& [node, state] : view_.states) {
+    if (node != id() && state == ServerState::kStandby) {
+      sync_targets_.insert(node);
+    }
+  }
+  if (!recent_batches_.empty()) {
+    auto nudge = std::make_shared<JournalPrepareMsg>();
+    nudge->group = options_.group;
+    nudge->fence = fence_;
+    nudge->batch = recent_batches_.back();
+    for (NodeId peer : sync_targets_) Send(peer, nudge);
+  }
+  if (renew_target_ != kInvalidNode) return;
+  // "During the runtime, the active scans the global view periodically and
+  // tries to launch the renewing process when there are juniors."
+  for (const auto& [node, state] : view_.states) {
+    if (node == id() || state != ServerState::kJunior) continue;
+    renew_target_ = node;
+    auto cmd = std::make_shared<RenewCommandMsg>();
+    cmd->group = options_.group;
+    cmd->fence = fence_;
+    cmd->active_sn = last_sn_;
+    if (latest_image_.has_value()) {
+      cmd->image_file = latest_image_->first;
+      cmd->image_sn = latest_image_->second;
+    }
+    Send(node, cmd);
+    // If the junior makes no progress at all, give up and rescan later.
+    AfterLocal(30 * kSecond, [this, node] {
+      if (renew_target_ == node && view_.StateOf(node) != ServerState::kStandby) {
+        renew_target_ = kInvalidNode;
+      }
+    });
+    return;
+  }
+}
+
+void MdsServer::HandleRenewProgress(const net::Envelope& env,
+                                    const net::MessagePtr& msg) {
+  if (role_ != ServerState::kActive) return;
+  const auto& prog = net::Cast<RenewProgressMsg>(msg);
+  const NodeId junior = env.from;
+  if (prog.failed) {
+    if (renew_target_ == junior) renew_target_ = kInvalidNode;
+    return;
+  }
+  FinishRenewTarget(junior, prog.current_sn);
+}
+
+void MdsServer::FinishRenewTarget(NodeId junior, SerialNumber reported_sn) {
+  const SerialNumber gap =
+      last_sn_ >= reported_sn ? last_sn_ - reported_sn : 0;
+  if (gap > options_.final_sync_gap) return;  // keep catching up
+
+  // Final synchronization: include the junior in live replication and
+  // resend whatever recent batches it may still miss (sn-deduped).
+  if (!sync_targets_.contains(junior)) {
+    sync_targets_.insert(junior);
+    for (const auto& b : recent_batches_) {
+      if (b.sn > reported_sn) {
+        auto msg = std::make_shared<JournalPrepareMsg>();
+        msg->group = options_.group;
+        msg->fence = fence_;
+        msg->batch = b;
+        Send(junior, msg);
+      }
+    }
+  }
+  // Upgrade once the junior is (a) inside the live replication stream and
+  // (b) within the final-sync gap. Its contiguous apply cursor plus the
+  // backfill path close any residual holes.
+  if (sync_targets_.contains(junior) &&
+      view_.StateOf(junior) == ServerState::kJunior) {
+    coord_client_->SetState(
+        options_.group, junior, ServerState::kStandby, fence_,
+        [this, junior](Result<coord::GroupView> r) {
+          if (!r.ok()) return;
+          ++counters_.renews_completed;
+          if (renew_target_ == junior) renew_target_ = kInvalidNode;
+        });
+  }
+}
+
+// --- renewing protocol: junior side ----------------------------------------------
+
+void MdsServer::HandleRenewCommand(const net::MessagePtr& msg) {
+  if (role_ != ServerState::kJunior) return;
+  const auto& cmd = net::Cast<RenewCommandMsg>(msg);
+  renew_.target_sn = cmd.active_sn;
+  if (renew_.running) return;  // resume in place; new target noted
+  renew_.running = true;
+
+  const bool use_image =
+      !cmd.image_file.empty() && cmd.image_sn > last_sn_ &&
+      (last_sn_ == 0 ||
+       cmd.active_sn - last_sn_ > options_.image_gap_threshold);
+  if (use_image && renew_.image_file != cmd.image_file) {
+    renew_.mode = RenewMode::kImageFirst;
+    renew_.image_file = cmd.image_file;
+    renew_.image_sn = cmd.image_sn;
+    renew_.image_next_index = 0;
+    renew_.image_bytes.clear();
+  } else if (!use_image) {
+    renew_.mode = RenewMode::kJournalOnly;
+  }
+
+  if (!renew_progress_timer_) {
+    renew_progress_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim(), options_.renew_progress_interval,
+        [this] { SendRenewProgress(); });
+    renew_progress_timer_->Start();
+  }
+
+  if (renew_.mode == RenewMode::kImageFirst) {
+    RenewFetchImageChunk();
+  } else {
+    RenewFetchJournal();
+  }
+}
+
+void MdsServer::SendRenewProgress(bool failed) {
+  const NodeId active = view_.FindActive();
+  if (active == kInvalidNode || active == id()) return;
+  auto msg = std::make_shared<RenewProgressMsg>();
+  msg->group = options_.group;
+  msg->current_sn = last_sn_;
+  msg->failed = failed;
+  Send(active, msg);
+}
+
+void MdsServer::RenewFetchImageChunk() {
+  if (role_ != ServerState::kJunior || !renew_.running) return;
+  // Resumable: image_next_index is the checkpoint the paper describes —
+  // "the junior records the checkpoint that has been committed [and] can
+  // continue to recover from other replicas in the last position".
+  ssp_->ReadIndex(
+      renew_.image_file, renew_.image_next_index,
+      [this](Result<std::shared_ptr<const storage::SspReadReplyMsg>> r) {
+        if (role_ != ServerState::kJunior || !renew_.running) return;
+        if (!r.ok() || !r.value()->found) {
+          // Pool unreachable or image gone: fall back to journal replay.
+          renew_.mode = RenewMode::kJournalOnly;
+          RenewFetchJournal();
+          return;
+        }
+        const auto& reply = *r.value();
+        for (const auto& rec : reply.records) {
+          renew_.image_bytes.insert(renew_.image_bytes.end(),
+                                    rec.bytes.begin(), rec.bytes.end());
+        }
+        renew_.image_next_index = reply.next_index;
+        if (!reply.eof) {
+          RenewFetchImageChunk();
+          return;
+        }
+        // Whole image streamed: reconstruct the tree in memory. CPU cost
+        // scales with the logical image size.
+        const SimTime load_cost = ChargeCpu(static_cast<SimTime>(
+            static_cast<double>(renew_.image_bytes.size()) *
+            options_.image_inflation / 300.0e6 * kSecond));
+        AfterLocal(load_cost, [this] {
+          if (role_ != ServerState::kJunior || !renew_.running) return;
+          Status s = tree_.LoadImage(renew_.image_bytes);
+          renew_.image_bytes.clear();
+          renew_.image_bytes.shrink_to_fit();
+          if (!s.ok()) {
+            MAMS_ERROR("mds", "%s: image load failed: %s", name().c_str(),
+                       s.ToString().c_str());
+            tree_.Reset();
+            last_sn_ = 0;
+            renew_.mode = RenewMode::kJournalOnly;
+            RenewFetchJournal();
+            return;
+          }
+          last_sn_ = renew_.image_sn;
+          RenewFetchJournal();
+        });
+      });
+}
+
+void MdsServer::RenewFetchJournal() {
+  if (role_ != ServerState::kJunior || !renew_.running) return;
+  ssp_->ReadAfter(
+      JournalFile(), last_sn_,
+      [this](Result<std::shared_ptr<const storage::SspReadReplyMsg>> r) {
+        if (role_ != ServerState::kJunior || !renew_.running) return;
+        if (!r.ok()) {
+          SendRenewProgress(/*failed=*/true);
+          renew_.running = false;
+          return;
+        }
+        const auto& reply = *r.value();
+        std::uint64_t applied_bytes = 0;
+        for (const auto& rec : reply.records) {
+          auto batch = journal::Batch::Deserialize(rec.bytes);
+          if (!batch.ok()) {
+            MAMS_ERROR("mds", "%s: corrupt journal batch sn=%llu",
+                       name().c_str(), (unsigned long long)rec.sn);
+            continue;
+          }
+          if (batch.value().sn != last_sn_ + 1) continue;
+          ApplyBatch(batch.value());
+          applied_bytes += rec.bytes.size();
+        }
+        // Replay CPU cost.
+        const SimTime cost =
+            ChargeCpu(static_cast<SimTime>(static_cast<double>(applied_bytes) /
+                                           200.0e6 * kSecond));
+        AfterLocal(cost, [this, eof = reply.eof] {
+          if (role_ != ServerState::kJunior || !renew_.running) return;
+          if (!eof) {
+            RenewFetchJournal();
+            return;
+          }
+          // SSP drained. Under live load the active has moved on; enter
+          // the final synchronization stage: fetch the tail directly from
+          // the active until the gap is small (Section III.D).
+          RenewFinalSync();
+        });
+      });
+}
+
+void MdsServer::RenewFinalSync() {
+  if (role_ != ServerState::kJunior || !renew_.running) return;
+  const NodeId active = view_.FindActive();
+  if (active == kInvalidNode || active == id()) {
+    // No active right now (mid-failover); progress reports resume the
+    // renewal once a new active scans the view.
+    renew_.running = false;
+    return;
+  }
+  auto req = std::make_shared<RenewJournalFetchMsg>();
+  req->group = options_.group;
+  req->after_sn = last_sn_;
+  Call(active, req, kSecond, [this](Result<net::MessagePtr> r) {
+    if (role_ != ServerState::kJunior || !renew_.running) return;
+    if (!r.ok()) {
+      AfterLocal(500 * kMillisecond, [this] { RenewFinalSync(); });
+      return;
+    }
+    const auto& resp = net::Cast<RenewJournalReplyMsg>(r.value());
+    for (const auto& b : resp.batches) {
+      if (b.sn == last_sn_ + 1) {
+        ApplyBatch(b);
+      } else if (b.sn > last_sn_) {
+        pending_batches_.emplace(b.sn, b);
+      }
+    }
+    ApplyReadyBatches();
+    renew_.target_sn = resp.active_sn;
+    if (resp.active_sn > last_sn_ + options_.final_sync_gap) {
+      RenewFinalSync();  // still chasing the live stream
+      return;
+    }
+    // Close enough: report; the active folds us into live replication and
+    // flips our state to standby.
+    renew_.running = false;
+    SendRenewProgress();
+  });
+}
+
+// --- checkpoints ------------------------------------------------------------
+
+void MdsServer::WriteCheckpoint() {
+  // Only the active checkpoints; benches may also force one on a preloaded
+  // server before it boots (alive() is false then).
+  if (alive() && role_ != ServerState::kActive) return;
+  const SerialNumber sn = last_sn_;
+  if (latest_image_.has_value() && latest_image_->second == sn) return;
+  const std::string file = ImageFile(sn);
+  auto bytes = std::make_shared<std::vector<char>>(tree_.SaveImage());
+  const std::uint64_t logical = static_cast<std::uint64_t>(
+      static_cast<double>(bytes->size()) * options_.image_inflation);
+  const std::uint64_t chunk_logical = options_.image_chunk_bytes;
+  const std::size_t chunks = std::max<std::size_t>(
+      1, (logical + chunk_logical - 1) / chunk_logical);
+  // Write chunks sequentially; each record carries an even slice of the
+  // real bytes and an even share of the logical size.
+  auto write_chunk = std::make_shared<std::function<void(std::size_t)>>();
+  *write_chunk = [this, bytes, chunks, logical, file, sn,
+                  write_chunk](std::size_t i) {
+    if (i >= chunks) {
+      latest_image_ = {file, sn};
+      return;
+    }
+    storage::SspRecord rec;
+    rec.sn = i + 1;  // chunk ordinal
+    rec.fence = fence_;
+    const std::size_t lo = bytes->size() * i / chunks;
+    const std::size_t hi = bytes->size() * (i + 1) / chunks;
+    rec.bytes.assign(bytes->begin() + static_cast<long>(lo),
+                     bytes->begin() + static_cast<long>(hi));
+    rec.logical_bytes = logical / chunks;
+    ssp_->Append(file, std::move(rec), [this, i, write_chunk](Status s) {
+      if (!s.ok()) return;  // abandoned checkpoint; next timer tick retries
+      (*write_chunk)(i + 1);
+    });
+  };
+  (*write_chunk)(0);
+}
+
+// --- misc helpers ------------------------------------------------------------
+
+std::string MdsServer::ImageFile(SerialNumber sn) const {
+  // The fence suffix keeps two actives' checkpoints at the same sn from
+  // interleaving chunks in one shared file.
+  return "g" + std::to_string(options_.group) + "/image-" +
+         std::to_string(sn) + "-f" + std::to_string(fence_);
+}
+
+std::vector<NodeId> MdsServer::CurrentStandbys() const {
+  std::vector<NodeId> out;
+  for (const auto& [node, state] : view_.states) {
+    if (node != id() && state == ServerState::kStandby) out.push_back(node);
+  }
+  return out;
+}
+
+bool MdsServer::IsSelfActiveInView() const {
+  return view_.FindActive() == id();
+}
+
+void MdsServer::RegisterHandlers() {
+  OnRequest(net::kClientRequest,
+            [this](const net::Envelope& env, const net::MessagePtr& msg,
+                   const ReplyFn& reply) {
+              HandleClientRequest(env, msg, reply);
+            });
+  OnRequest(net::kJournalPrepare,
+            [this](const net::Envelope& env, const net::MessagePtr& msg,
+                   const ReplyFn& reply) {
+              HandleJournalPrepare(env, msg, reply);
+            });
+  OnRequest(net::kGroupRegister,
+            [this](const net::Envelope&, const net::MessagePtr& msg,
+                   const ReplyFn& reply) {
+              const auto& req = net::Cast<GroupRegisterMsg>(msg);
+              if (role_ == ServerState::kActive && req.fence > fence_) {
+                StepDownFromActive("registration round from newer active");
+              }
+              // A registrant AHEAD of the new active holds batches that
+              // were never committed (a partial replication the election
+              // did not elect — Algorithm 1 draws randomly among
+              // standbys). Those phantom applications must be discarded,
+              // or the new active's re-execution of the same client
+              // retries would silently diverge from this replica.
+              if (req.active_sn < last_sn_ &&
+                  role_ != ServerState::kActive) {
+                MAMS_INFO("mds",
+                          "%s: ahead of new active (sn %llu > %llu); "
+                          "discarding uncommitted state",
+                          name().c_str(), (unsigned long long)last_sn_,
+                          (unsigned long long)req.active_sn);
+                tree_.Reset();
+                blocks_.Clear();
+                last_sn_ = 0;
+                recent_batches_.clear();
+                pending_batches_.clear();
+                renew_ = RenewCursor{};
+                if (role_ == ServerState::kStandby) {
+                  BecomeRole(ServerState::kJunior);
+                }
+              }
+              // A deposed ex-active rejoins the view before acking so the
+              // new active can immediately confirm it as standby/junior.
+              auto ack_now = [this, reply] {
+                auto ack = std::make_shared<GroupRegisterAckMsg>();
+                ack->max_sn = last_sn_;
+                ack->previous_state = role_;
+                reply(ack);
+              };
+              if (!coord_client_->registered()) {
+                JoinGroup(ServerState::kJunior,
+                          [ack_now](Status) { ack_now(); });
+              } else {
+                ack_now();
+              }
+            });
+  OnRequest(net::kRenewCommand,
+            [this](const net::Envelope&, const net::MessagePtr& msg,
+                   const ReplyFn&) { HandleRenewCommand(msg); });
+  OnRequest(net::kRenewProgress,
+            [this](const net::Envelope& env, const net::MessagePtr& msg,
+                   const ReplyFn&) { HandleRenewProgress(env, msg); });
+  OnRequest(net::kRenewJournalFetch,
+            [this](const net::Envelope&, const net::MessagePtr& msg,
+                   const ReplyFn& reply) {
+              const auto& req = net::Cast<RenewJournalFetchMsg>(msg);
+              auto out = std::make_shared<RenewJournalReplyMsg>();
+              out->active_sn = last_sn_;
+              std::uint32_t n = 0;
+              for (const auto& b : recent_batches_) {
+                if (b.sn <= req.after_sn) continue;
+                if (n++ >= req.max_batches) break;
+                out->payload_bytes += b.EncodedSize();
+                out->batches.push_back(b);
+              }
+              reply(out);
+            });
+  OnRequest(net::kBlockReport,
+            [this](const net::Envelope&, const net::MessagePtr& msg,
+                   const ReplyFn& reply) {
+              const auto& report = net::Cast<BlockReportMsg>(msg);
+              const SimTime cost =
+                  options_.costs.block_report_per_1k *
+                  static_cast<SimTime>(1 + report.EffectiveCount() / 1000);
+              AfterLocal(ChargeCpu(cost), [this, msg, reply] {
+                const auto& rep = net::Cast<BlockReportMsg>(msg);
+                blocks_.IngestReport(rep.data_server, rep.blocks);
+                reply(std::make_shared<BlockReportAckMsg>());
+              });
+            });
+}
+
+}  // namespace mams::core

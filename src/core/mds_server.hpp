@@ -1,0 +1,255 @@
+// MdsServer — one member of a MAMS replica group. Depending on its current
+// role it behaves as:
+//
+//   ACTIVE   serves client metadata RPCs for its namespace partition,
+//            aggregates mutations into journal batches (sn-stamped),
+//            replicates them to every standby through the modified 2PC and
+//            to the SSP, checkpoints images, and drives the renewing
+//            protocol for juniors.
+//   STANDBY  applies replicated batches in sn order (buffering gaps and
+//            back-filling from the active), keeps block locations fresh
+//            from data-server reports, and runs Algorithm 1 elections when
+//            the global view loses its active.
+//   JUNIOR   lags; rebuilds from the latest SSP image + journal tail under
+//            the renewing protocol until the active upgrades it.
+//
+// Role flips follow the failover protocol of Section III.C (six steps,
+// implemented in Upgrade*) and the renewing protocol of Section III.D.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "coord/client.hpp"
+#include "core/failover_trace.hpp"
+#include "core/messages.hpp"
+#include "core/options.hpp"
+#include "fsns/blockmap.hpp"
+#include "fsns/tree.hpp"
+#include "journal/writer.hpp"
+#include "net/host.hpp"
+#include "storage/ssp.hpp"
+
+namespace mams::core {
+
+/// Shared lookup table "group -> current active node", maintained by the
+/// servers from their watch events; used to route cross-group transaction
+/// legs. (Clients do their own view polling; see cluster::FsClient.)
+struct GroupDirectory {
+  std::map<GroupId, NodeId> active_of;
+
+  NodeId Active(GroupId g) const {
+    auto it = active_of.find(g);
+    return it == active_of.end() ? kInvalidNode : it->second;
+  }
+};
+
+class MdsServer : public net::Host {
+ public:
+  MdsServer(net::Network& network, std::string name, MdsOptions options,
+            NodeId coord, std::vector<NodeId> ssp_pool,
+            GroupDirectory* directory);
+  ~MdsServer() override;
+
+  /// All group members (node ids), including this server. Must be set
+  /// before boot; used for registration (failover step 5) and re-flushes.
+  void SetGroupMembers(std::vector<NodeId> members) {
+    members_ = std::move(members);
+  }
+
+  /// Routes cross-group transaction legs; owner is the cluster.
+  GroupDirectory* directory() noexcept { return directory_; }
+
+  /// Boots the server in the given initial role. kActive additionally
+  /// acquires the group lock before serving.
+  void Start(ServerState initial_role);
+
+  // --- observability -----------------------------------------------------
+  ServerState role() const noexcept { return role_; }
+  SerialNumber last_sn() const noexcept { return last_sn_; }
+  FenceToken fence() const noexcept { return fence_; }
+  const fsns::Tree& tree() const noexcept { return tree_; }
+  fsns::Tree& mutable_tree() noexcept { return tree_; }
+  const fsns::BlockMap& blocks() const noexcept { return blocks_; }
+  const MdsOptions& options() const noexcept { return options_; }
+  GroupId group() const noexcept { return options_.group; }
+
+  struct Counters {
+    std::uint64_t ops_served = 0;
+    std::uint64_t mutations = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t batches_synced = 0;
+    std::uint64_t batches_applied = 0;
+    std::uint64_t duplicate_batches = 0;
+    std::uint64_t elections_won = 0;
+    std::uint64_t elections_lost = 0;
+    std::uint64_t renews_completed = 0;
+    std::uint64_t fenced_rejections = 0;
+    std::uint64_t buffered_during_upgrade = 0;
+  };
+  const Counters& counters() const noexcept { return counters_; }
+
+  /// Pre-populates the namespace directly (bench setup; bypasses journal).
+  void Preload(const std::function<void(fsns::Tree&)>& fn) { fn(tree_); }
+  void SetLastSn(SerialNumber sn) { last_sn_ = sn; }
+
+  /// Forces an image checkpoint now (bench setup).
+  void CheckpointNow() { WriteCheckpoint(); }
+
+ protected:
+  void OnStart() override;
+  void OnCrash() override;
+  void OnRestart() override;
+
+ private:
+  // --- wiring -------------------------------------------------------------
+  void RegisterHandlers();
+  void OnStartRetry(ServerState initial);
+  void JoinGroup(ServerState state,
+                 std::function<void(Status)> done = nullptr);
+  void OnWatchEvent(const coord::GroupView& view);
+
+  // --- active: client ops ---------------------------------------------------
+  void HandleClientRequest(const net::Envelope& env,
+                           const net::MessagePtr& msg, const ReplyFn& reply);
+  void ProcessClientRequest(const std::shared_ptr<const ClientRequestMsg>& req,
+                            const ReplyFn& reply);
+  void ExecuteMutation(const std::shared_ptr<const ClientRequestMsg>& req,
+                       const ReplyFn& reply, bool tx_commit);
+  void ExecuteRead(const ClientRequestMsg& req, const ReplyFn& reply);
+  SimTime ChargeCpu(SimTime cost);
+  void ReplyStatus(const ReplyFn& reply, const Status& status);
+
+  // --- active: journal sync (modified 2PC) ---------------------------------
+  void OnBatchSealed(journal::Batch batch);
+  void MaybeCompleteSync(SerialNumber sn);
+  void DemoteUnresponsiveStandby(NodeId peer);
+
+  // --- standby/junior: replication intake ----------------------------------
+  void HandleJournalPrepare(const net::Envelope& env,
+                            const net::MessagePtr& msg, const ReplyFn& reply);
+  void ApplyReadyBatches();
+  void RequestBackfill(NodeId from);
+  void ApplyBatch(const journal::Batch& batch);
+
+  // --- election + failover protocol (Section III.C) -------------------------
+  void MaybeStartElection(const coord::GroupView& view);
+  void BidForLock();
+  void UpgradeStep1CheckState();
+  void UpgradeStep2FlipStates();
+  void UpgradeStep4ReflushJournals();
+  void UpgradeStep4DoReflush();
+  void UpgradeStep5GatherRegistrations();
+  void UpgradeStep6BecomeActive();
+  void AbortUpgrade(const std::string& why);
+  void StepDownFromActive(const char* why);
+
+  // --- renewing protocol (Section III.D) ------------------------------------
+  void RenewScan();
+  void HandleRenewCommand(const net::MessagePtr& msg);
+  void RenewFetchImageChunk();
+  void RenewFetchJournal();
+  void RenewFinalSync();
+  void HandleRenewProgress(const net::Envelope& env,
+                           const net::MessagePtr& msg);
+  void FinishRenewTarget(NodeId junior, SerialNumber reported_sn);
+  void SendRenewProgress(bool failed = false);
+
+  // --- checkpointing ----------------------------------------------------------
+  void WriteCheckpoint();
+
+  // --- helpers ---------------------------------------------------------------
+  std::string JournalFile() const {
+    return "g" + std::to_string(options_.group) + "/journal";
+  }
+  std::string ImageFile(SerialNumber sn) const;
+  std::vector<NodeId> CurrentStandbys() const;
+  bool IsSelfActiveInView() const;
+  void BecomeRole(ServerState role);
+
+  // --- immutable wiring ------------------------------------------------------
+  MdsOptions options_;
+  NodeId coord_;
+  GroupDirectory* directory_;
+  std::unique_ptr<coord::CoordClient> coord_client_;
+  std::unique_ptr<storage::SspClient> ssp_;
+  std::vector<NodeId> members_;
+  Rng rng_;
+
+  // --- role & view ----------------------------------------------------------
+  ServerState role_ = ServerState::kDown;
+  /// True when this (possibly deposed) server holds batches that were
+  /// acknowledged locally but never made it to any standby or the SSP.
+  bool dirty_ = false;
+  coord::GroupView view_;
+  FenceToken fence_ = 0;  ///< valid while this node holds the lock
+
+  // --- namespace ----------------------------------------------------------
+  fsns::Tree tree_;
+  fsns::BlockMap blocks_;
+  SerialNumber last_sn_ = 0;
+  SimTime cpu_free_at_ = 0;
+
+  // --- active-side sync state ---------------------------------------------
+  std::unique_ptr<journal::Writer> writer_;
+  struct PendingSync {
+    journal::Batch batch;
+    std::set<NodeId> awaiting;  ///< standbys not yet acked
+    int acks = 0;               ///< successful standby replications
+    bool ssp_done = false;
+    bool ssp_ok = false;
+    bool completed = false;
+  };
+  std::map<SerialNumber, PendingSync> pending_sync_;
+  std::map<TxId, std::vector<ReplyFn>> pending_replies_;
+  std::set<NodeId> sync_targets_;  ///< peers included in 2PC
+  std::deque<journal::Batch> recent_batches_;
+  static constexpr std::size_t kRecentBatchCap = 2048;
+  int inflight_tx_ = 0;
+  std::deque<std::pair<std::shared_ptr<const ClientRequestMsg>, ReplyFn>>
+      tx_queue_;
+  static constexpr int kTxWindow = 3;
+
+  // --- standby-side intake ---------------------------------------------------
+  std::map<SerialNumber, journal::Batch> pending_batches_;
+  bool backfill_inflight_ = false;
+
+  // --- election/upgrade state -------------------------------------------------
+  bool election_in_progress_ = false;
+  bool upgrade_in_progress_ = false;
+  sim::EventHandle election_retry_;
+  FailoverTrace trace_;
+  std::deque<std::pair<std::shared_ptr<const ClientRequestMsg>, ReplyFn>>
+      buffered_requests_;
+
+  // --- renewing state ---------------------------------------------------------
+  // Active side.
+  NodeId renew_target_ = kInvalidNode;
+  std::unique_ptr<sim::PeriodicTimer> renew_scan_timer_;
+  // Junior side (volatile cursor; resumable across *active* failures).
+  struct RenewCursor {
+    bool running = false;
+    RenewMode mode = RenewMode::kJournalOnly;
+    std::string image_file;
+    SerialNumber image_sn = 0;
+    std::size_t image_next_index = 0;
+    std::vector<char> image_bytes;
+    SerialNumber target_sn = 0;
+  };
+  RenewCursor renew_;
+  std::unique_ptr<sim::PeriodicTimer> renew_progress_timer_;
+
+  // --- checkpoint state -------------------------------------------------------
+  std::unique_ptr<sim::PeriodicTimer> checkpoint_timer_;
+  std::optional<std::pair<std::string, SerialNumber>> latest_image_;
+
+  Counters counters_;
+};
+
+}  // namespace mams::core

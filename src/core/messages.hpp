@@ -1,0 +1,204 @@
+// Wire messages for the MAMS replica-group protocol: client metadata RPCs,
+// journal synchronization (the modified two-phase commit of Section III.A),
+// post-election registration (step 5 of the failover protocol), and the
+// renewing protocol (Section III.D).
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "fsns/tree.hpp"
+#include "journal/record.hpp"
+#include "net/message.hpp"
+#include "net/message_types.hpp"
+
+namespace mams::core {
+
+// --- client <-> MDS ----------------------------------------------------------
+
+enum class ClientOp : std::uint8_t {
+  kCreate = 1,
+  kMkdir,
+  kDelete,
+  kRename,
+  kGetFileInfo,
+  kListDir,
+  kSetReplication,
+  kAddBlock,
+  kCompleteFile,
+  kSetOwner,
+  kSetPermission,
+  kSetTimes,
+};
+
+const char* ClientOpName(ClientOp op) noexcept;
+
+/// True for operations that mutate the namespace (and hence journal).
+constexpr bool IsMutation(ClientOp op) noexcept {
+  return op != ClientOp::kGetFileInfo && op != ClientOp::kListDir;
+}
+
+/// True for operations CFS executes as distributed transactions (Section
+/// IV.A: "delete, mkdir and rename belong to distributed transactions in
+/// the CFS") — they carry an extra cross-group coordination round.
+constexpr bool IsDistributedTx(ClientOp op) noexcept {
+  return op == ClientOp::kMkdir || op == ClientOp::kDelete ||
+         op == ClientOp::kRename;
+}
+
+struct ClientRequestMsg final : net::Message {
+  ClientOp op = ClientOp::kGetFileInfo;
+  std::string path;
+  std::string path2;          ///< rename dst; owner for kSetOwner
+  std::uint32_t replication = 1;  ///< also permission bits for kSetPermission
+  ClientOpId client;
+  /// Set on cross-group coordination legs (participant side of a tx);
+  /// participants only validate/charge, they do not mutate.
+  bool tx_participant = false;
+  /// For distributed transactions: the group owning the other side of the
+  /// operation (directory container / rename destination), resolved by the
+  /// client's partitioner. kInvalidNode-like sentinel = no participant.
+  GroupId participant_group = 0xffffffffu;
+
+  net::MsgType type() const noexcept override { return net::kClientRequest; }
+  std::size_t ByteSize() const noexcept override {
+    return 96 + path.size() + path2.size();
+  }
+};
+
+struct ClientResponseMsg final : net::Message {
+  bool ok = false;
+  StatusCode code = StatusCode::kOk;
+  std::string error;
+  fsns::FileInfo info;                 ///< kGetFileInfo
+  std::vector<std::string> listing;    ///< kListDir
+
+  net::MsgType type() const noexcept override { return net::kClientResponse; }
+  std::size_t ByteSize() const noexcept override {
+    std::size_t n = 128 + error.size();
+    for (const auto& s : listing) n += s.size() + 8;
+    return n;
+  }
+};
+
+// --- journal synchronization (active -> standbys) -----------------------------
+
+/// Phase 1+implicit-commit of the modified 2PC: the active has already
+/// decided; the standby applies iff the batch's sn exceeds its current
+/// maximum (the duplicate-suppression rule of failover step 4).
+struct JournalPrepareMsg final : net::Message {
+  GroupId group = 0;
+  FenceToken fence = 0;             ///< sender's fencing token (IO fencing)
+  journal::Batch batch;
+
+  net::MsgType type() const noexcept override { return net::kJournalPrepare; }
+  std::size_t ByteSize() const noexcept override {
+    return 96 + batch.EncodedSize();
+  }
+};
+
+struct JournalAckMsg final : net::Message {
+  bool applied = false;
+  SerialNumber max_sn = 0;   ///< receiver's max sn after processing
+  bool stale_fence = false;  ///< sender is deposed; stop sending
+
+  net::MsgType type() const noexcept override { return net::kJournalAck; }
+};
+
+// --- post-election registration (failover step 5) ------------------------------
+
+/// The elected standby polls every configured group member: "register with
+/// me". Peers reply with their journal position; equal-sn peers become
+/// standbys, laggards become juniors.
+struct GroupRegisterMsg final : net::Message {
+  GroupId group = 0;
+  NodeId new_active = kInvalidNode;
+  FenceToken fence = 0;
+  SerialNumber active_sn = 0;
+
+  net::MsgType type() const noexcept override { return net::kGroupRegister; }
+};
+
+struct GroupRegisterAckMsg final : net::Message {
+  SerialNumber max_sn = 0;
+  ServerState previous_state = ServerState::kDown;
+
+  net::MsgType type() const noexcept override { return net::kGroupRegisterAck; }
+};
+
+// --- renewing protocol (active <-> junior) -----------------------------------
+
+enum class RenewMode : std::uint8_t {
+  kJournalOnly = 1,  ///< small gap: stream journal batches
+  kImageFirst = 2,   ///< large gap: load latest image, then journal
+};
+
+struct RenewCommandMsg final : net::Message {
+  GroupId group = 0;
+  FenceToken fence = 0;
+  RenewMode mode = RenewMode::kJournalOnly;
+  std::string image_file;        ///< for kImageFirst: SSP file to load
+  SerialNumber image_sn = 0;     ///< sn folded into that image
+  SerialNumber active_sn = 0;
+
+  net::MsgType type() const noexcept override { return net::kRenewCommand; }
+};
+
+/// Junior -> active progress report ("the junior records the current sn and
+/// sends it to the active periodically").
+struct RenewProgressMsg final : net::Message {
+  GroupId group = 0;
+  SerialNumber current_sn = 0;
+  bool failed = false;
+
+  net::MsgType type() const noexcept override { return net::kRenewProgress; }
+};
+
+/// Direct journal fetch from the active (used when the SSP lags or for the
+/// final synchronization stage).
+struct RenewJournalFetchMsg final : net::Message {
+  GroupId group = 0;
+  SerialNumber after_sn = 0;
+  std::uint32_t max_batches = 256;
+
+  net::MsgType type() const noexcept override {
+    return net::kRenewJournalFetch;
+  }
+};
+
+struct RenewJournalReplyMsg final : net::Message {
+  std::vector<journal::Batch> batches;
+  SerialNumber active_sn = 0;
+  std::uint64_t payload_bytes = 0;
+
+  net::MsgType type() const noexcept override { return net::kRenewJournalReply; }
+  std::size_t ByteSize() const noexcept override {
+    return 96 + payload_bytes;
+  }
+};
+
+// --- data servers --------------------------------------------------------
+
+struct BlockReportMsg final : net::Message {
+  NodeId data_server = kInvalidNode;
+  std::vector<BlockId> blocks;        ///< real ids (correctness paths)
+  std::uint64_t synthetic_count = 0;  ///< timing model (Table I scale)
+
+  std::uint64_t EffectiveCount() const noexcept {
+    return std::max<std::uint64_t>(blocks.size(), synthetic_count);
+  }
+  /// Reports are large in real clusters; the logical size scales with the
+  /// number of blocks so ingest bandwidth is modelled.
+  net::MsgType type() const noexcept override { return net::kBlockReport; }
+  std::size_t ByteSize() const noexcept override {
+    return 64 + static_cast<std::size_t>(EffectiveCount()) * 24;
+  }
+};
+
+struct BlockReportAckMsg final : net::Message {
+  net::MsgType type() const noexcept override { return net::kBlockReportAck; }
+};
+
+}  // namespace mams::core

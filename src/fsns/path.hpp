@@ -1,0 +1,30 @@
+// Path utilities for the flat-string path API ("/a/b/c"). Paths are always
+// absolute; components never contain '/'; "/" is the root directory.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mams::fsns {
+
+/// True for a syntactically valid absolute path.
+bool IsValidPath(std::string_view path);
+
+/// Splits "/a/b/c" into {"a","b","c"}; root splits into {}.
+std::vector<std::string_view> SplitPath(std::string_view path);
+
+/// Parent of "/a/b/c" is "/a/b"; parent of "/a" is "/"; root has no parent
+/// (returns empty string).
+std::string ParentPath(std::string_view path);
+
+/// Last component ("c" for "/a/b/c"); empty for root.
+std::string_view BaseName(std::string_view path);
+
+/// Joins a parent path and a child name.
+std::string JoinPath(std::string_view parent, std::string_view child);
+
+/// True when `path` equals `ancestor` or lies beneath it.
+bool IsPrefixPath(std::string_view ancestor, std::string_view path);
+
+}  // namespace mams::fsns

@@ -1,0 +1,644 @@
+#include "fsns/tree.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "fsns/path.hpp"
+
+namespace mams::fsns {
+
+using journal::LogRecord;
+using journal::OpCode;
+
+Tree::Tree() { Reset(); }
+
+void Tree::Reset() {
+  inodes_.clear();
+  client_table_.clear();
+  Inode root;
+  root.id = kRootInode;
+  root.parent = kInvalidInode;
+  root.is_dir = true;
+  inodes_.emplace(kRootInode, std::move(root));
+  next_inode_ = kRootInode + 1;
+  next_block_ = 1;
+  last_txid_ = 0;
+  file_count_ = 0;
+}
+
+const Inode* Tree::Resolve(std::string_view path) const {
+  if (!IsValidPath(path)) return nullptr;
+  const Inode* cur = &inodes_.at(kRootInode);
+  for (std::string_view comp : SplitPath(path)) {
+    if (!cur->is_dir) return nullptr;
+    auto it = cur->children.find(std::string(comp));
+    if (it == cur->children.end()) return nullptr;
+    cur = &inodes_.at(it->second);
+  }
+  return cur;
+}
+
+Inode* Tree::ResolveMutable(std::string_view path) {
+  return const_cast<Inode*>(Resolve(path));
+}
+
+const Inode* Tree::FindInode(std::string_view path) const {
+  return Resolve(path);
+}
+
+const Inode* Tree::inode(InodeId id) const {
+  auto it = inodes_.find(id);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+bool Tree::Exists(std::string_view path) const {
+  return Resolve(path) != nullptr;
+}
+
+Result<FileInfo> Tree::GetFileInfo(std::string_view path) const {
+  if (!IsValidPath(path)) {
+    return Status::InvalidArgument("bad path: " + std::string(path));
+  }
+  const Inode* node = Resolve(path);
+  if (node == nullptr) {
+    return Status::NotFound(std::string(path));
+  }
+  FileInfo info;
+  info.path = std::string(path);
+  info.is_dir = node->is_dir;
+  info.replication = node->replication;
+  info.permission = node->permission;
+  info.owner = node->owner;
+  info.mtime = node->mtime;
+  info.block_count = node->blocks.size();
+  info.complete = node->complete;
+  return info;
+}
+
+Result<std::vector<std::string>> Tree::ListDir(std::string_view path) const {
+  const Inode* node = Resolve(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  if (!node->is_dir) {
+    return Status::FailedPrecondition(std::string(path) + " is not a directory");
+  }
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, id] : node->children) names.push_back(name);
+  return names;
+}
+
+// --- duplicate suppression ---------------------------------------------------
+
+bool Tree::IsDuplicate(ClientOpId client) const {
+  if (client.client_id == 0) return false;  // anonymous: no dedup
+  auto it = client_table_.find(client.client_id);
+  if (it == client_table_.end()) return false;
+  const ClientEntry& entry = it->second;
+  if (entry.max_seq >= kDedupWindow &&
+      client.op_seq <= entry.max_seq - kDedupWindow) {
+    return true;  // far older than any op still possibly in flight
+  }
+  return entry.recent.contains(client.op_seq);
+}
+
+void Tree::RememberApplied(ClientOpId client) {
+  if (client.client_id == 0) return;
+  auto& entry = client_table_[client.client_id];
+  entry.recent.insert(client.op_seq);
+  if (client.op_seq > entry.max_seq) entry.max_seq = client.op_seq;
+  while (!entry.recent.empty() && entry.max_seq >= kDedupWindow &&
+         *entry.recent.begin() <= entry.max_seq - kDedupWindow) {
+    entry.recent.erase(entry.recent.begin());
+  }
+}
+
+template <typename Fn>
+Result<journal::LogRecord> Tree::Dedup(ClientOpId client, Fn&& op) {
+  if (IsDuplicate(client)) {
+    // Already applied; nothing to journal again. Signal idempotent success
+    // with an Aborted carrying a recognizable message — callers (the MDS)
+    // translate this into a success response to the client.
+    return Status{StatusCode::kAborted, "duplicate"};
+  }
+  Result<journal::LogRecord> result = op();
+  // Only successes enter the dedup table: failures are not journaled, so
+  // remembering them would make the active's state diverge from replicas.
+  if (result.ok()) RememberApplied(client);
+  return result;
+}
+
+// --- mutation cores ------------------------------------------------------
+
+Status Tree::DoCreate(std::string_view path, std::uint32_t replication,
+                      SimTime mtime) {
+  if (!IsValidPath(path) || path == "/") {
+    return Status::InvalidArgument("bad path: " + std::string(path));
+  }
+  if (Resolve(path) != nullptr) {
+    return Status::AlreadyExists(std::string(path));
+  }
+  // HDFS create() semantics: missing ancestor directories are materialized.
+  // This also lets a hash-partitioned group hold a file whose parent
+  // directory entry is owned by a different group (the ancestors appear
+  // here as non-authoritative "ghost" directories).
+  Inode* parent = ResolveMutable(ParentPath(path));
+  if (parent == nullptr) {
+    Status mk = DoMkdir(ParentPath(path), mtime);
+    if (!mk.ok()) return mk;
+    parent = ResolveMutable(ParentPath(path));
+  }
+  if (!parent->is_dir) {
+    return Status::FailedPrecondition("parent is a file: " + std::string(path));
+  }
+  Inode node;
+  node.id = AllocateInode();
+  node.parent = parent->id;
+  node.name = std::string(BaseName(path));
+  node.is_dir = false;
+  node.replication = replication;
+  node.mtime = mtime;
+  node.complete = false;
+  parent->children.emplace(node.name, node.id);
+  parent->mtime = mtime;
+  ++file_count_;
+  inodes_.emplace(node.id, std::move(node));
+  return Status::Ok();
+}
+
+Status Tree::DoMkdir(std::string_view path, SimTime mtime) {
+  if (!IsValidPath(path)) {
+    return Status::InvalidArgument("bad path: " + std::string(path));
+  }
+  if (path == "/") return Status::Ok();  // mkdirs("/") is a no-op success
+  const Inode* existing = Resolve(path);
+  if (existing != nullptr) {
+    return existing->is_dir
+               ? Status::Ok()  // HDFS mkdirs semantics: already-dir is OK
+               : Status::AlreadyExists(std::string(path) + " is a file");
+  }
+  // Create missing ancestors (mkdir -p), walking down from the root.
+  const Inode* cur = &inodes_.at(kRootInode);
+  std::string built = "";
+  for (std::string_view comp : SplitPath(path)) {
+    built += '/';
+    built += comp;
+    auto it = cur->children.find(std::string(comp));
+    if (it != cur->children.end()) {
+      const Inode& child = inodes_.at(it->second);
+      if (!child.is_dir) {
+        return Status::FailedPrecondition(built + " is a file");
+      }
+      cur = &child;
+      continue;
+    }
+    Inode dir;
+    dir.id = AllocateInode();
+    dir.parent = cur->id;
+    dir.name = std::string(comp);
+    dir.is_dir = true;
+    dir.mtime = mtime;
+    Inode& parent = inodes_.at(cur->id);
+    parent.children.emplace(dir.name, dir.id);
+    parent.mtime = mtime;
+    const InodeId id = dir.id;
+    inodes_.emplace(id, std::move(dir));
+    cur = &inodes_.at(id);
+  }
+  return Status::Ok();
+}
+
+void Tree::CountInode(const Inode& inode, int delta) {
+  if (!inode.is_dir) {
+    file_count_ = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(file_count_) + delta);
+  }
+}
+
+Status Tree::DoDelete(std::string_view path, SimTime mtime) {
+  if (!IsValidPath(path) || path == "/") {
+    return Status::InvalidArgument("cannot delete " + std::string(path));
+  }
+  Inode* node = ResolveMutable(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  // Recursive delete (HDFS delete(path, true) semantics).
+  std::vector<InodeId> stack{node->id};
+  std::vector<InodeId> doomed;
+  while (!stack.empty()) {
+    const InodeId id = stack.back();
+    stack.pop_back();
+    doomed.push_back(id);
+    const Inode& cur = inodes_.at(id);
+    for (const auto& [name, child] : cur.children) stack.push_back(child);
+  }
+  Inode& parent = inodes_.at(node->parent);
+  parent.children.erase(node->name);
+  parent.mtime = mtime;
+  for (InodeId id : doomed) {
+    CountInode(inodes_.at(id), -1);
+    inodes_.erase(id);
+  }
+  return Status::Ok();
+}
+
+Status Tree::DoRename(std::string_view src, std::string_view dst,
+                      SimTime mtime) {
+  if (!IsValidPath(src) || !IsValidPath(dst) || src == "/" ) {
+    return Status::InvalidArgument("bad rename args");
+  }
+  if (src == dst) return Status::Ok();
+  if (IsPrefixPath(src, dst)) {
+    return Status::FailedPrecondition("cannot rename under itself");
+  }
+  Inode* node = ResolveMutable(src);
+  if (node == nullptr) return Status::NotFound(std::string(src));
+  if (Resolve(dst) != nullptr) {
+    return Status::AlreadyExists(std::string(dst));
+  }
+  Inode* new_parent = ResolveMutable(ParentPath(dst));
+  if (new_parent == nullptr || !new_parent->is_dir) {
+    return Status::NotFound("destination parent of " + std::string(dst));
+  }
+  Inode& old_parent = inodes_.at(node->parent);
+  old_parent.children.erase(node->name);
+  old_parent.mtime = mtime;
+  node->name = std::string(BaseName(dst));
+  node->parent = new_parent->id;
+  node->mtime = mtime;
+  new_parent->children.emplace(node->name, node->id);
+  new_parent->mtime = mtime;
+  return Status::Ok();
+}
+
+Status Tree::DoSetReplication(std::string_view path, std::uint32_t replication,
+                              SimTime mtime) {
+  Inode* node = ResolveMutable(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  if (node->is_dir) {
+    return Status::FailedPrecondition(std::string(path) + " is a directory");
+  }
+  node->replication = replication;
+  node->mtime = mtime;
+  return Status::Ok();
+}
+
+Status Tree::DoAddBlock(std::string_view path, BlockId block, SimTime mtime) {
+  Inode* node = ResolveMutable(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  if (node->is_dir) {
+    return Status::FailedPrecondition(std::string(path) + " is a directory");
+  }
+  node->blocks.push_back(block);
+  node->mtime = mtime;
+  if (block >= next_block_) next_block_ = block + 1;
+  return Status::Ok();
+}
+
+Status Tree::DoSetOwner(std::string_view path, std::string_view owner,
+                        SimTime mtime) {
+  Inode* node = ResolveMutable(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  node->owner = std::string(owner);
+  node->mtime = mtime;
+  return Status::Ok();
+}
+
+Status Tree::DoSetPermission(std::string_view path, std::uint16_t permission,
+                             SimTime mtime) {
+  Inode* node = ResolveMutable(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  node->permission = permission;
+  node->mtime = mtime;
+  return Status::Ok();
+}
+
+Status Tree::DoSetTimes(std::string_view path, SimTime mtime) {
+  Inode* node = ResolveMutable(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  node->mtime = mtime;
+  return Status::Ok();
+}
+
+Status Tree::DoCompleteFile(std::string_view path, SimTime mtime) {
+  Inode* node = ResolveMutable(path);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  if (node->is_dir) {
+    return Status::FailedPrecondition(std::string(path) + " is a directory");
+  }
+  node->complete = true;
+  node->mtime = mtime;
+  return Status::Ok();
+}
+
+// --- public mutations -------------------------------------------------------
+
+namespace {
+LogRecord MakeRecord(OpCode op, std::string_view path, std::string_view path2,
+                     std::uint32_t replication, BlockId block, SimTime mtime,
+                     ClientOpId client) {
+  LogRecord r;
+  r.op = op;
+  r.path = std::string(path);
+  r.path2 = std::string(path2);
+  r.replication = replication;
+  r.block = block;
+  r.mtime = mtime;
+  r.client = client;
+  return r;
+}
+}  // namespace
+
+Result<LogRecord> Tree::Create(std::string_view path, std::uint32_t replication,
+                               SimTime mtime, ClientOpId client) {
+  return Dedup(client, [&]() -> Result<LogRecord> {
+    Status s = DoCreate(path, replication, mtime);
+    if (!s.ok()) return s;
+    return MakeRecord(OpCode::kCreate, path, {}, replication, 0, mtime, client);
+  });
+}
+
+Result<LogRecord> Tree::Mkdir(std::string_view path, SimTime mtime,
+                              ClientOpId client) {
+  return Dedup(client, [&]() -> Result<LogRecord> {
+    Status s = DoMkdir(path, mtime);
+    if (!s.ok()) return s;
+    return MakeRecord(OpCode::kMkdir, path, {}, 1, 0, mtime, client);
+  });
+}
+
+Result<LogRecord> Tree::Delete(std::string_view path, SimTime mtime,
+                               ClientOpId client) {
+  return Dedup(client, [&]() -> Result<LogRecord> {
+    Status s = DoDelete(path, mtime);
+    if (!s.ok()) return s;
+    return MakeRecord(OpCode::kDelete, path, {}, 1, 0, mtime, client);
+  });
+}
+
+Result<LogRecord> Tree::Rename(std::string_view src, std::string_view dst,
+                               SimTime mtime, ClientOpId client) {
+  return Dedup(client, [&]() -> Result<LogRecord> {
+    Status s = DoRename(src, dst, mtime);
+    if (!s.ok()) return s;
+    return MakeRecord(OpCode::kRename, src, dst, 1, 0, mtime, client);
+  });
+}
+
+Result<LogRecord> Tree::SetReplication(std::string_view path,
+                                       std::uint32_t replication, SimTime mtime,
+                                       ClientOpId client) {
+  return Dedup(client, [&]() -> Result<LogRecord> {
+    Status s = DoSetReplication(path, replication, mtime);
+    if (!s.ok()) return s;
+    return MakeRecord(OpCode::kSetReplication, path, {}, replication, 0, mtime,
+                      client);
+  });
+}
+
+Result<LogRecord> Tree::AddBlock(std::string_view path, SimTime mtime,
+                                 ClientOpId client) {
+  return Dedup(client, [&]() -> Result<LogRecord> {
+    const BlockId block = next_block_;
+    Status s = DoAddBlock(path, block, mtime);
+    if (!s.ok()) return s;
+    return MakeRecord(OpCode::kAddBlock, path, {}, 1, block, mtime, client);
+  });
+}
+
+Result<LogRecord> Tree::CompleteFile(std::string_view path, SimTime mtime,
+                                     ClientOpId client) {
+  return Dedup(client, [&]() -> Result<LogRecord> {
+    Status s = DoCompleteFile(path, mtime);
+    if (!s.ok()) return s;
+    return MakeRecord(OpCode::kCompleteFile, path, {}, 1, 0, mtime, client);
+  });
+}
+
+Result<LogRecord> Tree::SetOwner(std::string_view path, std::string_view owner,
+                                 SimTime mtime, ClientOpId client) {
+  return Dedup(client, [&]() -> Result<LogRecord> {
+    Status s = DoSetOwner(path, owner, mtime);
+    if (!s.ok()) return s;
+    return MakeRecord(OpCode::kSetOwner, path, owner, 1, 0, mtime, client);
+  });
+}
+
+Result<LogRecord> Tree::SetPermission(std::string_view path,
+                                      std::uint16_t permission, SimTime mtime,
+                                      ClientOpId client) {
+  return Dedup(client, [&]() -> Result<LogRecord> {
+    Status s = DoSetPermission(path, permission, mtime);
+    if (!s.ok()) return s;
+    return MakeRecord(OpCode::kSetPermission, path, {}, permission, 0, mtime,
+                      client);
+  });
+}
+
+Result<LogRecord> Tree::SetTimes(std::string_view path, SimTime mtime,
+                                 ClientOpId client) {
+  return Dedup(client, [&]() -> Result<LogRecord> {
+    Status s = DoSetTimes(path, mtime);
+    if (!s.ok()) return s;
+    return MakeRecord(OpCode::kSetTimes, path, {}, 1, 0, mtime, client);
+  });
+}
+
+// --- replay -----------------------------------------------------------------
+
+Status Tree::Apply(const journal::LogRecord& record) {
+  if (record.txid != 0 && record.txid <= last_txid_) {
+    return Status::Ok();  // idempotent replay of an already-applied record
+  }
+  Status s;
+  switch (record.op) {
+    case OpCode::kCreate:
+      s = DoCreate(record.path, record.replication, record.mtime);
+      break;
+    case OpCode::kMkdir:
+      s = DoMkdir(record.path, record.mtime);
+      break;
+    case OpCode::kDelete:
+      s = DoDelete(record.path, record.mtime);
+      break;
+    case OpCode::kRename:
+      s = DoRename(record.path, record.path2, record.mtime);
+      break;
+    case OpCode::kSetReplication:
+      s = DoSetReplication(record.path, record.replication, record.mtime);
+      break;
+    case OpCode::kAddBlock:
+      s = DoAddBlock(record.path, record.block, record.mtime);
+      break;
+    case OpCode::kCompleteFile:
+      s = DoCompleteFile(record.path, record.mtime);
+      break;
+    case OpCode::kSetOwner:
+      s = DoSetOwner(record.path, record.path2, record.mtime);
+      break;
+    case OpCode::kSetPermission:
+      s = DoSetPermission(record.path,
+                          static_cast<std::uint16_t>(record.replication),
+                          record.mtime);
+      break;
+    case OpCode::kSetTimes:
+      s = DoSetTimes(record.path, record.mtime);
+      break;
+  }
+  if (!s.ok()) {
+    return Status::Internal("replay diverged at txid " +
+                            std::to_string(record.txid) + " (" +
+                            journal::OpCodeName(record.op) + " " + record.path +
+                            "): " + s.ToString());
+  }
+  RememberApplied(record.client);
+  if (record.txid > last_txid_) last_txid_ = record.txid;
+  return Status::Ok();
+}
+
+// --- image ------------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kImageMagic = 0x4d414d53;  // "MAMS"
+constexpr std::uint32_t kImageVersion = 4;
+}  // namespace
+
+std::vector<char> Tree::SaveImage() const {
+  ByteWriter out;
+  out.U32(kImageMagic);
+  out.U32(kImageVersion);
+  out.U64(next_inode_);
+  out.U64(next_block_);
+  out.U64(last_txid_);
+  out.U64(file_count_);
+  out.U64(inodes_.size());
+  // Inodes in DFS order (children sorted by name) for a canonical layout.
+  std::function<void(const Inode&)> dump = [&](const Inode& node) {
+    out.U64(node.id);
+    out.U64(node.parent == kInvalidInode ? 0 : node.parent);
+    out.Str(node.name);
+    out.U8(node.is_dir ? 1 : 0);
+    out.U8(node.complete ? 1 : 0);
+    out.U32(node.replication);
+    out.U32(node.permission);
+    out.Str(node.owner);
+    out.I64(node.mtime);
+    out.U32(static_cast<std::uint32_t>(node.blocks.size()));
+    for (BlockId b : node.blocks) out.U64(b);
+    for (const auto& [name, child] : node.children) dump(inodes_.at(child));
+  };
+  dump(inodes_.at(kRootInode));
+  // Client dedup table, sorted for canonical bytes.
+  std::vector<std::pair<std::uint64_t, ClientEntry>> clients(
+      client_table_.begin(), client_table_.end());
+  std::sort(clients.begin(), clients.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.U64(clients.size());
+  for (const auto& [id, entry] : clients) {
+    out.U64(id);
+    out.U64(entry.max_seq);
+    out.U32(static_cast<std::uint32_t>(entry.recent.size()));
+    for (std::uint64_t seq : entry.recent) out.U64(seq);
+  }
+  const std::uint64_t checksum = out.Checksum();
+  out.U64(checksum);
+  return std::move(out).Take();
+}
+
+Status Tree::LoadImage(const std::vector<char>& bytes) {
+  if (bytes.size() < 8) return Status::Corruption("image too small");
+  const std::uint64_t expected =
+      Fnv1a(bytes.data(), bytes.size() - 8);
+  ByteReader tail(bytes.data() + bytes.size() - 8, 8);
+  if (tail.U64() != expected) return Status::Corruption("image checksum");
+
+  ByteReader in(bytes.data(), bytes.size() - 8);
+  if (in.U32() != kImageMagic) return Status::Corruption("bad image magic");
+  const std::uint32_t version = in.U32();
+  if (version != kImageVersion) {
+    return Status::Corruption("unsupported image version " +
+                              std::to_string(version));
+  }
+  Tree fresh;
+  fresh.inodes_.clear();
+  fresh.next_inode_ = in.U64();
+  fresh.next_block_ = in.U64();
+  fresh.last_txid_ = in.U64();
+  fresh.file_count_ = in.U64();
+  const std::uint64_t count = in.U64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Inode node;
+    node.id = in.U64();
+    node.parent = in.U64();
+    if (node.parent == 0) node.parent = kInvalidInode;
+    node.name = in.Str();
+    node.is_dir = in.U8() != 0;
+    node.complete = in.U8() != 0;
+    node.replication = in.U32();
+    node.permission = static_cast<std::uint16_t>(in.U32());
+    node.owner = in.Str();
+    node.mtime = in.I64();
+    const std::uint32_t nblocks = in.U32();
+    node.blocks.reserve(nblocks);
+    for (std::uint32_t b = 0; b < nblocks; ++b) node.blocks.push_back(in.U64());
+    if (!in.ok()) return Status::Corruption("truncated image inode");
+    const InodeId id = node.id;
+    const InodeId parent = node.parent;
+    const std::string name = node.name;
+    fresh.inodes_.emplace(id, std::move(node));
+    if (parent != kInvalidInode) {
+      auto pit = fresh.inodes_.find(parent);
+      if (pit == fresh.inodes_.end()) {
+        return Status::Corruption("image child precedes parent");
+      }
+      pit->second.children.emplace(name, id);
+    }
+  }
+  const std::uint64_t nclients = in.U64();
+  for (std::uint64_t i = 0; i < nclients; ++i) {
+    const std::uint64_t id = in.U64();
+    ClientEntry entry;
+    entry.max_seq = in.U64();
+    const std::uint32_t nrecent = in.U32();
+    for (std::uint32_t r = 0; r < nrecent; ++r) entry.recent.insert(in.U64());
+    fresh.client_table_.emplace(id, std::move(entry));
+  }
+  if (!in.ok()) return Status::Corruption("truncated image");
+  if (!fresh.inodes_.contains(kRootInode)) {
+    return Status::Corruption("image missing root");
+  }
+  *this = std::move(fresh);
+  return Status::Ok();
+}
+
+std::uint64_t Tree::Fingerprint() const {
+  std::uint64_t h = kFnvOffset;
+  std::function<void(const Inode&)> walk = [&](const Inode& node) {
+    h = Fnv1a(node.name, h);
+    const std::uint64_t attrs[] = {
+        node.id,
+        static_cast<std::uint64_t>(node.is_dir),
+        static_cast<std::uint64_t>(node.complete),
+        node.replication,
+        node.permission,
+        static_cast<std::uint64_t>(node.mtime),
+        node.blocks.size(),
+    };
+    h = Fnv1a(attrs, sizeof(attrs), h);
+    h = Fnv1a(node.owner, h);
+    for (BlockId b : node.blocks) h = Fnv1a(&b, sizeof(b), h);
+    for (const auto& [name, child] : node.children) walk(inodes_.at(child));
+  };
+  walk(inodes_.at(kRootInode));
+  std::vector<std::pair<std::uint64_t, ClientEntry>> clients(
+      client_table_.begin(), client_table_.end());
+  std::sort(clients.begin(), clients.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [id, entry] : clients) {
+    const std::uint64_t vals[] = {id, entry.max_seq, entry.recent.size()};
+    h = Fnv1a(vals, sizeof(vals), h);
+    for (std::uint64_t seq : entry.recent) h = Fnv1a(&seq, sizeof(seq), h);
+  }
+  h = Fnv1a(&last_txid_, sizeof(last_txid_), h);
+  return h;
+}
+
+}  // namespace mams::fsns

@@ -1,0 +1,180 @@
+// The in-memory namespace: an inode tree with deterministic mutation,
+// journal replay, image save/load, and a structural fingerprint used by the
+// property tests ("standby state equals active state at quiescence").
+//
+// Determinism contract: applying the same sequence of LogRecords to two
+// empty trees yields byte-identical images and equal Fingerprint() values —
+// inode ids come from a counter carried in the image, timestamps come from
+// the records, and iteration orders are sorted.
+//
+// Duplicate suppression: mutating entry points take a ClientOpId. The tree
+// remembers the last op_seq applied per client together with its outcome;
+// a resent operation (same client, op_seq <= remembered) returns the
+// remembered outcome instead of re-executing. This is what makes client
+// retries across failover idempotent (Section III.C step 4 discusses the
+// server-side analogue for journal batches).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "journal/record.hpp"
+
+namespace mams::fsns {
+
+struct Inode {
+  InodeId id = kInvalidInode;
+  InodeId parent = kInvalidInode;
+  std::string name;
+  bool is_dir = false;
+  std::uint32_t replication = 1;
+  std::uint16_t permission = 0644;   ///< POSIX-style bits (HDFS FsPermission)
+  std::string owner = "hdfs";        ///< "user:group"
+  SimTime mtime = 0;
+  bool complete = true;              ///< files: closed vs under construction
+  std::vector<BlockId> blocks;       ///< files only
+  std::map<std::string, InodeId> children;  ///< dirs only, sorted
+};
+
+struct FileInfo {
+  std::string path;
+  bool is_dir = false;
+  std::uint32_t replication = 1;
+  std::uint16_t permission = 0644;
+  std::string owner = "hdfs";
+  SimTime mtime = 0;
+  std::uint64_t block_count = 0;
+  bool complete = true;
+};
+
+class Tree {
+ public:
+  Tree();
+
+  // --- queries (never journaled) -----------------------------------------
+  Result<FileInfo> GetFileInfo(std::string_view path) const;
+  Result<std::vector<std::string>> ListDir(std::string_view path) const;
+  bool Exists(std::string_view path) const;
+  const Inode* FindInode(std::string_view path) const;
+  const Inode* inode(InodeId id) const;
+
+  std::size_t inode_count() const noexcept { return inodes_.size(); }
+  std::uint64_t file_count() const noexcept { return file_count_; }
+
+  // --- mutations ----------------------------------------------------------
+  // Each returns the applied LogRecord (for journaling) on success. The
+  // caller supplies the timestamp so that replay is deterministic.
+  Result<journal::LogRecord> Create(std::string_view path,
+                                    std::uint32_t replication, SimTime mtime,
+                                    ClientOpId client);
+  Result<journal::LogRecord> Mkdir(std::string_view path, SimTime mtime,
+                                   ClientOpId client);
+  Result<journal::LogRecord> Delete(std::string_view path, SimTime mtime,
+                                    ClientOpId client);
+  Result<journal::LogRecord> Rename(std::string_view src, std::string_view dst,
+                                    SimTime mtime, ClientOpId client);
+  Result<journal::LogRecord> SetReplication(std::string_view path,
+                                            std::uint32_t replication,
+                                            SimTime mtime, ClientOpId client);
+  /// Allocates a new block id for a file; the id is recorded for replay.
+  Result<journal::LogRecord> AddBlock(std::string_view path, SimTime mtime,
+                                      ClientOpId client);
+  Result<journal::LogRecord> CompleteFile(std::string_view path, SimTime mtime,
+                                          ClientOpId client);
+  Result<journal::LogRecord> SetOwner(std::string_view path,
+                                      std::string_view owner, SimTime mtime,
+                                      ClientOpId client);
+  Result<journal::LogRecord> SetPermission(std::string_view path,
+                                           std::uint16_t permission,
+                                           SimTime mtime, ClientOpId client);
+  Result<journal::LogRecord> SetTimes(std::string_view path, SimTime mtime,
+                                      ClientOpId client);
+
+  // --- replay ---------------------------------------------------------------
+  /// Applies a journal record from the active (standby/junior path). Replay
+  /// is forgiving about client-visible errors: a record journaled by the
+  /// active always applied successfully there, so failure here means state
+  /// divergence and returns Internal.
+  Status Apply(const journal::LogRecord& record);
+
+  /// Highest txid folded into this tree (from mutations or replay).
+  TxId last_txid() const noexcept { return last_txid_; }
+  void set_last_txid(TxId txid) noexcept { last_txid_ = txid; }
+
+  // --- image ---------------------------------------------------------------
+  std::vector<char> SaveImage() const;
+  Status LoadImage(const std::vector<char>& bytes);
+
+  /// Structural fingerprint covering the whole tree + dedup table; equal
+  /// fingerprints imply (w.h.p.) equal namespaces.
+  std::uint64_t Fingerprint() const;
+
+  /// Clears everything back to an empty root (junior formats before a full
+  /// image fetch).
+  void Reset();
+
+  // --- duplicate suppression ------------------------------------------------
+  // A client may have several operations in flight at once and the network
+  // may reorder them, so "largest seq seen" is not enough: the table keeps
+  // a bounded window of recently applied seqs per client. Anything older
+  // than the window is assumed applied (clients never have that many
+  // concurrent ops).
+  struct ClientEntry {
+    std::uint64_t max_seq = 0;
+    std::set<std::uint64_t> recent;  ///< applied seqs in (max_seq-W, max_seq]
+  };
+  static constexpr std::uint64_t kDedupWindow = 128;
+
+  /// True when <client, op_seq> was already applied.
+  bool IsDuplicate(ClientOpId client) const;
+
+ private:
+  Inode& Mutable(InodeId id) { return inodes_.at(id); }
+  const Inode* Resolve(std::string_view path) const;
+  Inode* ResolveMutable(std::string_view path);
+  InodeId AllocateInode() { return next_inode_++; }
+
+  /// Remembers a successfully applied client op for duplicate suppression.
+  void RememberApplied(ClientOpId client);
+
+  /// Shared implementation: executes `op` unless it is a duplicate, and
+  /// remembers its outcome.
+  template <typename Fn>
+  Result<journal::LogRecord> Dedup(ClientOpId client, Fn&& op);
+
+  // Mutation cores, shared by the public API and Apply().
+  Status DoCreate(std::string_view path, std::uint32_t replication,
+                  SimTime mtime);
+  Status DoMkdir(std::string_view path, SimTime mtime);
+  Status DoDelete(std::string_view path, SimTime mtime);
+  Status DoRename(std::string_view src, std::string_view dst, SimTime mtime);
+  Status DoSetReplication(std::string_view path, std::uint32_t replication,
+                          SimTime mtime);
+  Status DoAddBlock(std::string_view path, BlockId block, SimTime mtime);
+  Status DoCompleteFile(std::string_view path, SimTime mtime);
+  Status DoSetOwner(std::string_view path, std::string_view owner,
+                    SimTime mtime);
+  Status DoSetPermission(std::string_view path, std::uint16_t permission,
+                         SimTime mtime);
+  Status DoSetTimes(std::string_view path, SimTime mtime);
+
+  void CountInode(const Inode& inode, int delta);
+
+  std::unordered_map<InodeId, Inode> inodes_;
+  InodeId next_inode_ = kRootInode + 1;
+  BlockId next_block_ = 1;
+  TxId last_txid_ = 0;
+  std::uint64_t file_count_ = 0;
+  std::unordered_map<std::uint64_t, ClientEntry> client_table_;
+};
+
+}  // namespace mams::fsns

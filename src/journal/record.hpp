@@ -1,0 +1,74 @@
+// Journal (edit log) records. Every namespace mutation the active applies
+// is described by one LogRecord; standbys and juniors replay records to
+// converge on the active's state, so a record carries everything needed for
+// deterministic replay: the op, its arguments, the timestamp the active
+// used, any ids the active allocated (blocks), and the client op id for
+// duplicate suppression after resends.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace mams::journal {
+
+enum class OpCode : std::uint8_t {
+  kCreate = 1,
+  kMkdir = 2,
+  kDelete = 3,
+  kRename = 4,
+  kSetReplication = 5,
+  kAddBlock = 6,
+  kCompleteFile = 7,
+  // Attribute operations (HDFS setOwner/setPermission/setTimes). They
+  // reuse existing record fields: owner travels in path2 ("user:group"),
+  // permission bits in replication, times in mtime.
+  kSetOwner = 8,
+  kSetPermission = 9,
+  kSetTimes = 10,
+};
+
+const char* OpCodeName(OpCode op) noexcept;
+
+struct LogRecord {
+  TxId txid = 0;
+  OpCode op = OpCode::kCreate;
+  std::string path;        ///< primary target
+  std::string path2;       ///< rename destination
+  std::uint32_t replication = 1;
+  BlockId block = 0;       ///< id allocated by the active for kAddBlock
+  SimTime mtime = 0;       ///< active's clock at apply time (replayed as-is)
+  ClientOpId client;       ///< for idempotent retry handling
+
+  void Serialize(ByteWriter& out) const;
+  static Result<LogRecord> Deserialize(ByteReader& in);
+
+  /// Approximate serialized size without materializing bytes (batch sizing).
+  std::size_t EncodedSize() const noexcept {
+    return 8 + 1 + 4 + path.size() + 4 + path2.size() + 4 + 8 + 8 + 16;
+  }
+};
+
+/// A batch of records flushed together. The pair <sn, first_txid> is the
+/// paper's journal descriptor; the checksum covers the serialized records.
+struct Batch {
+  SerialNumber sn = 0;
+  TxId first_txid = 0;
+  std::vector<LogRecord> records;
+  std::uint64_t checksum = 0;
+
+  std::vector<char> Serialize() const;
+  static Result<Batch> Deserialize(const std::vector<char>& bytes);
+
+  std::size_t EncodedSize() const noexcept {
+    std::size_t n = 8 + 8 + 8 + 4;
+    for (const auto& r : records) n += r.EncodedSize();
+    return n;
+  }
+};
+
+}  // namespace mams::journal

@@ -1,0 +1,121 @@
+// Measurement helpers shared by the benchmark harness: bucketed rate
+// series (Figure 8 timelines), CDF collectors (Figure 9), latency/MTTR
+// accumulators (Table I), and aligned table printing.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mams::metrics {
+
+/// Counts events into fixed-width time buckets; reports events/second.
+class RateSeries {
+ public:
+  explicit RateSeries(SimTime bucket_width = kSecond)
+      : width_(bucket_width) {}
+
+  void Record(SimTime when, std::uint64_t count = 1) {
+    const auto bucket = static_cast<std::size_t>(when / width_);
+    if (bucket >= buckets_.size()) buckets_.resize(bucket + 1, 0);
+    buckets_[bucket] += count;
+  }
+
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  SimTime bucket_width() const noexcept { return width_; }
+
+  /// Events per second in the given bucket.
+  double RatePerSecond(std::size_t bucket) const {
+    if (bucket >= buckets_.size()) return 0.0;
+    return static_cast<double>(buckets_[bucket]) / ToSeconds(width_);
+  }
+
+  std::uint64_t Total() const {
+    std::uint64_t sum = 0;
+    for (auto b : buckets_) sum += b;
+    return sum;
+  }
+
+ private:
+  SimTime width_;
+  std::vector<std::uint64_t> buckets_;
+};
+
+/// Collects samples; answers quantiles and a CDF trace.
+class Cdf {
+ public:
+  void Record(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  double Quantile(double q) {
+    if (samples_.empty()) return 0.0;
+    Sort();
+    const double pos = q * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples_[lo] * (1 - frac) + samples_[hi] * frac;
+  }
+
+  double Min() {
+    Sort();
+    return samples_.empty() ? 0 : samples_.front();
+  }
+  double Max() {
+    Sort();
+    return samples_.empty() ? 0 : samples_.back();
+  }
+  double Mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  /// Fraction of samples <= x.
+  double FractionBelow(double x) {
+    if (samples_.empty()) return 0.0;
+    Sort();
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+  }
+
+ private:
+  void Sort() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Simple mean/min/max accumulator (MTTR trials).
+class Accumulator {
+ public:
+  void Record(double v) {
+    sum_ += v;
+    min_ = count_ == 0 ? v : std::min(min_, v);
+    max_ = count_ == 0 ? v : std::max(max_, v);
+    ++count_;
+  }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  std::uint64_t count() const { return count_; }
+
+ private:
+  double sum_ = 0, min_ = 0, max_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace mams::metrics

@@ -1,0 +1,58 @@
+// Aligned plain-text table printer for benchmark outputs — every bench
+// prints the same rows/series the paper's tables and figures report.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mams::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  static std::string Num(double v, int precision = 3) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+
+  void Print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : kEmpty;
+        std::fprintf(out, "%c %-*s", c == 0 ? '|' : '|',
+                     static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::fprintf(out, " |\n");
+    };
+    print_row(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      std::fprintf(out, "|%s", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::fprintf(out, "|\n");
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  inline static const std::string kEmpty;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mams::metrics

@@ -1,0 +1,70 @@
+// Central registry of message-type id ranges. Keeping every id in one file
+// prevents collisions between protocols developed independently.
+#pragma once
+
+#include "net/message.hpp"
+
+namespace mams::net {
+
+// 0x00xx — coordination service (sessions, znodes, watches, lock)
+inline constexpr MsgType kCoordRequest = 0x0001;
+inline constexpr MsgType kCoordResponse = 0x0002;
+inline constexpr MsgType kCoordWatchEvent = 0x0003;
+inline constexpr MsgType kCoordHeartbeat = 0x0004;
+
+// 0x01xx — Paxos
+inline constexpr MsgType kPaxosPrepare = 0x0101;
+inline constexpr MsgType kPaxosPromise = 0x0102;
+inline constexpr MsgType kPaxosAccept = 0x0103;
+inline constexpr MsgType kPaxosAccepted = 0x0104;
+inline constexpr MsgType kPaxosLearn = 0x0105;
+
+// 0x02xx — journal synchronization (active <-> standby 2PC)
+inline constexpr MsgType kJournalPrepare = 0x0201;
+inline constexpr MsgType kJournalAck = 0x0202;
+inline constexpr MsgType kJournalCommit = 0x0203;
+
+// 0x03xx — SSP (shared storage pool)
+inline constexpr MsgType kSspWrite = 0x0301;
+inline constexpr MsgType kSspWriteAck = 0x0302;
+inline constexpr MsgType kSspRead = 0x0303;
+inline constexpr MsgType kSspReadReply = 0x0304;
+inline constexpr MsgType kSspList = 0x0305;
+inline constexpr MsgType kSspListReply = 0x0306;
+
+// 0x04xx — client <-> metadata server
+inline constexpr MsgType kClientRequest = 0x0401;
+inline constexpr MsgType kClientResponse = 0x0402;
+
+// 0x05xx — replica-group control (failover, renewing, registration)
+inline constexpr MsgType kGroupRegister = 0x0501;
+inline constexpr MsgType kGroupRegisterAck = 0x0502;
+inline constexpr MsgType kRenewCommand = 0x0503;
+inline constexpr MsgType kRenewProgress = 0x0504;
+inline constexpr MsgType kRenewJournalFetch = 0x0505;
+inline constexpr MsgType kRenewJournalReply = 0x0506;
+inline constexpr MsgType kImageFetch = 0x0507;
+inline constexpr MsgType kImageChunk = 0x0508;
+
+// 0x06xx — data servers (block reports, heartbeats)
+inline constexpr MsgType kBlockReport = 0x0601;
+inline constexpr MsgType kBlockReportAck = 0x0602;
+
+// 0x07xx — baseline systems (HDFS NN, BackupNode, AvatarNode, QJM, BoomFS)
+inline constexpr MsgType kNnEditStream = 0x0701;
+inline constexpr MsgType kNnEditAck = 0x0702;
+inline constexpr MsgType kQjmJournalWrite = 0x0703;
+inline constexpr MsgType kQjmJournalAck = 0x0704;
+inline constexpr MsgType kQjmRecover = 0x0705;
+inline constexpr MsgType kQjmRecoverReply = 0x0706;
+inline constexpr MsgType kNfsEditWrite = 0x0707;
+inline constexpr MsgType kNfsEditRead = 0x0708;
+inline constexpr MsgType kNfsEditReply = 0x0709;
+inline constexpr MsgType kRsmPropose = 0x070a;
+inline constexpr MsgType kRsmDecision = 0x070b;
+
+// 0x08xx — generic test payloads
+inline constexpr MsgType kTestPing = 0x0801;
+inline constexpr MsgType kTestPong = 0x0802;
+
+}  // namespace mams::net

@@ -1,0 +1,69 @@
+// The acceptor's single-instance voting logic, isolated from I/O so the
+// safety property ("an acceptor never accepts two different values chosen
+// by conflicting quorums") is directly unit-testable.
+//
+// State is durable: a real acceptor journals promises/accepts before
+// answering; in the simulation the AcceptorState object simply survives
+// process restarts (the owning Host keeps it outside volatile state).
+#pragma once
+
+#include <optional>
+
+#include "paxos/types.hpp"
+
+namespace mams::paxos {
+
+struct Promise {
+  bool granted = false;
+  Ballot promised;                 ///< highest ballot promised so far
+  Ballot accepted_ballot;          ///< of the accepted value, if any
+  std::optional<Value> accepted_value;
+};
+
+struct AcceptReply {
+  bool accepted = false;
+  Ballot promised;  ///< for nack: lets the proposer catch up
+};
+
+class AcceptorState {
+ public:
+  /// Phase 1: prepare(b). Grants iff b > every ballot promised or voted.
+  Promise OnPrepare(Ballot b) {
+    Promise out;
+    out.promised = promised_;
+    out.accepted_ballot = accepted_ballot_;
+    out.accepted_value = accepted_value_;
+    if (b > promised_) {
+      promised_ = b;
+      out.granted = true;
+      out.promised = b;
+    }
+    return out;
+  }
+
+  /// Phase 2: accept(b, v). Accepts iff no higher promise was made since.
+  AcceptReply OnAccept(Ballot b, const Value& v) {
+    AcceptReply out;
+    if (b >= promised_) {
+      promised_ = b;
+      accepted_ballot_ = b;
+      accepted_value_ = v;
+      out.accepted = true;
+    }
+    out.promised = promised_;
+    return out;
+  }
+
+  const Ballot& promised() const noexcept { return promised_; }
+  const Ballot& accepted_ballot() const noexcept { return accepted_ballot_; }
+  const std::optional<Value>& accepted_value() const noexcept {
+    return accepted_value_;
+  }
+
+ private:
+  Ballot promised_;
+  Ballot accepted_ballot_;
+  std::optional<Value> accepted_value_;
+};
+
+}  // namespace mams::paxos

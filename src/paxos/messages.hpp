@@ -1,0 +1,47 @@
+// Wire messages for multi-instance Paxos.
+#pragma once
+
+#include "net/message.hpp"
+#include "net/message_types.hpp"
+#include "paxos/acceptor.hpp"
+#include "paxos/types.hpp"
+
+namespace mams::paxos {
+
+struct PrepareMsg final : net::Message {
+  InstanceId instance = 0;
+  Ballot ballot;
+  net::MsgType type() const noexcept override { return net::kPaxosPrepare; }
+};
+
+struct PromiseMsg final : net::Message {
+  InstanceId instance = 0;
+  Promise promise;
+  net::MsgType type() const noexcept override { return net::kPaxosPromise; }
+  std::size_t ByteSize() const noexcept override {
+    return 96 + (promise.accepted_value ? promise.accepted_value->size() : 0);
+  }
+};
+
+struct AcceptMsg final : net::Message {
+  InstanceId instance = 0;
+  Ballot ballot;
+  Value value;
+  net::MsgType type() const noexcept override { return net::kPaxosAccept; }
+  std::size_t ByteSize() const noexcept override { return 96 + value.size(); }
+};
+
+struct AcceptedMsg final : net::Message {
+  InstanceId instance = 0;
+  AcceptReply reply;
+  net::MsgType type() const noexcept override { return net::kPaxosAccepted; }
+};
+
+struct LearnMsg final : net::Message {
+  InstanceId instance = 0;
+  Value value;
+  net::MsgType type() const noexcept override { return net::kPaxosLearn; }
+  std::size_t ByteSize() const noexcept override { return 80 + value.size(); }
+};
+
+}  // namespace mams::paxos

@@ -1,0 +1,80 @@
+// Single-instance proposer bookkeeping (phase 1 quorum gathering, value
+// selection, phase 2 vote counting), isolated from I/O for unit testing.
+//
+// The key safety rule lives in ChooseValue(): if any promise reported an
+// already-accepted value, the proposer must adopt the one with the highest
+// accepted ballot instead of its own candidate.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <set>
+
+#include "paxos/acceptor.hpp"
+#include "paxos/types.hpp"
+
+namespace mams::paxos {
+
+class ProposerState {
+ public:
+  ProposerState(NodeId self, std::size_t cluster_size)
+      : self_(self), cluster_size_(cluster_size) {}
+
+  std::size_t QuorumSize() const noexcept { return cluster_size_ / 2 + 1; }
+
+  /// Starts (or restarts with a higher ballot) a round for `candidate`.
+  Ballot StartRound(const Value& candidate, Ballot at_least) {
+    ballot_ = (at_least > ballot_ ? at_least : ballot_).Next(self_);
+    candidate_ = candidate;
+    promises_.clear();
+    votes_.clear();
+    best_accepted_ = Ballot{};
+    adopted_.reset();
+    return ballot_;
+  }
+
+  /// Feeds one acceptor's promise; returns true when phase 1 just reached
+  /// quorum (transition to phase 2 exactly once).
+  bool OnPromise(NodeId from, const Promise& promise) {
+    if (!promise.granted || promise.promised != ballot_) return false;
+    if (promise.accepted_value.has_value() &&
+        promise.accepted_ballot > best_accepted_) {
+      best_accepted_ = promise.accepted_ballot;
+      adopted_ = promise.accepted_value;
+    }
+    const bool before = promises_.size() >= QuorumSize();
+    promises_.insert(from);
+    return !before && promises_.size() >= QuorumSize();
+  }
+
+  /// Value to send in phase 2 (the adopted value wins over the candidate).
+  const Value& ChooseValue() const noexcept {
+    return adopted_.has_value() ? *adopted_ : candidate_;
+  }
+
+  /// True when the chosen value is the proposer's own candidate (callers
+  /// that lost to an adopted value must re-propose their candidate later).
+  bool ChoseOwnCandidate() const noexcept { return !adopted_.has_value(); }
+
+  /// Feeds one accepted vote; returns true when phase 2 just reached quorum.
+  bool OnAccepted(NodeId from, Ballot b) {
+    if (b != ballot_) return false;
+    const bool before = votes_.size() >= QuorumSize();
+    votes_.insert(from);
+    return !before && votes_.size() >= QuorumSize();
+  }
+
+  const Ballot& ballot() const noexcept { return ballot_; }
+
+ private:
+  NodeId self_;
+  std::size_t cluster_size_;
+  Ballot ballot_;
+  Value candidate_;
+  std::set<NodeId> promises_;
+  std::set<NodeId> votes_;
+  Ballot best_accepted_;
+  std::optional<Value> adopted_;
+};
+
+}  // namespace mams::paxos

@@ -1,0 +1,36 @@
+// Shared Paxos vocabulary: ballots, instances, values.
+//
+// The paper uses "the Paxos algorithm for consensus" twice — for the
+// coordination service's replicated global view / distributed lock, and in
+// the Boom-FS baseline's replicated-state-machine metadata log. Both sit on
+// this module.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace mams::paxos {
+
+/// A ballot (proposal number). Totally ordered; ties broken by proposer so
+/// two proposers never share a ballot.
+struct Ballot {
+  std::uint64_t round = 0;
+  NodeId proposer = kInvalidNode;
+
+  auto operator<=>(const Ballot&) const = default;
+
+  bool valid() const noexcept { return round > 0; }
+
+  Ballot Next(NodeId self) const noexcept { return {round + 1, self}; }
+};
+
+/// Consensus is reached per log instance (slot).
+using InstanceId = std::uint64_t;
+
+/// Values are opaque bytes; the layered state machine interprets them.
+using Value = std::string;
+
+}  // namespace mams::paxos

@@ -1,0 +1,103 @@
+// Priority queue of timed events with stable FIFO ordering at equal
+// timestamps. Cancellation is supported through handles: cancelled events
+// stay in the heap but are skipped on pop (lazy deletion), which keeps both
+// schedule and cancel O(log n) amortized.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mams::sim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle used to cancel a scheduled event. Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired; safe to call repeatedly and
+  /// after the event fired (no-op then).
+  void Cancel() noexcept {
+    if (auto alive = alive_.lock()) *alive = false;
+  }
+
+  bool pending() const noexcept {
+    auto alive = alive_.lock();
+    return alive && *alive;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::weak_ptr<bool> alive_;
+};
+
+class EventQueue {
+ public:
+  struct PoppedEvent {
+    SimTime at = 0;
+    EventFn fn;
+  };
+
+  /// Schedules `fn` at absolute virtual time `at`. Events at the same time
+  /// fire in scheduling order.
+  EventHandle Schedule(SimTime at, EventFn fn) {
+    auto alive = std::make_shared<bool>(true);
+    heap_.push(Entry{at, next_seq_++, std::move(fn), alive});
+    return EventHandle{alive};
+  }
+
+  /// True when no live (non-cancelled) event remains.
+  bool empty() {
+    SkipDead();
+    return heap_.empty();
+  }
+
+  /// Time of the earliest pending event; must not be called when empty().
+  SimTime NextTime() {
+    SkipDead();
+    return heap_.top().at;
+  }
+
+  /// Removes and returns the earliest pending event. Caller advances the
+  /// clock to `at` and then invokes `fn`.
+  PoppedEvent Pop() {
+    SkipDead();
+    // priority_queue::top() is const; moving out is safe because we pop
+    // immediately and never compare the moved-from entry again.
+    Entry top = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    *top.alive = false;
+    return PoppedEvent{top.at, std::move(top.fn)};
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> alive;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void SkipDead() {
+    while (!heap_.empty() && !*heap_.top().alive) heap_.pop();
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mams::sim

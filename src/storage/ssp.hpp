@@ -1,0 +1,186 @@
+// SspClient — the metadata servers' view of the shared storage pool.
+//
+// Placement: each shared file is replicated on `replication` pool nodes
+// chosen by consistent hashing of the file name over the pool membership.
+// Appends go to every replica; the operation completes on the first ACK
+// (standby 2PC, not the SSP, is the primary redundancy path for journal
+// data — the pool is the catch-up medium for juniors, per Section III.A).
+// Reads try replicas in placement order and fall over on timeout, so a
+// junior can keep recovering while a pool node is down.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "net/host.hpp"
+#include "storage/ssp_messages.hpp"
+
+namespace mams::storage {
+
+struct SspOptions {
+  int replication = 2;
+  SimTime write_timeout = 2 * kSecond;
+  SimTime read_timeout = 5 * kSecond;
+  std::uint64_t read_chunk_bytes = 4u << 20;
+};
+
+class SspClient {
+ public:
+  using Options = SspOptions;
+
+  SspClient(net::Host& host, std::vector<NodeId> pool, Options options = {})
+      : host_(host), pool_(std::move(pool)), options_(options) {}
+
+  const std::vector<NodeId>& pool() const noexcept { return pool_; }
+  void set_pool(std::vector<NodeId> pool) { pool_ = std::move(pool); }
+
+  /// Replica placement for a file (deterministic, membership-stable).
+  std::vector<NodeId> Placement(const std::string& file) const {
+    std::vector<NodeId> replicas;
+    if (pool_.empty()) return replicas;
+    const std::size_t n = pool_.size();
+    const std::size_t start = Fnv1a(file) % n;
+    const std::size_t count =
+        std::min<std::size_t>(static_cast<std::size_t>(options_.replication), n);
+    for (std::size_t i = 0; i < count; ++i) {
+      replicas.push_back(pool_[(start + i) % n]);
+    }
+    return replicas;
+  }
+
+  /// Appends a record to a shared file on all replicas; `done` fires on the
+  /// first ACK (or with an error after every replica failed).
+  void Append(const std::string& file, SspRecord record,
+              std::function<void(Status)> done) {
+    auto replicas = Placement(file);
+    if (replicas.empty()) {
+      done(Status::Unavailable("ssp pool empty"));
+      return;
+    }
+    auto state = std::make_shared<AppendState>();
+    state->remaining = replicas.size();
+    state->done = std::move(done);
+    for (NodeId replica : replicas) {
+      auto msg = std::make_shared<SspWriteMsg>();
+      msg->file = file;
+      msg->record = record;
+      host_.Call(replica, msg, options_.write_timeout,
+                 [state](Result<net::MessagePtr> result) {
+                   --state->remaining;
+                   if (state->finished) return;
+                   const bool accepted =
+                       result.ok() &&
+                       net::Cast<SspWriteAckMsg>(result.value()).ok;
+                   if (accepted) {
+                     state->finished = true;
+                     state->done(Status::Ok());
+                   } else if (state->remaining == 0) {
+                     state->finished = true;
+                     state->done(result.ok()
+                                     ? Status::Aborted("fenced by the pool")
+                                     : Status::Unavailable(
+                                           "all ssp replicas failed"));
+                   }
+                 });
+    }
+  }
+
+  /// Reads records with sn > `after_sn`, one chunk per call. The reply's
+  /// next_index/eof let the caller resume (checkpointed recovery).
+  using ReadCallback =
+      std::function<void(Result<std::shared_ptr<const SspReadReplyMsg>>)>;
+
+  void ReadAfter(const std::string& file, SerialNumber after_sn,
+                 ReadCallback done) {
+    auto msg = std::make_shared<SspReadMsg>();
+    msg->file = file;
+    msg->after_sn = after_sn;
+    msg->max_bytes = options_.read_chunk_bytes;
+    ReadWithFailover(file, std::move(msg), 0, std::move(done));
+  }
+
+  void ReadIndex(const std::string& file, std::size_t from_index,
+                 ReadCallback done) {
+    auto msg = std::make_shared<SspReadMsg>();
+    msg->file = file;
+    msg->use_index = true;
+    msg->from_index = from_index;
+    msg->max_bytes = options_.read_chunk_bytes;
+    ReadWithFailover(file, std::move(msg), 0, std::move(done));
+  }
+
+  /// Lists files under a prefix (used to discover images/segments).
+  void List(const std::string& prefix,
+            std::function<void(Result<std::shared_ptr<const SspListReplyMsg>>)>
+                done) {
+    auto replicas = pool_;  // any pool node can answer for its own store;
+                            // union-of-replies is unnecessary because every
+                            // group file set is fully replicated rf-ways.
+    if (replicas.empty()) {
+      done(Status::Unavailable("ssp pool empty"));
+      return;
+    }
+    auto msg = std::make_shared<SspListMsg>();
+    msg->prefix = prefix;
+    ListWithFailover(std::move(msg), 0, std::move(done));
+  }
+
+ private:
+  struct AppendState {
+    std::size_t remaining = 0;
+    bool finished = false;
+    std::function<void(Status)> done;
+  };
+
+  void ReadWithFailover(const std::string& file,
+                        std::shared_ptr<SspReadMsg> msg, std::size_t attempt,
+                        ReadCallback done) {
+    auto replicas = Placement(file);
+    if (attempt >= replicas.size()) {
+      done(Status::Unavailable("all ssp replicas failed for " + file));
+      return;
+    }
+    host_.Call(replicas[attempt], msg, options_.read_timeout,
+               [this, file, msg, attempt,
+                done = std::move(done)](Result<net::MessagePtr> result) mutable {
+                 if (!result.ok()) {
+                   ReadWithFailover(file, std::move(msg), attempt + 1,
+                                    std::move(done));
+                   return;
+                 }
+                 done(std::static_pointer_cast<const SspReadReplyMsg>(
+                     std::move(result).value()));
+               });
+  }
+
+  void ListWithFailover(
+      std::shared_ptr<SspListMsg> msg, std::size_t attempt,
+      std::function<void(Result<std::shared_ptr<const SspListReplyMsg>>)>
+          done) {
+    if (attempt >= pool_.size()) {
+      done(Status::Unavailable("all ssp pool nodes failed"));
+      return;
+    }
+    host_.Call(pool_[attempt], msg, options_.read_timeout,
+               [this, msg, attempt,
+                done = std::move(done)](Result<net::MessagePtr> result) mutable {
+                 if (!result.ok()) {
+                   ListWithFailover(std::move(msg), attempt + 1,
+                                    std::move(done));
+                   return;
+                 }
+                 done(std::static_pointer_cast<const SspListReplyMsg>(
+                     std::move(result).value()));
+               });
+  }
+
+  net::Host& host_;
+  std::vector<NodeId> pool_;
+  Options options_;
+};
+
+}  // namespace mams::storage

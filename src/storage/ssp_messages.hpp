@@ -1,0 +1,70 @@
+// RPC payloads for the shared storage pool (SSP).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/message_types.hpp"
+#include "storage/shared_file.hpp"
+
+namespace mams::storage {
+
+struct SspWriteMsg final : net::Message {
+  std::string file;
+  SspRecord record;
+
+  net::MsgType type() const noexcept override { return net::kSspWrite; }
+  std::size_t ByteSize() const noexcept override {
+    return 64 + file.size() + record.TimedSize();
+  }
+};
+
+struct SspWriteAckMsg final : net::Message {
+  bool ok = true;
+  SerialNumber max_sn = 0;
+
+  net::MsgType type() const noexcept override { return net::kSspWriteAck; }
+};
+
+struct SspReadMsg final : net::Message {
+  std::string file;
+  SerialNumber after_sn = 0;     ///< return records with sn > after_sn ...
+  std::size_t from_index = 0;    ///< ... or from this index if nonzero use_index
+  bool use_index = false;
+  std::uint64_t max_bytes = 4u << 20;  ///< chunking for resumable fetches
+
+  net::MsgType type() const noexcept override { return net::kSspRead; }
+};
+
+struct SspReadReplyMsg final : net::Message {
+  bool found = false;
+  std::vector<SspRecord> records;
+  std::size_t next_index = 0;  ///< resume cursor
+  bool eof = true;
+  std::uint64_t payload_bytes = 0;
+
+  net::MsgType type() const noexcept override { return net::kSspReadReply; }
+  std::size_t ByteSize() const noexcept override {
+    return 64 + payload_bytes;
+  }
+};
+
+struct SspListMsg final : net::Message {
+  std::string prefix;
+
+  net::MsgType type() const noexcept override { return net::kSspList; }
+};
+
+struct SspListReplyMsg final : net::Message {
+  struct Entry {
+    std::string name;
+    SerialNumber max_sn = 0;
+    std::uint64_t logical_bytes = 0;
+  };
+  std::vector<Entry> entries;
+
+  net::MsgType type() const noexcept override { return net::kSspListReply; }
+};
+
+}  // namespace mams::storage

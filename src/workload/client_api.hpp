@@ -1,0 +1,67 @@
+// A uniform facade over the two client types (CFS FsClient and the
+// baseline client) so workload drivers and the MapReduce simulator run
+// unchanged against every system in the comparison figures.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "baselines/client.hpp"
+#include "cluster/client.hpp"
+
+namespace mams::workload {
+
+struct ClientApi {
+  using Cb = std::function<void(Status)>;
+  std::function<void(const std::string&, Cb)> create;
+  std::function<void(const std::string&, Cb)> mkdir;
+  std::function<void(const std::string&, Cb)> remove;
+  std::function<void(const std::string&, const std::string&, Cb)> rename;
+  std::function<void(const std::string&, Cb)> getfileinfo;
+};
+
+inline ClientApi MakeApi(cluster::FsClient& client) {
+  ClientApi api;
+  api.create = [&client](const std::string& p, ClientApi::Cb cb) {
+    client.Create(p, std::move(cb));
+  };
+  api.mkdir = [&client](const std::string& p, ClientApi::Cb cb) {
+    client.Mkdir(p, std::move(cb));
+  };
+  api.remove = [&client](const std::string& p, ClientApi::Cb cb) {
+    client.Delete(p, std::move(cb));
+  };
+  api.rename = [&client](const std::string& s, const std::string& d,
+                         ClientApi::Cb cb) {
+    client.Rename(s, d, std::move(cb));
+  };
+  api.getfileinfo = [&client](const std::string& p, ClientApi::Cb cb) {
+    client.GetFileInfo(p, [cb = std::move(cb)](Result<fsns::FileInfo> r) {
+      cb(r.ok() ? Status::Ok() : r.status());
+    });
+  };
+  return api;
+}
+
+inline ClientApi MakeApi(baselines::BaselineClient& client) {
+  ClientApi api;
+  api.create = [&client](const std::string& p, ClientApi::Cb cb) {
+    client.Create(p, std::move(cb));
+  };
+  api.mkdir = [&client](const std::string& p, ClientApi::Cb cb) {
+    client.Mkdir(p, std::move(cb));
+  };
+  api.remove = [&client](const std::string& p, ClientApi::Cb cb) {
+    client.Delete(p, std::move(cb));
+  };
+  api.rename = [&client](const std::string& s, const std::string& d,
+                         ClientApi::Cb cb) {
+    client.Rename(s, d, std::move(cb));
+  };
+  api.getfileinfo = [&client](const std::string& p, ClientApi::Cb cb) {
+    client.GetFileInfo(p, std::move(cb));
+  };
+  return api;
+}
+
+}  // namespace mams::workload

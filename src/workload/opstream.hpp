@@ -1,0 +1,159 @@
+// Metadata operation stream generator. Produces the workloads of Section
+// IV: single-op-type streams for Figure 5, the mixed
+// create/getfileinfo/mkdir stream for Figure 6, and continuous
+// create+mkdir load for Figure 8 ("files are distributed among multiple
+// directories").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mams::workload {
+
+enum class OpKind : std::uint8_t {
+  kCreate,
+  kMkdir,
+  kDelete,
+  kRename,
+  kGetFileInfo,
+};
+
+struct Op {
+  OpKind kind = OpKind::kCreate;
+  std::string path;
+  std::string path2;
+};
+
+/// Weighted mix of operation kinds.
+struct Mix {
+  double create = 0, mkdir = 0, remove = 0, rename = 0, getfileinfo = 0;
+
+  static Mix Only(OpKind kind) {
+    Mix m;
+    switch (kind) {
+      case OpKind::kCreate:
+        m.create = 1;
+        break;
+      case OpKind::kMkdir:
+        m.mkdir = 1;
+        break;
+      case OpKind::kDelete:
+        m.remove = 1;
+        break;
+      case OpKind::kRename:
+        m.rename = 1;
+        break;
+      case OpKind::kGetFileInfo:
+        m.getfileinfo = 1;
+        break;
+    }
+    return m;
+  }
+
+  /// Figure 6's mixed workload.
+  static Mix Mixed() {
+    Mix m;
+    m.create = 0.4;
+    m.getfileinfo = 0.4;
+    m.mkdir = 0.2;
+    return m;
+  }
+};
+
+class OpStream {
+ public:
+  OpStream(Mix mix, std::uint64_t seed, int directories = 64,
+           std::string root = "/bench")
+      : mix_(mix), rng_(seed), dirs_(directories), root_(std::move(root)) {}
+
+  /// Generates the next operation. Creates produce fresh paths; deletes,
+  /// renames and stats target previously created files when available
+  /// (falling back to creates otherwise, so every op is valid).
+  Op Next() {
+    const double roll = rng_.Uniform();
+    double acc = mix_.create;
+    if (roll < acc) return MakeCreate();
+    acc += mix_.mkdir;
+    if (roll < acc) return MakeMkdir();
+    acc += mix_.remove;
+    if (roll < acc) return MakeDelete();
+    acc += mix_.rename;
+    if (roll < acc) return MakeRename();
+    return MakeStat();
+  }
+
+  std::size_t live_files() const noexcept { return files_.size(); }
+
+  /// Adopts pre-existing files (preloaded server-side) so read/delete/
+  /// rename streams have valid targets from the first operation.
+  void AdoptFiles(std::vector<std::string> files) {
+    for (auto& f : files) files_.push_back(std::move(f));
+  }
+
+ private:
+  std::string Dir() {
+    return root_ + "/d" + std::to_string(rng_.Zipf(
+                              static_cast<std::uint64_t>(dirs_), 0.6));
+  }
+
+  Op MakeCreate() {
+    Op op;
+    op.kind = OpKind::kCreate;
+    op.path = Dir() + "/f" + std::to_string(next_file_++);
+    files_.push_back(op.path);
+    return op;
+  }
+
+  Op MakeMkdir() {
+    Op op;
+    op.kind = OpKind::kMkdir;
+    op.path = Dir() + "/sub" + std::to_string(rng_.Below(1000));
+    return op;
+  }
+
+  Op MakeDelete() {
+    if (files_.empty()) return MakeCreate();
+    Op op;
+    op.kind = OpKind::kDelete;
+    const std::size_t i = rng_.Below(files_.size());
+    op.path = files_[i];
+    files_[i] = files_.back();
+    files_.pop_back();
+    return op;
+  }
+
+  Op MakeRename() {
+    if (files_.empty()) return MakeCreate();
+    Op op;
+    op.kind = OpKind::kRename;
+    const std::size_t i = rng_.Below(files_.size());
+    op.path = files_[i];
+    // Cross-directory rename: moves the entry between directory partitions
+    // — the distributed-transaction case CFS pays for (Section IV.A).
+    op.path2 = Dir() + "/r" + std::to_string(next_file_++);
+    files_[i] = op.path2;
+    return op;
+  }
+
+  Op MakeStat() {
+    Op op;
+    op.kind = OpKind::kGetFileInfo;
+    if (files_.empty()) {
+      op.path = root_;  // stat the root until files exist
+    } else {
+      op.path = files_[rng_.Below(files_.size())];
+    }
+    return op;
+  }
+
+  Mix mix_;
+  Rng rng_;
+  int dirs_;
+  std::string root_;
+  std::vector<std::string> files_;
+  std::uint64_t next_file_ = 0;
+};
+
+}  // namespace mams::workload

@@ -1,0 +1,151 @@
+// Tests for the HDFS-style attribute operations (setOwner, setPermission,
+// setTimes): tree semantics, journal replay determinism, image round trips,
+// and the end-to-end client path including replication to standbys.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cfs.hpp"
+#include "fsns/tree.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mams {
+namespace {
+
+class AttrTreeTest : public ::testing::Test {
+ protected:
+  ClientOpId Op() { return {.client_id = 1, .op_seq = ++seq_}; }
+  std::uint64_t seq_ = 0;
+  fsns::Tree tree_;
+};
+
+TEST_F(AttrTreeTest, DefaultsAreHdfsLike) {
+  ASSERT_TRUE(tree_.Create("/f", 3, 1, Op()).ok());
+  auto info = tree_.GetFileInfo("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().permission, 0644);
+  EXPECT_EQ(info.value().owner, "hdfs");
+}
+
+TEST_F(AttrTreeTest, SetOwnerUpdatesAndJournals) {
+  ASSERT_TRUE(tree_.Create("/f", 3, 1, Op()).ok());
+  auto rec = tree_.SetOwner("/f", "alice:staff", 2, Op());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().op, journal::OpCode::kSetOwner);
+  EXPECT_EQ(rec.value().path2, "alice:staff");
+  EXPECT_EQ(tree_.GetFileInfo("/f").value().owner, "alice:staff");
+}
+
+TEST_F(AttrTreeTest, SetPermissionUpdates) {
+  ASSERT_TRUE(tree_.Mkdir("/d", 1, Op()).ok());
+  ASSERT_TRUE(tree_.SetPermission("/d", 0750, 2, Op()).ok());
+  EXPECT_EQ(tree_.GetFileInfo("/d").value().permission, 0750);
+}
+
+TEST_F(AttrTreeTest, SetTimesUpdatesMtime) {
+  ASSERT_TRUE(tree_.Create("/f", 1, 1, Op()).ok());
+  ASSERT_TRUE(tree_.SetTimes("/f", 99, Op()).ok());
+  EXPECT_EQ(tree_.GetFileInfo("/f").value().mtime, 99);
+}
+
+TEST_F(AttrTreeTest, AttributeOpsOnMissingPathFail) {
+  EXPECT_FALSE(tree_.SetOwner("/nope", "x:y", 1, Op()).ok());
+  EXPECT_FALSE(tree_.SetPermission("/nope", 0700, 1, Op()).ok());
+  EXPECT_FALSE(tree_.SetTimes("/nope", 1, Op()).ok());
+}
+
+TEST_F(AttrTreeTest, ReplayReproducesAttributes) {
+  std::vector<journal::LogRecord> log;
+  TxId txid = 0;
+  auto run = [&](Result<journal::LogRecord> r) {
+    ASSERT_TRUE(r.ok());
+    auto rec = std::move(r).value();
+    rec.txid = ++txid;
+    tree_.set_last_txid(txid);
+    log.push_back(rec);
+  };
+  run(tree_.Create("/f", 3, 1, Op()));
+  run(tree_.SetOwner("/f", "bob:eng", 2, Op()));
+  run(tree_.SetPermission("/f", 0600, 3, Op()));
+  run(tree_.SetTimes("/f", 44, Op()));
+
+  fsns::Tree replica;
+  for (const auto& rec : log) ASSERT_TRUE(replica.Apply(rec).ok());
+  EXPECT_EQ(replica.Fingerprint(), tree_.Fingerprint());
+  EXPECT_EQ(replica.GetFileInfo("/f").value().owner, "bob:eng");
+  EXPECT_EQ(replica.GetFileInfo("/f").value().permission, 0600);
+}
+
+TEST_F(AttrTreeTest, ImageRoundTripKeepsAttributes) {
+  ASSERT_TRUE(tree_.Create("/f", 3, 1, Op()).ok());
+  ASSERT_TRUE(tree_.SetOwner("/f", "carol:ops", 2, Op()).ok());
+  ASSERT_TRUE(tree_.SetPermission("/f", 0400, 3, Op()).ok());
+  fsns::Tree loaded;
+  ASSERT_TRUE(loaded.LoadImage(tree_.SaveImage()).ok());
+  EXPECT_EQ(loaded.Fingerprint(), tree_.Fingerprint());
+  EXPECT_EQ(loaded.GetFileInfo("/f").value().owner, "carol:ops");
+}
+
+TEST_F(AttrTreeTest, FingerprintSeesAttributeChanges) {
+  ASSERT_TRUE(tree_.Create("/f", 3, 1, Op()).ok());
+  const auto before = tree_.Fingerprint();
+  ASSERT_TRUE(tree_.SetPermission("/f", 0777, 2, Op()).ok());
+  EXPECT_NE(tree_.Fingerprint(), before);
+}
+
+// --- end to end ---------------------------------------------------------------
+
+TEST(AttrClusterTest, AttributeOpsReplicateAndSurviveFailover) {
+  sim::Simulator sim(91);
+  net::Network net(sim);
+  cluster::CfsConfig cfg;
+  cfg.groups = 1;
+  cfg.standbys_per_group = 3;
+  cfg.clients = 1;
+  cfg.data_servers = 1;
+  cluster::CfsCluster cfs(net, cfg);
+  cfs.Start();
+  sim.RunUntil(sim.Now() + kSecond);
+
+  auto& client = cfs.client(0);
+  auto sync = [&](auto issue) {
+    Status out = Status::TimedOut("pending");
+    bool done = false;
+    issue([&](Status s) {
+      out = s;
+      done = true;
+    });
+    while (!done) sim.RunUntil(sim.Now() + 100 * kMillisecond);
+    return out;
+  };
+
+  ASSERT_TRUE(sync([&](auto cb) { client.Create("/attr/f", cb); }).ok());
+  ASSERT_TRUE(
+      sync([&](auto cb) { client.SetOwner("/attr/f", "dave:data", cb); }).ok());
+  ASSERT_TRUE(
+      sync([&](auto cb) { client.SetPermission("/attr/f", 0640, cb); }).ok());
+  sim.RunUntil(sim.Now() + kSecond);
+
+  // Replicated everywhere.
+  core::MdsServer* active = cfs.FindActive(0);
+  for (std::size_t m = 0; m < cfs.group_size(0); ++m) {
+    auto& mds = cfs.mds(0, static_cast<int>(m));
+    if (mds.role() != ServerState::kStandby) continue;
+    EXPECT_EQ(mds.tree().GetFileInfo("/attr/f").value().owner, "dave:data")
+        << mds.name();
+  }
+
+  // And they survive a failover.
+  active->Crash();
+  sim.RunUntil(sim.Now() + 10 * kSecond);
+  core::MdsServer* new_active = cfs.FindActive(0);
+  ASSERT_NE(new_active, nullptr);
+  EXPECT_EQ(new_active->tree().GetFileInfo("/attr/f").value().owner,
+            "dave:data");
+  EXPECT_EQ(new_active->tree().GetFileInfo("/attr/f").value().permission,
+            0640);
+}
+
+}  // namespace
+}  // namespace mams

@@ -1,0 +1,234 @@
+// Unit tests for the common substrate: status/result, rng, bytes, types.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace mams {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("/a/b");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "/a/b");
+  EXPECT_EQ(s.ToString(), "NotFound: /a/b");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::TimedOut("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::TimedOut("rpc"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimedOut);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+// --- time helpers --------------------------------------------------------
+
+TEST(TimeTest, UnitArithmetic) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(2 * kSecond + 500 * kMillisecond), 2.5);
+  EXPECT_DOUBLE_EQ(ToMillis(250 * kMicrosecond), 0.25);
+}
+
+TEST(TimeTest, FormatTime) {
+  EXPECT_EQ(FormatTime(1500 * kMillisecond), "1.500s");
+}
+
+TEST(ServerStateTest, TagsMatchPaperTableII) {
+  EXPECT_STREQ(ServerStateTag(ServerState::kActive), "A");
+  EXPECT_STREQ(ServerStateTag(ServerState::kStandby), "S");
+  EXPECT_STREQ(ServerStateTag(ServerState::kJunior), "J");
+  EXPECT_STREQ(ServerStateTag(ServerState::kDown), "-");
+}
+
+// --- rng -------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BelowBoundRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+  EXPECT_EQ(rng.Below(1), 0u);
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.Exponential(3.0);
+  EXPECT_NEAR(sum / 20000, 3.0, 0.1);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(15);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(sq / n - mean * mean, 4.0, 0.2);
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(17);
+  int low = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Zipf(1000, 0.9) < 100) ++low;
+  }
+  // With heavy skew most of the mass concentrates on small ranks.
+  EXPECT_GT(low, n / 2);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng parent(21);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (child1.Next() == child2.Next());
+  EXPECT_LT(equal, 3);
+}
+
+// --- bytes -----------------------------------------------------------------
+
+TEST(BytesTest, RoundTripScalars) {
+  ByteWriter w;
+  w.U8(7);
+  w.U32(0xdeadbeef);
+  w.U64(0x0123456789abcdefull);
+  w.I64(-42);
+  w.F64(3.25);
+  w.Str("hello");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.U8(), 7);
+  EXPECT_EQ(r.U32(), 0xdeadbeefu);
+  EXPECT_EQ(r.U64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_DOUBLE_EQ(r.F64(), 3.25);
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BytesTest, TruncationDetected) {
+  ByteWriter w;
+  w.U64(1);
+  ByteReader r(w.bytes().data(), 4);  // cut in half
+  (void)r.U64();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.ToStatus("thing").code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, TruncatedStringDetected) {
+  ByteWriter w;
+  w.Str("abcdef");
+  std::vector<char> cut(w.bytes().begin(), w.bytes().begin() + 6);
+  ByteReader r(cut);
+  (void)r.Str();
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BytesTest, BadReaderReturnsZeroes) {
+  ByteReader r(nullptr, 0);
+  EXPECT_EQ(r.U32(), 0u);
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BytesTest, ChecksumStable) {
+  ByteWriter a, b;
+  a.Str("same");
+  b.Str("same");
+  EXPECT_EQ(a.Checksum(), b.Checksum());
+  b.U8(1);
+  EXPECT_NE(a.Checksum(), b.Checksum());
+}
+
+TEST(BytesTest, Fnv1aMatchesIncremental) {
+  const std::string s = "abcdef";
+  const auto whole = Fnv1a(s);
+  auto half = Fnv1a(s.substr(0, 3));
+  half = Fnv1a(s.substr(3), half);
+  EXPECT_EQ(whole, half);
+}
+
+}  // namespace
+}  // namespace mams

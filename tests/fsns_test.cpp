@@ -1,0 +1,432 @@
+// Tests for the namespace: paths, tree operations, replay determinism,
+// image round trips, duplicate suppression, block map, and partitioning.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fsns/blockmap.hpp"
+#include "fsns/partition.hpp"
+#include "fsns/path.hpp"
+#include "fsns/tree.hpp"
+
+namespace mams::fsns {
+namespace {
+
+using journal::LogRecord;
+using journal::OpCode;
+
+// --- paths -----------------------------------------------------------------
+
+TEST(PathTest, Validity) {
+  EXPECT_TRUE(IsValidPath("/"));
+  EXPECT_TRUE(IsValidPath("/a"));
+  EXPECT_TRUE(IsValidPath("/a/b/c"));
+  EXPECT_FALSE(IsValidPath(""));
+  EXPECT_FALSE(IsValidPath("a/b"));
+  EXPECT_FALSE(IsValidPath("/a/"));
+  EXPECT_FALSE(IsValidPath("/a//b"));
+  EXPECT_FALSE(IsValidPath("/a/./b"));
+  EXPECT_FALSE(IsValidPath("/a/../b"));
+}
+
+TEST(PathTest, SplitAndJoin) {
+  auto parts = SplitPath("/a/b/c");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_EQ(JoinPath("/a", "b"), "/a/b");
+  EXPECT_EQ(JoinPath("/", "b"), "/b");
+}
+
+TEST(PathTest, ParentAndBase) {
+  EXPECT_EQ(ParentPath("/a/b/c"), "/a/b");
+  EXPECT_EQ(ParentPath("/a"), "/");
+  EXPECT_EQ(ParentPath("/"), "");
+  EXPECT_EQ(BaseName("/a/b/c"), "c");
+  EXPECT_EQ(BaseName("/"), "");
+}
+
+TEST(PathTest, PrefixRelation) {
+  EXPECT_TRUE(IsPrefixPath("/a", "/a"));
+  EXPECT_TRUE(IsPrefixPath("/a", "/a/b"));
+  EXPECT_FALSE(IsPrefixPath("/a", "/ab"));
+  EXPECT_TRUE(IsPrefixPath("/", "/anything"));
+}
+
+// --- tree basics -------------------------------------------------------------
+
+class TreeTest : public ::testing::Test {
+ protected:
+  ClientOpId Op() { return {.client_id = 1, .op_seq = ++seq_}; }
+  std::uint64_t seq_ = 0;
+  Tree tree_;
+};
+
+TEST_F(TreeTest, CreateAndStatFile) {
+  ASSERT_TRUE(tree_.Mkdir("/dir", 1, Op()).ok());
+  ASSERT_TRUE(tree_.Create("/dir/f", 3, 2, Op()).ok());
+  auto info = tree_.GetFileInfo("/dir/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info.value().is_dir);
+  EXPECT_EQ(info.value().replication, 3u);
+  EXPECT_EQ(info.value().mtime, 2);
+  EXPECT_FALSE(info.value().complete);
+  EXPECT_EQ(tree_.file_count(), 1u);
+}
+
+TEST_F(TreeTest, CreateMaterializesMissingParents) {
+  // HDFS create() semantics: ancestors appear automatically (also required
+  // for hash-partitioned groups that own a file but not its parent entry).
+  auto r = tree_.Create("/missing/deep/f", 1, 1, Op());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(tree_.Exists("/missing/deep"));
+  EXPECT_TRUE(tree_.GetFileInfo("/missing/deep").value().is_dir);
+}
+
+TEST_F(TreeTest, CreateFailsOnDuplicate) {
+  ASSERT_TRUE(tree_.Create("/f", 1, 1, Op()).ok());
+  auto r = tree_.Create("/f", 1, 2, Op());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(TreeTest, CreateUnderFileFails) {
+  ASSERT_TRUE(tree_.Create("/f", 1, 1, Op()).ok());
+  auto r = tree_.Create("/f/g", 1, 2, Op());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TreeTest, MkdirCreatesAncestors) {
+  ASSERT_TRUE(tree_.Mkdir("/a/b/c", 5, Op()).ok());
+  EXPECT_TRUE(tree_.Exists("/a"));
+  EXPECT_TRUE(tree_.Exists("/a/b"));
+  EXPECT_TRUE(tree_.Exists("/a/b/c"));
+  auto info = tree_.GetFileInfo("/a/b");
+  ASSERT_TRUE(info.ok());
+  EXPECT_TRUE(info.value().is_dir);
+}
+
+TEST_F(TreeTest, MkdirOverFileFails) {
+  ASSERT_TRUE(tree_.Create("/f", 1, 1, Op()).ok());
+  EXPECT_FALSE(tree_.Mkdir("/f", 2, Op()).ok());
+  EXPECT_FALSE(tree_.Mkdir("/f/sub", 2, Op()).ok());
+}
+
+TEST_F(TreeTest, DeleteRemovesSubtreeRecursively) {
+  ASSERT_TRUE(tree_.Mkdir("/a/b", 1, Op()).ok());
+  ASSERT_TRUE(tree_.Create("/a/b/f1", 1, 1, Op()).ok());
+  ASSERT_TRUE(tree_.Create("/a/b/f2", 1, 1, Op()).ok());
+  const auto before = tree_.inode_count();
+  ASSERT_TRUE(tree_.Delete("/a", 2, Op()).ok());
+  EXPECT_FALSE(tree_.Exists("/a"));
+  EXPECT_FALSE(tree_.Exists("/a/b/f1"));
+  EXPECT_EQ(tree_.inode_count(), before - 4);
+  EXPECT_EQ(tree_.file_count(), 0u);
+}
+
+TEST_F(TreeTest, DeleteRootRejected) {
+  auto r = tree_.Delete("/", 1, Op());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TreeTest, RenameMovesSubtree) {
+  ASSERT_TRUE(tree_.Mkdir("/src/deep", 1, Op()).ok());
+  ASSERT_TRUE(tree_.Create("/src/deep/f", 1, 1, Op()).ok());
+  ASSERT_TRUE(tree_.Mkdir("/dst", 1, Op()).ok());
+  ASSERT_TRUE(tree_.Rename("/src", "/dst/moved", 2, Op()).ok());
+  EXPECT_FALSE(tree_.Exists("/src"));
+  EXPECT_TRUE(tree_.Exists("/dst/moved/deep/f"));
+}
+
+TEST_F(TreeTest, RenameUnderItselfRejected) {
+  ASSERT_TRUE(tree_.Mkdir("/a/b", 1, Op()).ok());
+  auto r = tree_.Rename("/a", "/a/b/c", 2, Op());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TreeTest, RenameOntoExistingRejected) {
+  ASSERT_TRUE(tree_.Create("/a", 1, 1, Op()).ok());
+  ASSERT_TRUE(tree_.Create("/b", 1, 1, Op()).ok());
+  auto r = tree_.Rename("/a", "/b", 2, Op());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(TreeTest, ListDirSortedNames) {
+  ASSERT_TRUE(tree_.Mkdir("/d", 1, Op()).ok());
+  for (const char* n : {"zebra", "alpha", "mid"}) {
+    ASSERT_TRUE(tree_.Create(std::string("/d/") + n, 1, 1, Op()).ok());
+  }
+  auto names = tree_.ListDir("/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(),
+            (std::vector<std::string>{"alpha", "mid", "zebra"}));
+}
+
+TEST_F(TreeTest, AddBlockAllocatesMonotonicIds) {
+  ASSERT_TRUE(tree_.Create("/f", 1, 1, Op()).ok());
+  auto r1 = tree_.AddBlock("/f", 2, Op());
+  auto r2 = tree_.AddBlock("/f", 3, Op());
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_LT(r1.value().block, r2.value().block);
+  auto info = tree_.GetFileInfo("/f");
+  EXPECT_EQ(info.value().block_count, 2u);
+}
+
+TEST_F(TreeTest, CompleteFileMarksClosed) {
+  ASSERT_TRUE(tree_.Create("/f", 1, 1, Op()).ok());
+  ASSERT_TRUE(tree_.CompleteFile("/f", 2, Op()).ok());
+  EXPECT_TRUE(tree_.GetFileInfo("/f").value().complete);
+}
+
+TEST_F(TreeTest, SetReplicationOnDirectoryFails) {
+  ASSERT_TRUE(tree_.Mkdir("/d", 1, Op()).ok());
+  EXPECT_FALSE(tree_.SetReplication("/d", 5, 2, Op()).ok());
+}
+
+// --- duplicate suppression ----------------------------------------------------
+
+TEST_F(TreeTest, ResentOperationIsSuppressed) {
+  ClientOpId id{.client_id = 7, .op_seq = 1};
+  ASSERT_TRUE(tree_.Create("/f", 1, 1, id).ok());
+  auto dup = tree_.Create("/f", 1, 2, id);  // resend of the same op
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(dup.status().message(), "duplicate");
+  EXPECT_TRUE(tree_.IsDuplicate(id));
+}
+
+TEST_F(TreeTest, AnonymousClientNeverDeduped) {
+  ClientOpId anon{};  // client_id 0
+  ASSERT_TRUE(tree_.Mkdir("/d", 1, anon).ok());
+  ASSERT_TRUE(tree_.Mkdir("/d", 2, anon).ok());  // mkdirs is naturally idempotent
+  EXPECT_FALSE(tree_.IsDuplicate(anon));
+}
+
+TEST_F(TreeTest, FailedOpIsNotRemembered) {
+  ClientOpId id{.client_id = 7, .op_seq = 1};
+  ASSERT_FALSE(tree_.AddBlock("/missing/f", 1, id).ok());
+  EXPECT_FALSE(tree_.IsDuplicate(id));  // retry may re-execute
+}
+
+// --- replay & fingerprints ----------------------------------------------------
+
+TEST_F(TreeTest, ReplayReproducesFingerprint) {
+  std::vector<LogRecord> log;
+  auto run = [&](Result<LogRecord> r) {
+    ASSERT_TRUE(r.ok());
+    LogRecord rec = std::move(r).value();
+    rec.txid = static_cast<TxId>(log.size() + 1);
+    tree_.set_last_txid(rec.txid);
+    log.push_back(rec);
+  };
+  run(tree_.Mkdir("/data/set1", 1, Op()));
+  run(tree_.Create("/data/set1/a", 2, 2, Op()));
+  run(tree_.AddBlock("/data/set1/a", 3, Op()));
+  run(tree_.CompleteFile("/data/set1/a", 4, Op()));
+  run(tree_.Rename("/data/set1/a", "/data/set1/b", 5, Op()));
+  run(tree_.Create("/data/set1/c", 1, 6, Op()));
+  run(tree_.Delete("/data/set1/c", 7, Op()));
+
+  Tree replica;
+  for (const auto& rec : log) ASSERT_TRUE(replica.Apply(rec).ok());
+  EXPECT_EQ(replica.Fingerprint(), tree_.Fingerprint());
+  EXPECT_EQ(replica.last_txid(), tree_.last_txid());
+}
+
+TEST_F(TreeTest, ReplayIsIdempotentPerTxid) {
+  LogRecord rec;
+  rec.txid = 1;
+  rec.op = OpCode::kMkdir;
+  rec.path = "/d";
+  Tree replica;
+  ASSERT_TRUE(replica.Apply(rec).ok());
+  const auto fp = replica.Fingerprint();
+  ASSERT_TRUE(replica.Apply(rec).ok());  // duplicate flush after failover
+  EXPECT_EQ(replica.Fingerprint(), fp);
+}
+
+TEST_F(TreeTest, ReplayDivergenceIsInternalError) {
+  LogRecord rec;
+  rec.txid = 1;
+  rec.op = OpCode::kAddBlock;
+  rec.path = "/missing/f";  // never succeeds on an empty tree
+  rec.block = 1;
+  Tree replica;
+  auto s = replica.Apply(rec);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST_F(TreeTest, ImageRoundTripPreservesEverything) {
+  ASSERT_TRUE(tree_.Mkdir("/x/y", 1, Op()).ok());
+  ASSERT_TRUE(tree_.Create("/x/y/f", 2, 2, Op()).ok());
+  ASSERT_TRUE(tree_.AddBlock("/x/y/f", 3, Op()).ok());
+  tree_.set_last_txid(17);
+
+  const auto bytes = tree_.SaveImage();
+  Tree loaded;
+  ASSERT_TRUE(loaded.LoadImage(bytes).ok());
+  EXPECT_EQ(loaded.Fingerprint(), tree_.Fingerprint());
+  EXPECT_EQ(loaded.last_txid(), 17u);
+  EXPECT_EQ(loaded.file_count(), 1u);
+  // Post-load mutations allocate fresh ids that do not collide.
+  ClientOpId id{.client_id = 2, .op_seq = 1};
+  ASSERT_TRUE(loaded.Create("/x/y/g", 1, 9, id).ok());
+  EXPECT_NE(loaded.FindInode("/x/y/g")->id, loaded.FindInode("/x/y/f")->id);
+}
+
+TEST_F(TreeTest, ImageChecksumDetectsCorruption) {
+  ASSERT_TRUE(tree_.Mkdir("/d", 1, Op()).ok());
+  auto bytes = tree_.SaveImage();
+  bytes[bytes.size() / 2] ^= 1;
+  Tree loaded;
+  EXPECT_EQ(loaded.LoadImage(bytes).code(), StatusCode::kCorruption);
+}
+
+TEST_F(TreeTest, ResetReturnsToEmptyRoot) {
+  ASSERT_TRUE(tree_.Mkdir("/d", 1, Op()).ok());
+  tree_.Reset();
+  EXPECT_EQ(tree_.inode_count(), 1u);
+  EXPECT_FALSE(tree_.Exists("/d"));
+  EXPECT_EQ(tree_.last_txid(), 0u);
+}
+
+// Property: a random interleaving of operations replayed from the journal
+// always converges to the primary's fingerprint.
+class ReplayPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReplayPropertyTest, RandomWorkloadReplaysExactly) {
+  Rng rng(GetParam());
+  Tree primary;
+  std::vector<LogRecord> log;
+  std::uint64_t seq = 0;
+  TxId txid = 0;
+  std::vector<std::string> dirs{"/"};
+  std::vector<std::string> files;
+
+  auto journal_it = [&](Result<LogRecord> r) {
+    if (!r.ok()) return;  // client-visible error; nothing journaled
+    LogRecord rec = std::move(r).value();
+    rec.txid = ++txid;
+    primary.set_last_txid(txid);
+    log.push_back(rec);
+  };
+
+  for (int i = 0; i < 400; ++i) {
+    ClientOpId id{.client_id = 5, .op_seq = ++seq};
+    const auto roll = rng.Below(100);
+    if (roll < 30) {
+      const auto& dir = dirs[rng.Below(dirs.size())];
+      std::string path =
+          (dir == "/" ? "" : dir) + "/f" + std::to_string(rng.Below(200));
+      auto r = primary.Create(path, 1, i, id);
+      if (r.ok()) files.push_back(path);
+      journal_it(std::move(r));
+    } else if (roll < 50) {
+      std::string path = "/d" + std::to_string(rng.Below(20)) + "/s" +
+                         std::to_string(rng.Below(5));
+      auto r = primary.Mkdir(path, i, id);
+      if (r.ok()) dirs.push_back(path);
+      journal_it(std::move(r));
+    } else if (roll < 65 && !files.empty()) {
+      const auto idx = rng.Below(files.size());
+      auto r = primary.Delete(files[idx], i, id);
+      if (r.ok()) files.erase(files.begin() + static_cast<long>(idx));
+      journal_it(std::move(r));
+    } else if (roll < 80 && !files.empty()) {
+      const auto idx = rng.Below(files.size());
+      std::string dst = files[idx] + "_r" + std::to_string(i);
+      auto r = primary.Rename(files[idx], dst, i, id);
+      if (r.ok()) files[idx] = dst;
+      journal_it(std::move(r));
+    } else if (!files.empty()) {
+      journal_it(primary.AddBlock(files[rng.Below(files.size())], i, id));
+    }
+  }
+
+  Tree replica;
+  for (const auto& rec : log) {
+    ASSERT_TRUE(replica.Apply(rec).ok()) << "txid " << rec.txid;
+  }
+  EXPECT_EQ(replica.Fingerprint(), primary.Fingerprint());
+
+  // And the image of the replica loads back to the same fingerprint.
+  Tree loaded;
+  ASSERT_TRUE(loaded.LoadImage(replica.SaveImage()).ok());
+  EXPECT_EQ(loaded.Fingerprint(), primary.Fingerprint());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- block map -----------------------------------------------------------
+
+TEST(BlockMapTest, IngestAndQuery) {
+  BlockMap map;
+  map.IngestReport(10, {1, 2, 3});
+  map.IngestReport(11, {2, 3, 4});
+  EXPECT_TRUE(map.HasLocations(1));
+  EXPECT_EQ(map.Locations(2).size(), 2u);
+  EXPECT_EQ(map.tracked_blocks(), 4u);
+  EXPECT_EQ(map.reporting_servers(), 2u);
+}
+
+TEST(BlockMapTest, ReportReplacesPreviousClaims) {
+  BlockMap map;
+  map.IngestReport(10, {1, 2});
+  map.IngestReport(10, {2, 3});  // block 1 dropped by the server
+  EXPECT_FALSE(map.HasLocations(1));
+  EXPECT_TRUE(map.HasLocations(3));
+}
+
+TEST(BlockMapTest, ForgetServerRetractsLocations) {
+  BlockMap map;
+  map.IngestReport(10, {1});
+  map.IngestReport(11, {1});
+  map.ForgetServer(10);
+  EXPECT_EQ(map.Locations(1), std::vector<NodeId>{11});
+  map.ForgetServer(11);
+  EXPECT_FALSE(map.HasLocations(1));
+}
+
+// --- partitioner -----------------------------------------------------------
+
+TEST(PartitionerTest, StableAndInRange) {
+  HashPartitioner part(3);
+  for (const char* p : {"/a/b", "/c", "/deep/nested/file"}) {
+    const GroupId g = part.OwnerOf(p);
+    EXPECT_LT(g, 3u);
+    EXPECT_EQ(g, part.OwnerOf(p));
+  }
+}
+
+TEST(PartitionerTest, SiblingsShareAGroup) {
+  HashPartitioner part(4);
+  EXPECT_EQ(part.OwnerOf("/dir/f1"), part.OwnerOf("/dir/f2"));
+}
+
+TEST(PartitionerTest, SpreadsDirectoriesAcrossGroups) {
+  HashPartitioner part(3);
+  bool seen[3] = {false, false, false};
+  for (int i = 0; i < 64; ++i) {
+    seen[part.OwnerOfDir("/dir" + std::to_string(i))] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(PartitionerTest, SingleGroupDegeneratesToLocal) {
+  HashPartitioner part(1);
+  EXPECT_TRUE(part.IsLocalOp("/any/path"));
+  EXPECT_TRUE(part.IsLocalOp("/a/b", "/c/d"));
+}
+
+}  // namespace
+}  // namespace mams::fsns

@@ -1,0 +1,174 @@
+// Tests for journal records, batches (serialization + checksums), and the
+// batching writer (sn/txid assignment, flush policies, reseed).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "journal/record.hpp"
+#include "journal/writer.hpp"
+#include "sim/simulator.hpp"
+
+namespace mams::journal {
+namespace {
+
+LogRecord Sample(TxId txid) {
+  LogRecord r;
+  r.txid = txid;
+  r.op = OpCode::kCreate;
+  r.path = "/dir/file" + std::to_string(txid);
+  r.replication = 3;
+  r.mtime = 123 * kMillisecond;
+  r.client = {.client_id = 9, .op_seq = txid};
+  return r;
+}
+
+TEST(LogRecordTest, SerializeRoundTrip) {
+  LogRecord r = Sample(42);
+  r.op = OpCode::kRename;
+  r.path2 = "/dir/renamed";
+  r.block = 77;
+  ByteWriter w;
+  r.Serialize(w);
+  ByteReader in(w.bytes());
+  auto back = LogRecord::Deserialize(in);
+  ASSERT_TRUE(back.ok());
+  const LogRecord& b = back.value();
+  EXPECT_EQ(b.txid, r.txid);
+  EXPECT_EQ(b.op, r.op);
+  EXPECT_EQ(b.path, r.path);
+  EXPECT_EQ(b.path2, r.path2);
+  EXPECT_EQ(b.replication, r.replication);
+  EXPECT_EQ(b.block, r.block);
+  EXPECT_EQ(b.mtime, r.mtime);
+  EXPECT_EQ(b.client, r.client);
+}
+
+TEST(LogRecordTest, TruncationReturnsCorruption) {
+  ByteWriter w;
+  Sample(1).Serialize(w);
+  std::vector<char> cut(w.bytes().begin(), w.bytes().end() - 4);
+  ByteReader in(cut);
+  auto back = LogRecord::Deserialize(in);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BatchTest, SerializeRoundTrip) {
+  Batch b;
+  b.sn = 5;
+  b.first_txid = 100;
+  for (TxId t = 100; t < 110; ++t) b.records.push_back(Sample(t));
+  const auto bytes = b.Serialize();
+  auto back = Batch::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().sn, 5u);
+  EXPECT_EQ(back.value().first_txid, 100u);
+  ASSERT_EQ(back.value().records.size(), 10u);
+  EXPECT_EQ(back.value().records[3].path, "/dir/file103");
+}
+
+TEST(BatchTest, ChecksumDetectsBitFlip) {
+  Batch b;
+  b.sn = 1;
+  b.records.push_back(Sample(1));
+  auto bytes = b.Serialize();
+  bytes[bytes.size() / 2] ^= 0x40;
+  auto back = Batch::Deserialize(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BatchTest, HeaderTruncationDetected) {
+  auto back = Batch::Deserialize(std::vector<char>(10, 0));
+  ASSERT_FALSE(back.ok());
+}
+
+// --- Writer ----------------------------------------------------------------
+
+class WriterTest : public ::testing::Test {
+ protected:
+  WriterTest() {
+    Writer::Options opts;
+    opts.max_batch_records = 4;
+    opts.max_batch_delay = 2 * kMillisecond;
+    writer_ = std::make_unique<Writer>(sim_, opts, [this](Batch b) {
+      batches_.push_back(std::move(b));
+    });
+  }
+
+  LogRecord Rec() {
+    LogRecord r;
+    r.op = OpCode::kMkdir;
+    r.path = "/d";
+    return r;
+  }
+
+  sim::Simulator sim_{3};
+  std::vector<Batch> batches_;
+  std::unique_ptr<Writer> writer_;
+};
+
+TEST_F(WriterTest, FlushesWhenRecordBudgetFills) {
+  for (int i = 0; i < 4; ++i) writer_->Append(Rec());
+  EXPECT_EQ(batches_.size(), 1u);  // flushed synchronously at the cap
+  EXPECT_EQ(batches_[0].records.size(), 4u);
+  EXPECT_EQ(batches_[0].sn, 1u);
+  EXPECT_EQ(batches_[0].first_txid, 1u);
+}
+
+TEST_F(WriterTest, FlushesOnAggregationWindow) {
+  writer_->Append(Rec());
+  EXPECT_TRUE(batches_.empty());
+  sim_.RunUntil(5 * kMillisecond);
+  ASSERT_EQ(batches_.size(), 1u);
+  EXPECT_EQ(batches_[0].records.size(), 1u);
+}
+
+TEST_F(WriterTest, TxidsAreContiguousAcrossBatches) {
+  for (int i = 0; i < 10; ++i) writer_->Append(Rec());
+  writer_->Flush();
+  TxId expect = 1;
+  for (const auto& b : batches_) {
+    EXPECT_EQ(b.first_txid, expect);
+    for (const auto& r : b.records) EXPECT_EQ(r.txid, expect++);
+  }
+  EXPECT_EQ(expect, 11u);
+}
+
+TEST_F(WriterTest, SnStrictlyIncreases) {
+  for (int i = 0; i < 12; ++i) writer_->Append(Rec());
+  writer_->Flush();
+  SerialNumber prev = 0;
+  for (const auto& b : batches_) {
+    EXPECT_GT(b.sn, prev);
+    prev = b.sn;
+  }
+}
+
+TEST_F(WriterTest, ReseedContinuesSequence) {
+  // Simulates a standby taking over: it reseeds from the last durable
+  // <sn, txid> and its batches continue both sequences without overlap.
+  writer_->Reseed(41, 1000);
+  writer_->Append(Rec());
+  writer_->Flush();
+  ASSERT_EQ(batches_.size(), 1u);
+  EXPECT_EQ(batches_[0].sn, 42u);
+  EXPECT_EQ(batches_[0].records[0].txid, 1001u);
+}
+
+TEST_F(WriterTest, FlushOnEmptyIsNoop) {
+  writer_->Flush();
+  EXPECT_TRUE(batches_.empty());
+}
+
+TEST_F(WriterTest, ChecksumPopulatedOnFlush) {
+  writer_->Append(Rec());
+  writer_->Flush();
+  ASSERT_EQ(batches_.size(), 1u);
+  const auto bytes = batches_[0].Serialize();
+  auto back = Batch::Deserialize(bytes);
+  ASSERT_TRUE(back.ok());
+}
+
+}  // namespace
+}  // namespace mams::journal

@@ -1,0 +1,199 @@
+// Tests for the simulated network and RPC machinery: latency model,
+// partitions, cable pulls, timeouts, and crash semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/host.hpp"
+#include "net/message_types.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mams::net {
+namespace {
+
+struct PingMsg final : Message {
+  int value = 0;
+  std::size_t bytes = 64;
+  MsgType type() const noexcept override { return kTestPing; }
+  std::size_t ByteSize() const noexcept override { return bytes; }
+};
+
+struct PongMsg final : Message {
+  int value = 0;
+  MsgType type() const noexcept override { return kTestPong; }
+};
+
+/// Echo server: replies value+1.
+class EchoHost : public Host {
+ public:
+  EchoHost(Network& net, std::string name) : Host(net, std::move(name)) {
+    OnRequest(kTestPing, [this](const Envelope&, const MessagePtr& msg,
+                                const ReplyFn& reply) {
+      ++requests_seen;
+      auto pong = std::make_shared<PongMsg>();
+      pong->value = Cast<PingMsg>(msg).value + 1;
+      reply(pong);
+    });
+  }
+  int requests_seen = 0;
+};
+
+class NetTest : public ::testing::Test {
+ protected:
+  NetTest() : sim_(42), net_(sim_), a_(net_, "a"), b_(net_, "b") {
+    a_.Boot();
+    b_.Boot();
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+  EchoHost a_;
+  EchoHost b_;
+};
+
+TEST_F(NetTest, RpcRoundTrip) {
+  auto ping = std::make_shared<PingMsg>();
+  ping->value = 10;
+  int got = -1;
+  a_.Call(b_.id(), ping, kSecond, [&](Result<MessagePtr> r) {
+    ASSERT_TRUE(r.ok());
+    got = Cast<PongMsg>(r.value()).value;
+  });
+  sim_.RunAll();
+  EXPECT_EQ(got, 11);
+  EXPECT_EQ(b_.requests_seen, 1);
+}
+
+TEST_F(NetTest, LatencyIncludesBandwidthTerm) {
+  // A 1 MB message at ~110 MB/s should take around 9 ms on the wire.
+  auto big = std::make_shared<PingMsg>();
+  big->bytes = 1 << 20;
+  SimTime arrival = -1;
+  a_.Call(b_.id(), big, 10 * kSecond,
+          [&](Result<MessagePtr>) { arrival = sim_.Now(); });
+  sim_.RunAll();
+  EXPECT_GT(arrival, 9 * kMillisecond);
+  EXPECT_LT(arrival, 20 * kMillisecond);
+}
+
+TEST_F(NetTest, SmallMessageIsSubMillisecond) {
+  auto ping = std::make_shared<PingMsg>();
+  SimTime arrival = -1;
+  a_.Call(b_.id(), ping, kSecond,
+          [&](Result<MessagePtr>) { arrival = sim_.Now(); });
+  sim_.RunAll();
+  EXPECT_LT(arrival, kMillisecond);
+  EXPECT_GT(arrival, 0);
+}
+
+TEST_F(NetTest, TimeoutWhenDestinationDead) {
+  b_.Crash();
+  auto ping = std::make_shared<PingMsg>();
+  Status status = Status::Ok();
+  a_.Call(b_.id(), ping, 500 * kMillisecond, [&](Result<MessagePtr> r) {
+    status = r.status();
+  });
+  sim_.RunAll();
+  EXPECT_EQ(status.code(), StatusCode::kTimedOut);
+  EXPECT_EQ(sim_.Now(), 500 * kMillisecond);
+}
+
+TEST_F(NetTest, PartitionDropsTraffic) {
+  net_.Partition(a_.id(), b_.id());
+  auto ping = std::make_shared<PingMsg>();
+  bool timed_out = false;
+  a_.Call(b_.id(), ping, 100 * kMillisecond,
+          [&](Result<MessagePtr> r) { timed_out = !r.ok(); });
+  sim_.RunAll();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(b_.requests_seen, 0);
+
+  net_.Heal(a_.id(), b_.id());
+  bool ok = false;
+  a_.Call(b_.id(), std::make_shared<PingMsg>(), 100 * kMillisecond,
+          [&](Result<MessagePtr> r) { ok = r.ok(); });
+  sim_.RunAll();
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(NetTest, CablePullDropsInFlightMessages) {
+  // Send, then pull b's cable before delivery: the message must be lost.
+  auto ping = std::make_shared<PingMsg>();
+  bool timed_out = false;
+  a_.Call(b_.id(), ping, 100 * kMillisecond,
+          [&](Result<MessagePtr> r) { timed_out = !r.ok(); });
+  net_.SetLinkUp(b_.id(), false);
+  sim_.RunAll();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(b_.requests_seen, 0);
+  EXPECT_GT(net_.stats().dropped, 0u);
+}
+
+TEST_F(NetTest, CallerCrashSuppressesCallback) {
+  auto ping = std::make_shared<PingMsg>();
+  bool fired = false;
+  a_.Call(b_.id(), ping, kSecond, [&](Result<MessagePtr>) { fired = true; });
+  a_.Crash();
+  sim_.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST_F(NetTest, OneWaySendDelivered) {
+  auto ping = std::make_shared<PingMsg>();
+  a_.Send(b_.id(), ping);
+  sim_.RunAll();
+  EXPECT_EQ(b_.requests_seen, 1);
+}
+
+TEST_F(NetTest, SelfSendUsesLoopback) {
+  auto ping = std::make_shared<PingMsg>();
+  SimTime arrival = -1;
+  a_.Call(a_.id(), ping, kSecond,
+          [&](Result<MessagePtr>) { arrival = sim_.Now(); });
+  sim_.RunAll();
+  EXPECT_GT(arrival, 0);
+  EXPECT_LT(arrival, 100 * kMicrosecond);
+}
+
+TEST_F(NetTest, LateResponseAfterTimeoutIgnored) {
+  // Timeout shorter than the round trip: callback fires exactly once with
+  // TimedOut, and the late response is dropped silently.
+  auto ping = std::make_shared<PingMsg>();
+  int calls = 0;
+  Status last;
+  a_.Call(b_.id(), ping, 10 * kMicrosecond, [&](Result<MessagePtr> r) {
+    ++calls;
+    last = r.ok() ? Status::Ok() : r.status();
+  });
+  sim_.RunAll();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(last.code(), StatusCode::kTimedOut);
+}
+
+TEST_F(NetTest, DeterministicAcrossRuns) {
+  // Two simulations with the same seed produce identical event timing.
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim(seed);
+    Network net(sim);
+    EchoHost x(net, "x"), y(net, "y");
+    x.Boot();
+    y.Boot();
+    SimTime arrival = -1;
+    x.Call(y.id(), std::make_shared<PingMsg>(), kSecond,
+           [&](Result<MessagePtr>) { arrival = sim.Now(); });
+    sim.RunAll();
+    return arrival;
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+TEST_F(NetTest, StatsCountDeliveries) {
+  a_.Send(b_.id(), std::make_shared<PingMsg>());
+  sim_.RunAll();
+  EXPECT_EQ(net_.stats().sent, 1u);
+  EXPECT_EQ(net_.stats().delivered, 1u);
+}
+
+}  // namespace
+}  // namespace mams::net

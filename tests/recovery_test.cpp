@@ -1,0 +1,162 @@
+// Tests for point-in-time recovery (the paper's named future work): any
+// historical namespace state is reconstructible offline from a pool node's
+// durable journal + images.
+#include <gtest/gtest.h>
+#include <limits>
+
+#include <memory>
+
+#include "cluster/cfs.hpp"
+#include "core/recovery.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mams::core {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() : sim_(41), net_(sim_) {
+    cluster::CfsConfig cfg;
+    cfg.groups = 1;
+    cfg.standbys_per_group = 2;
+    cfg.clients = 1;
+    cfg.data_servers = 1;
+    cfg.mds.checkpoint_interval = 4 * kSecond;
+    cfs_ = std::make_unique<cluster::CfsCluster>(net_, cfg);
+    cfs_->Start();
+    sim_.RunUntil(sim_.Now() + kSecond);
+  }
+
+  void Run(SimTime dt) { sim_.RunUntil(sim_.Now() + dt); }
+
+  void CreateFileOk(const std::string& path) {
+    Status out = Status::TimedOut("pending");
+    bool done = false;
+    cfs_->client(0).Create(path, [&](Status s) {
+      out = s;
+      done = true;
+    });
+    for (int i = 0; i < 600 && !done; ++i) Run(100 * kMillisecond);
+    ASSERT_TRUE(out.ok()) << path << ": " << out.ToString();
+  }
+
+  /// A pool node that holds the group journal replica — preferring one
+  /// that also holds an image (with 3 pool nodes and 2-way replication of
+  /// each file, at least one node holds both when an image exists).
+  const storage::FileStore& JournalStore() {
+    const storage::FileStore* journal_only = nullptr;
+    for (int p = 0; p < 3; ++p) {
+      const auto& store = cfs_->pool_node(p).store();
+      if (!store.Exists("g0/journal")) continue;
+      if (!store.List("g0/image-").empty()) return store;
+      if (journal_only == nullptr) journal_only = &store;
+    }
+    return journal_only != nullptr ? *journal_only
+                                   : cfs_->pool_node(0).store();
+  }
+
+  sim::Simulator sim_;
+  net::Network net_;
+  std::unique_ptr<cluster::CfsCluster> cfs_;
+};
+
+TEST_F(RecoveryTest, LatestStateMatchesLiveActive) {
+  for (int i = 0; i < 25; ++i) CreateFileOk("/r/f" + std::to_string(i));
+  Run(2 * kSecond);
+  const auto& store = JournalStore();
+  const TxId latest = RecoveryTool::LatestRecoverableTxid(store, 0);
+  EXPECT_GT(latest, 0u);
+
+  RecoveryReport report;
+  auto tree = RecoveryTool::RebuildAt(store, 0, latest, &report);
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree.value().Fingerprint(),
+            cfs_->FindActive(0)->tree().Fingerprint());
+  EXPECT_EQ(report.recovered_txid, latest);
+}
+
+TEST_F(RecoveryTest, IntermediatePointsArePrefixes) {
+  for (int i = 0; i < 20; ++i) CreateFileOk("/p/f" + std::to_string(i));
+  Run(kSecond);
+  const auto& store = JournalStore();
+  const TxId latest = RecoveryTool::LatestRecoverableTxid(store, 0);
+
+  // Rebuild at an early point: a strict prefix of the files must exist.
+  auto early = RecoveryTool::RebuildAt(store, 0, latest / 2);
+  ASSERT_TRUE(early.ok());
+  auto full = RecoveryTool::RebuildAt(store, 0, latest);
+  ASSERT_TRUE(full.ok());
+  EXPECT_LT(early.value().file_count(), full.value().file_count());
+  EXPECT_GT(early.value().file_count(), 0u);
+  // Everything in the early tree exists in the full tree (creates only).
+  for (int i = 0; i < 20; ++i) {
+    const std::string path = "/p/f" + std::to_string(i);
+    if (early.value().Exists(path)) {
+      EXPECT_TRUE(full.value().Exists(path)) << path;
+    }
+  }
+}
+
+TEST_F(RecoveryTest, UsesCheckpointImageAsBase) {
+  for (int i = 0; i < 15; ++i) CreateFileOk("/c/f" + std::to_string(i));
+  Run(6 * kSecond);  // past a checkpoint tick
+  for (int i = 15; i < 20; ++i) CreateFileOk("/c/f" + std::to_string(i));
+  Run(kSecond);
+
+  const auto& store = JournalStore();
+  const TxId latest = RecoveryTool::LatestRecoverableTxid(store, 0);
+  RecoveryReport report;
+  auto tree = RecoveryTool::RebuildAt(store, 0, latest, &report);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_GT(report.base_image_sn, 0u) << "expected an image base";
+  EXPECT_FALSE(report.base_image_file.empty());
+  EXPECT_EQ(tree.value().Fingerprint(),
+            cfs_->FindActive(0)->tree().Fingerprint());
+}
+
+TEST_F(RecoveryTest, SurvivesWholeClusterLoss) {
+  for (int i = 0; i < 10; ++i) CreateFileOk("/loss/f" + std::to_string(i));
+  Run(kSecond);
+  // Kill every metadata server: only pool disks remain.
+  for (std::size_t m = 0; m < cfs_->group_size(0); ++m) {
+    cfs_->mds(0, static_cast<int>(m)).Crash();
+  }
+  const auto& store = JournalStore();
+  auto tree = RecoveryTool::RebuildAt(
+      store, 0, RecoveryTool::LatestRecoverableTxid(store, 0));
+  ASSERT_TRUE(tree.ok());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(tree.value().Exists("/loss/f" + std::to_string(i)));
+  }
+}
+
+TEST_F(RecoveryTest, MissingGroupReportsNotFound) {
+  const auto& store = JournalStore();
+  auto tree = RecoveryTool::RebuildAt(store, 42, 100);
+  ASSERT_FALSE(tree.ok());
+  EXPECT_EQ(tree.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RecoveryTest, RecoveryIgnoresCorruptJournalTail) {
+  for (int i = 0; i < 8; ++i) CreateFileOk("/k/f" + std::to_string(i));
+  Run(kSecond);
+  // Corrupt the newest journal record on the replica we read from.
+  storage::FileStore& store =
+      const_cast<storage::FileStore&>(JournalStore());
+  auto& file = store.Open("g0/journal");
+  ASSERT_GT(file.size(), 0u);
+  auto& bytes =
+      const_cast<storage::SspRecord&>(file.records().back()).bytes;
+  if (!bytes.empty()) bytes[bytes.size() / 2] ^= 0x10;
+
+  RecoveryReport report;
+  auto tree = RecoveryTool::RebuildAt(
+      store, 0, std::numeric_limits<TxId>::max(), &report);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(report.corrupt_batches_skipped, 1u);
+  EXPECT_GT(tree.value().file_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mams::core

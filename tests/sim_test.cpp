@@ -1,0 +1,214 @@
+// Tests for the discrete-event engine: ordering, cancellation, periodic
+// timers, and the process crash/restart lifecycle.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/process.hpp"
+#include "sim/simulator.hpp"
+
+namespace mams::sim {
+namespace {
+
+TEST(EventQueueTest, FifoAtEqualTimestamps) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(10, [&] { order.push_back(2); });
+  q.Schedule(5, [&] { order.push_back(0); });
+  while (!q.empty()) {
+    auto ev = q.Pop();
+    ev.fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.Schedule(1, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.Cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  EventHandle h = q.Schedule(1, [] {});
+  auto ev = q.Pop();
+  ev.fn();
+  EXPECT_FALSE(h.pending());
+  h.Cancel();  // must not crash
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.After(3 * kMillisecond, [&] { seen = sim.Now(); });
+  sim.RunAll();
+  EXPECT_EQ(seen, 3 * kMillisecond);
+  EXPECT_EQ(sim.Now(), 3 * kMillisecond);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.After(1 * kSecond, [&] { ++fired; });
+  sim.After(3 * kSecond, [&] { ++fired; });
+  sim.RunUntil(2 * kSecond);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 2 * kSecond);
+  sim.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NegativeDelayClampedToNow) {
+  Simulator sim;
+  sim.After(kSecond, [&] {
+    sim.After(-5, [] {});  // must not move time backwards
+  });
+  sim.RunAll();
+  EXPECT_EQ(sim.Now(), kSecond);
+}
+
+TEST(SimulatorTest, NestedSchedulingRunsInOrder) {
+  Simulator sim;
+  std::vector<std::string> log;
+  sim.After(10, [&] {
+    log.push_back("a");
+    sim.After(5, [&] { log.push_back("c"); });
+  });
+  sim.After(12, [&] { log.push_back("b"); });
+  sim.RunAll();
+  EXPECT_EQ(log, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SimulatorTest, StepExecutesSingleEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.After(1, [&] { ++fired; });
+  sim.After(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTimerTest, FiresAtPeriodUntilStopped) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, kSecond, [&] { ++ticks; });
+  timer.Start();
+  sim.RunUntil(5 * kSecond + kMillisecond);
+  EXPECT_EQ(ticks, 5);
+  timer.Stop();
+  sim.RunUntil(10 * kSecond);
+  EXPECT_EQ(ticks, 5);
+}
+
+TEST(PeriodicTimerTest, CallbackMayStopTimer) {
+  Simulator sim;
+  int ticks = 0;
+  PeriodicTimer timer(sim, kSecond, [&] {
+    if (++ticks == 3) timer.Stop();
+  });
+  timer.Start();
+  sim.RunAll();
+  EXPECT_EQ(ticks, 3);
+}
+
+// --- Process lifecycle -------------------------------------------------------
+
+class TestProcess : public Process {
+ public:
+  using Process::Process;
+  int starts = 0, crashes = 0, restarts = 0;
+
+ protected:
+  void OnStart() override { ++starts; }
+  void OnCrash() override { ++crashes; }
+  void OnRestart() override { ++restarts; }
+};
+
+TEST(ProcessTest, BootCrashRestartLifecycle) {
+  Simulator sim;
+  TestProcess p(sim, "p");
+  EXPECT_FALSE(p.alive());
+  p.Boot();
+  EXPECT_TRUE(p.alive());
+  EXPECT_EQ(p.starts, 1);
+
+  p.Crash();
+  EXPECT_FALSE(p.alive());
+  EXPECT_EQ(p.crashes, 1);
+
+  p.Restart(2 * kSecond);
+  EXPECT_FALSE(p.alive());
+  sim.RunUntil(kSecond);
+  EXPECT_FALSE(p.alive());
+  sim.RunUntil(3 * kSecond);
+  EXPECT_TRUE(p.alive());
+  EXPECT_EQ(p.restarts, 1);
+}
+
+TEST(ProcessTest, CrashIsIdempotent) {
+  Simulator sim;
+  TestProcess p(sim, "p");
+  p.Boot();
+  p.Crash();
+  p.Crash();
+  EXPECT_EQ(p.crashes, 1);
+}
+
+TEST(ProcessTest, AfterLocalDiesWithProcess) {
+  Simulator sim;
+  TestProcess p(sim, "p");
+  p.Boot();
+  bool fired = false;
+  p.AfterLocal(kSecond, [&] { fired = true; });
+  p.Crash();
+  sim.RunAll();
+  EXPECT_FALSE(fired);
+}
+
+TEST(ProcessTest, AfterLocalFromOldIncarnationIgnoredAfterRestart) {
+  Simulator sim;
+  TestProcess p(sim, "p");
+  p.Boot();
+  bool fired = false;
+  p.AfterLocal(3 * kSecond, [&] { fired = true; });
+  sim.After(kSecond, [&] {
+    p.Crash();
+    p.Restart(500 * kMillisecond);
+  });
+  sim.RunAll();
+  EXPECT_TRUE(p.alive());
+  EXPECT_FALSE(fired);  // continuation belonged to the dead incarnation
+}
+
+TEST(ProcessTest, AfterLocalSurvivesWithinIncarnation) {
+  Simulator sim;
+  TestProcess p(sim, "p");
+  p.Boot();
+  bool fired = false;
+  p.AfterLocal(kSecond, [&] { fired = true; });
+  sim.RunAll();
+  EXPECT_TRUE(fired);
+}
+
+TEST(ProcessTest, IncarnationIncrementsOnCrash) {
+  Simulator sim;
+  TestProcess p(sim, "p");
+  p.Boot();
+  const auto inc0 = p.incarnation();
+  p.Crash();
+  EXPECT_EQ(p.incarnation(), inc0 + 1);
+}
+
+}  // namespace
+}  // namespace mams::sim

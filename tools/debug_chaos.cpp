@@ -1,0 +1,41 @@
+#include "cluster/cfs.hpp"
+#include <cstdio>
+using namespace mams;
+int main(int argc, char**argv) {
+  unsigned long long seed = argc>1?strtoull(argv[1],0,10):7002;
+  sim::Simulator sim(seed);
+  net::Network net(sim);
+  cluster::CfsConfig cfg; cfg.groups=1; cfg.standbys_per_group=3; cfg.clients=1; cfg.data_servers=1;
+  cluster::CfsCluster cfs(net, cfg);
+  cfs.Start();
+  sim.RunUntil(sim.Now()+kSecond);
+  Rng rng(seed ^ 0xc0ffee);
+  int next=0; std::vector<std::string> acked;
+  auto write_some=[&](int n){ for(int i=0;i<n;++i){ std::string p="/chaos/f"+std::to_string(next++);
+    Status st=Status::TimedOut("x"); bool done=false;
+    cfs.client(0).Create(p,[&](Status s){st=s;done=true;});
+    for(int k=0;k<900&&!done;++k) sim.RunUntil(sim.Now()+100*kMillisecond);
+    if(done&&st.ok()) acked.push_back(p); } };
+  write_some(5);
+  std::vector<NodeId> ids;
+  for(size_t m=0;m<cfs.group_size(0);++m) ids.push_back(cfs.mds(0,(int)m).id());
+  for(int round=0;round<4;++round){
+    NodeId v=ids[rng.Below(ids.size())];
+    net.SetLinkUp(v,false);
+    sim.RunUntil(sim.Now()+(SimTime)rng.Range(2,8)*kSecond);
+    net.SetLinkUp(v,true);
+    sim.RunUntil(sim.Now()+(SimTime)rng.Range(1,4)*kSecond);
+    write_some(2);
+  }
+  net.HealAll();
+  for(NodeId id:ids) net.SetLinkUp(id,true);
+  sim.RunUntil(sim.Now()+40*kSecond);
+  for(size_t m=0;m<cfs.group_size(0);++m){
+    auto& mds=cfs.mds(0,(int)m);
+    printf("%s alive=%d role=%s sn=%llu txid=%llu files=%llu fp=%llu\n",
+      mds.name().c_str(),(int)mds.alive(),ServerStateName(mds.role()),
+      (unsigned long long)mds.last_sn(),(unsigned long long)mds.tree().last_txid(),
+      (unsigned long long)mds.tree().file_count(),(unsigned long long)mds.tree().Fingerprint());
+  }
+  printf("view=%s acked=%zu\n", cfs.coord().frontend().PeekView(0).Row().c_str(), acked.size());
+}

@@ -1,0 +1,34 @@
+#include "baselines/systems.hpp"
+#include "workload/driver.hpp"
+#include <cstdio>
+using namespace mams;
+int main() {
+  sim::Simulator sim(82);
+  net::Network net(sim);
+  baselines::HadoopHaSystem::Options opts;
+  opts.clients = 1;
+  opts.client.max_attempts = 1;
+  opts.client.rpc_timeout = kSecond;
+  baselines::HadoopHaSystem sys(net, opts);
+  sim.RunUntil(sim.Now() + kSecond);
+  workload::Driver driver(sim, workload::MakeApi(sys.client(0)),
+                          workload::Mix::Only(workload::OpKind::kCreate), 5, {.sessions=2});
+  driver.Start();
+  sim.RunUntil(sim.Now() + 2*kSecond);
+  printf("pre-kill completed=%llu\n",(unsigned long long)driver.completed());
+  sys.KillPrimary();
+  for (int t=0;t<12;++t) {
+    sim.RunUntil(sim.Now()+5*kSecond);
+    printf("t+%02ds standby_serving=%d completed=%llu failed=%llu probe_f=%.2f probe_s=%.2f\n",
+      (t+1)*5, (int)sys.standby().serving(),
+      (unsigned long long)driver.completed(), (unsigned long long)driver.failed(),
+      ToSeconds(driver.mttr_probe().first_failure), ToSeconds(driver.mttr_probe().first_success_after));
+    if (driver.mttr_probe().complete()) break;
+    if (t==4) {
+      bool done=false;
+      sys.client(0).Create("/probe/x", [&](Status st){
+        printf("  direct create -> %s\n", st.ToString().c_str()); done=true; });
+      for (int k=0;k<200&&!done;++k) sim.RunUntil(sim.Now()+100*kMillisecond);
+    }
+  }
+}

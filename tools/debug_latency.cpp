@@ -1,0 +1,29 @@
+#include "cluster/cfs.hpp"
+#include "workload/driver.hpp"
+#include <cstdio>
+using namespace mams;
+int main(int argc, char** argv) {
+  int standbys = argc>1?atoi(argv[1]):1;
+  sim::Simulator sim(9);
+  net::Network net(sim);
+  cluster::CfsConfig cfg;
+  cfg.groups = 3; cfg.standbys_per_group = standbys; cfg.clients = 4; cfg.data_servers = 2;
+  cluster::CfsCluster cfs(net, cfg);
+  cfs.Start();
+  sim.RunUntil(sim.Now() + kSecond);
+  std::vector<std::unique_ptr<workload::Driver>> drivers;
+  for (int c = 0; c < 4; ++c) {
+    workload::DriverOptions opts; opts.sessions = 4;
+    drivers.push_back(std::make_unique<workload::Driver>(sim, workload::MakeApi(cfs.client(c)), workload::Mix::Only(workload::OpKind::kCreate), 100+c, opts));
+    drivers.back()->Start();
+  }
+  sim.RunUntil(sim.Now() + 3*kSecond);
+  double total=0;
+  for (auto& d: drivers) { d->Stop(); total += d->completed()/3.0;
+    printf("p50=%.3fms p90=%.3fms p99=%.3fms\n", d->latencies().Quantile(0.5), d->latencies().Quantile(0.9), d->latencies().Quantile(0.99));
+  }
+  printf("standbys=%d total create tput=%.0f\n", standbys, total);
+  auto& mds = cfs.mds(0,0);
+  printf("active g0 batches_synced=%llu mutations=%llu\n",
+    (unsigned long long)mds.counters().batches_synced, (unsigned long long)mds.counters().mutations);
+}

@@ -1,0 +1,26 @@
+#include "cluster/cfs.hpp"
+#include "common/logging.hpp"
+#include <cstdio>
+using namespace mams;
+int main() {
+  Logger::Instance().set_level(LogLevel::kDebug);
+  sim::Simulator sim(2);
+  net::Network net(sim);
+  cluster::CfsConfig cfg; cfg.groups=1; cfg.standbys_per_group=2; cfg.clients=1; cfg.data_servers=1;
+  cluster::CfsCluster cfs(net, cfg);
+  cfs.Start();
+  sim.RunUntil(sim.Now()+kSecond);
+  for (int i=0;i<20;++i){ bool done=false;
+    cfs.client(0).Create("/p/f"+std::to_string(i), [&](Status){done=true;});
+    while(!done) sim.RunUntil(sim.Now()+50*kMillisecond); }
+  cfs.pool_node(2).Crash();
+  auto& victim = cfs.mds(0,1);
+  victim.Crash(); victim.Restart(kSecond);
+  for (int t=0;t<12;++t) {
+    sim.RunUntil(sim.Now()+5*kSecond);
+    fprintf(stderr, "t+%ds role=%s sn=%llu renews=%llu\n", (t+1)*5,
+      ServerStateName(victim.role()), (unsigned long long)victim.last_sn(),
+      (unsigned long long)(cfs.FindActive(0)?cfs.FindActive(0)->counters().renews_completed:0));
+    if (victim.role()==ServerState::kStandby) break;
+  }
+}

@@ -1,0 +1,48 @@
+#include "cluster/cfs.hpp"
+#include "common/logging.hpp"
+#include <cstdio>
+#include <cstdlib>
+using namespace mams;
+int main(int argc,char**argv) {
+  unsigned long long SEED = argc>1?strtoull(argv[1],0,10):101;
+  Logger::Instance().set_level(LogLevel::kInfo);
+  sim::Simulator sim(SEED);
+  net::Network net(sim);
+  cluster::CfsConfig cfg;
+  cfg.groups = 1; cfg.standbys_per_group = 3; cfg.clients = 1; cfg.data_servers = 1;
+  cluster::CfsCluster cluster(net, cfg);
+  cluster.Start();
+  sim.RunUntil(sim.Now() + kSecond);
+  Rng rng(SEED*31+1);
+  int next_file = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      std::string path = "/p/f" + std::to_string(next_file++);
+      bool done=false; Status st = Status::TimedOut("x");
+      cluster.client(0).Create(path, [&](Status s){ st=s; done=true; });
+      for (int k=0;k<600&&!done;++k) sim.RunUntil(sim.Now()+100*kMillisecond);
+      std::fprintf(stderr, "[create %s -> %s]\n", path.c_str(), st.ToString().c_str());
+    }
+    auto* active = cluster.FindActive(0);
+    if (!active) { std::fprintf(stderr, "NO ACTIVE round %d\n", round); break; }
+    sim.RunUntil(sim.Now() + (SimTime)rng.Below(2*kSecond));
+    std::fprintf(stderr, "=== crashing %s at %s\n", active->name().c_str(), FormatTime(sim.Now()).c_str());
+    active->Crash();
+    if (rng.Chance(0.5)) { std::fprintf(stderr,"(will restart)\n"); active->Restart(kSecond); }
+    sim.RunUntil(sim.Now() + 12 * kSecond);
+    auto* now_active = cluster.FindActive(0);
+    std::fprintf(stderr, "round %d: active=%s view=%s lock=%u\n", round,
+                 now_active?now_active->name().c_str():"NONE",
+                 cluster.coord().frontend().PeekView(0).Row().c_str(),
+                 cluster.coord().frontend().PeekView(0).lock_holder);
+    if (now_active) {
+      int missing=0;
+      for (int f=0; f<next_file; ++f) if (!now_active->tree().Exists("/p/f"+std::to_string(f))) ++missing;
+      std::fprintf(stderr, "  missing files: %d of %d\n", missing, next_file);
+    }
+    for (size_t m=0;m<cluster.group_size(0);++m){
+      auto& mds = cluster.mds(0,(int)m);
+      std::fprintf(stderr, "  %s alive=%d role=%s sn=%llu\n", mds.name().c_str(), (int)mds.alive(), ServerStateName(mds.role()), (unsigned long long)mds.last_sn());
+    }
+  }
+}

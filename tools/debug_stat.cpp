@@ -1,0 +1,25 @@
+#include "cluster/cfs.hpp"
+#include <cstdio>
+using namespace mams;
+int main() {
+  Logger::Instance().set_level(LogLevel::kDebug);
+  sim::Simulator sim(2024);
+  net::Network net(sim);
+  cluster::CfsConfig cfg; cfg.groups=1; cfg.standbys_per_group=3; cfg.clients=2; cfg.data_servers=2;
+  cluster::CfsCluster cfs(net, cfg);
+  cfs.Start();
+  sim.RunUntil(sim.Now()+kSecond);
+  auto& c = cfs.client(0);
+  c.Mkdir("/warehouse", [](Status s){ printf("mkdir -> %s\n", s.ToString().c_str()); });
+  c.Create("/warehouse/orders.parquet", [](Status s){ printf("create1 -> %s\n", s.ToString().c_str()); });
+  c.Create("/warehouse/users.parquet", [](Status s){ printf("create2 -> %s\n", s.ToString().c_str()); });
+  sim.RunUntil(sim.Now()+2*kSecond);
+  auto* a = cfs.FindActive(0);
+  printf("active=%s exists(orders)=%d exists(users)=%d inode_count=%zu mutations=%llu ops=%llu\n",
+    a->name().c_str(), a->tree().Exists("/warehouse/orders.parquet"),
+    a->tree().Exists("/warehouse/users.parquet"), a->tree().inode_count(),
+    (unsigned long long)a->counters().mutations, (unsigned long long)a->counters().ops_served);
+  c.GetFileInfo("/warehouse/orders.parquet", [](Result<fsns::FileInfo> r){
+    printf("stat ok=%d %s\n", r.ok(), r.ok()?"":r.status().ToString().c_str()); });
+  sim.RunUntil(sim.Now()+kSecond);
+}
