@@ -27,7 +27,6 @@ struct Sample {
 
 Sample RunFailover(SimTime window, int standbys, bool kill_all_standbys,
                    std::uint64_t seed) {
-  core::FailoverTraceLog::Instance().Clear();
   sim::Simulator sim(seed);
   net::Network net(sim);
   cluster::CfsConfig cfg;
@@ -77,7 +76,7 @@ Sample RunFailover(SimTime window, int standbys, bool kill_all_standbys,
   driver.Stop();
 
   Sample s;
-  const auto& traces = core::FailoverTraceLog::Instance().traces();
+  const auto& traces = cfs.failover_log().traces();
   if (!traces.empty() && traces.back().complete()) {
     s.election_ms = ToMillis(traces.back().ElectionTime());
     s.switch_ms = ToMillis(traces.back().SwitchTime());

@@ -10,8 +10,15 @@
 //                            (paper 250-350 ms)
 //   * client reconnection  — switch done -> first client success (grows
 //                            with total failover time)
+//
+// Set MAMS_TRACE_OUT=<path> to additionally export the first trial's full
+// span timeline (election, the six failover steps, 2PC syncs, paxos
+// rounds, SSP IO) as Chrome trace_event JSON for chrome://tracing.
+#include <cstdlib>
 #include <map>
 #include <vector>
+
+#include "obs/chrome_trace.hpp"
 
 #include "bench_common.hpp"
 #include "cluster/cfs.hpp"
@@ -32,9 +39,9 @@ struct Trial {
   double total_ms = 0;  // excluding session timeout (detection)
 };
 
-Trial RunTrial(std::uint64_t seed) {
-  core::FailoverTraceLog::Instance().Clear();
+Trial RunTrial(std::uint64_t seed, const char* trace_out = nullptr) {
   sim::Simulator sim(seed);
+  if (trace_out != nullptr) sim.obs().tracer().set_enabled(true);
   net::Network net(sim);
   cluster::CfsConfig cfg;
   cfg.groups = 1;
@@ -61,8 +68,16 @@ Trial RunTrial(std::uint64_t seed) {
   }
   driver.Stop();
 
+  if (trace_out != nullptr) {
+    Status s = obs::WriteChromeTrace(sim.obs().tracer(), trace_out);
+    std::printf("trace: %s -> %s (%zu spans, %zu instants)\n",
+                s.ok() ? "wrote" : s.ToString().c_str(), trace_out,
+                sim.obs().tracer().spans().size(),
+                sim.obs().tracer().instants().size());
+  }
+
   Trial t;
-  const auto& traces = core::FailoverTraceLog::Instance().traces();
+  const auto& traces = cfs.failover_log().traces();
   if (traces.empty() || !traces[0].complete() ||
       !driver.mttr_probe().complete()) {
     t.total_ms = -1;
@@ -87,9 +102,11 @@ int main() {
       "Figure 7 (Section IV.B)");
 
   const int trials = std::max(20, bench::BenchTrials() * 3);
+  const char* trace_out = std::getenv("MAMS_TRACE_OUT");
   std::vector<Trial> ok_trials;
   for (int i = 0; i < trials; ++i) {
-    Trial t = RunTrial(bench::BenchSeed() + 77ull * i);
+    Trial t = RunTrial(bench::BenchSeed() + 77ull * i,
+                       i == 0 ? trace_out : nullptr);
     if (t.total_ms >= 0) ok_trials.push_back(t);
   }
 

@@ -1,7 +1,9 @@
 // A guided tour of the three failure scenarios from the paper's Section
 // IV.C (Table II): lock loss, network partition of multiple servers, and
 // process restart — printing every group-view transition as it happens.
+// Exits non-zero if any invariant probe fires during a scenario.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "cluster/cfs.hpp"
@@ -45,6 +47,19 @@ void RunScenario(const char* title,
   }
   std::printf("  final: active=%s\n",
               cfs.FindActive(0) ? cfs.FindActive(0)->name().c_str() : "NONE");
+
+  // The cluster's invariant probes ran on every view flip; a violation
+  // here means the scenario produced split-brain or lost committed work.
+  const auto& probes = sim.obs().probes();
+  if (probes.violation_count() != 0) {
+    for (const auto& v : probes.violations()) {
+      std::fprintf(stderr, "  PROBE VIOLATION t=%.3fs %s: %s\n",
+                   ToSeconds(v.at), v.probe.c_str(), v.detail.c_str());
+    }
+    std::exit(1);
+  }
+  std::printf("  probes: %llu evaluations, 0 violations\n",
+              static_cast<unsigned long long>(probes.evaluations()));
 }
 
 }  // namespace

@@ -8,16 +8,21 @@
 // nodes each, matching the paper's notation (e.g. MAMS-3A3S, MAMS-1A3S).
 #pragma once
 
+#include <algorithm>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/client.hpp"
 #include "cluster/data_server.hpp"
 #include "coord/service.hpp"
+#include "core/failover_trace.hpp"
 #include "core/mds_server.hpp"
 #include "fsns/partition.hpp"
 #include "net/network.hpp"
+#include "obs/observability.hpp"
 #include "storage/pool_node.hpp"
 
 namespace mams::cluster {
@@ -63,7 +68,8 @@ class CfsCluster {
       for (int m = 0; m < members_per_group; ++m) {
         auto mds = std::make_unique<core::MdsServer>(
             network, "mds-g" + std::to_string(g) + "-" + std::to_string(m),
-            opts, coord_.frontend_id(), pool_ids_, &directory_);
+            opts, coord_.frontend_id(), pool_ids_, &directory_,
+            &failover_log_);
         groups_[g].push_back(std::move(mds));
       }
       std::vector<NodeId> member_ids;
@@ -86,7 +92,19 @@ class CfsCluster {
           network, "client" + std::to_string(c), coord_.frontend_id(),
           partitioner_, config_.client));
     }
+
+    InstallProbes();
   }
+
+  ~CfsCluster() {
+    // The probe closures capture `this`; they must not outlive the cluster
+    // (the simulator — and its ProbeRegistry — usually does).
+    auto& probes = network_.sim().obs().probes();
+    for (obs::ProbeId pid : probe_ids_) probes.Unregister(pid);
+  }
+
+  CfsCluster(const CfsCluster&) = delete;
+  CfsCluster& operator=(const CfsCluster&) = delete;
 
   /// Boots everything: pool nodes and actives immediately, backups after a
   /// short stagger, then data servers and clients.
@@ -149,7 +167,7 @@ class CfsCluster {
     auto mds = std::make_unique<core::MdsServer>(
         network_, "mds-g" + std::to_string(g) + "-add" +
                      std::to_string(groups_[g].size()),
-        opts, coord_.frontend_id(), pool_ids_, &directory_);
+        opts, coord_.frontend_id(), pool_ids_, &directory_, &failover_log_);
     groups_[g].push_back(std::move(mds));
     std::vector<NodeId> member_ids;
     for (auto& m : groups_[g]) member_ids.push_back(m->id());
@@ -169,17 +187,120 @@ class CfsCluster {
     }
   }
 
+  /// Per-failover stage timestamps (fig7); owned here, not a singleton.
+  core::FailoverTraceLog& failover_log() noexcept { return failover_log_; }
+
  private:
+  /// Registers the MAMS safety invariants with the simulator's probe
+  /// registry. They are re-evaluated on every committed view change and on
+  /// every local role flip; a violation is logged via MAMS_ERROR and
+  /// retained in the registry for tests to assert on.
+  void InstallProbes() {
+    auto& probes = network_.sim().obs().probes();
+
+    // At most one server per group may act as active under the current
+    // fence token. (A deposed active that has not yet learned of its
+    // demotion still believes it is active, but its fence is stale.)
+    probe_ids_.push_back(probes.Register(
+        "single_active_per_group", [this]() -> std::optional<std::string> {
+          for (GroupId g = 0; g < static_cast<GroupId>(groups_.size()); ++g) {
+            const auto& view = coord_.frontend().PeekView(g);
+            int fenced_actives = 0;
+            for (const auto& mds : groups_[g]) {
+              if (mds->alive() && mds->role() == ServerState::kActive &&
+                  mds->fence() == view.fence_token) {
+                ++fenced_actives;
+              }
+            }
+            if (fenced_actives > 1) {
+              return "group " + std::to_string(g) + " has " +
+                     std::to_string(fenced_actives) +
+                     " actives holding the current fence token";
+            }
+          }
+          return std::nullopt;
+        }));
+
+    // Fence tokens only ever grow: each grant bumps the token, and a
+    // re-issued (smaller) token would defeat IO fencing entirely.
+    probe_ids_.push_back(probes.Register(
+        "fence_token_monotone", [this]() -> std::optional<std::string> {
+          for (GroupId g = 0; g < static_cast<GroupId>(groups_.size()); ++g) {
+            const FenceToken cur = coord_.frontend().PeekView(g).fence_token;
+            FenceToken& prev = prev_fence_[g];
+            if (cur < prev) {
+              return "group " + std::to_string(g) + " fence went backwards: " +
+                     std::to_string(prev) + " -> " + std::to_string(cur);
+            }
+            prev = cur;
+          }
+          return std::nullopt;
+        }));
+
+    // Applied serial numbers are monotone per node; the only legal decrease
+    // is a reset to 0 (crash, or discarding provably uncommitted state).
+    probe_ids_.push_back(probes.Register(
+        "sn_monotone_per_node", [this]() -> std::optional<std::string> {
+          for (auto& group : groups_) {
+            for (const auto& mds : group) {
+              const SerialNumber cur = mds->last_sn();
+              SerialNumber& prev = prev_sn_[mds->id()];
+              if (cur < prev && cur != 0) {
+                return "node " + std::to_string(mds->id()) +
+                       " applied sn went backwards: " + std::to_string(prev) +
+                       " -> " + std::to_string(cur);
+              }
+              prev = cur;
+            }
+          }
+          return std::nullopt;
+        }));
+
+    // No committed batch may be lost across a failover: once a batch has a
+    // standby ack or a durable SSP copy, any *settled* new active (one the
+    // view and its own role agree on) must have applied at least that far.
+    probe_ids_.push_back(probes.Register(
+        "committed_sn_not_lost", [this]() -> std::optional<std::string> {
+          for (GroupId g = 0; g < static_cast<GroupId>(groups_.size()); ++g) {
+            SerialNumber& watermark = committed_watermark_[g];
+            for (const auto& mds : groups_[g]) {
+              watermark = std::max(watermark, mds->committed_sn());
+            }
+            const NodeId active_id = coord_.frontend().PeekView(g).FindActive();
+            if (active_id == kInvalidNode) continue;
+            for (const auto& mds : groups_[g]) {
+              if (mds->id() != active_id) continue;
+              if (mds->alive() && mds->role() == ServerState::kActive &&
+                  mds->last_sn() < watermark) {
+                return "group " + std::to_string(g) + " active node " +
+                       std::to_string(active_id) + " at sn " +
+                       std::to_string(mds->last_sn()) +
+                       " lost committed batches (watermark " +
+                       std::to_string(watermark) + ")";
+              }
+            }
+          }
+          return std::nullopt;
+        }));
+  }
+
   net::Network& network_;
   CfsConfig config_;
   fsns::HashPartitioner partitioner_;
   coord::CoordEnsemble coord_;
   core::GroupDirectory directory_;
+  core::FailoverTraceLog failover_log_;
   std::vector<std::unique_ptr<storage::PoolNode>> pool_;
   std::vector<NodeId> pool_ids_;
   std::vector<std::vector<std::unique_ptr<core::MdsServer>>> groups_;
   std::vector<std::unique_ptr<DataServer>> data_servers_;
   std::vector<std::unique_ptr<FsClient>> clients_;
+
+  // Probe bookkeeping (see InstallProbes).
+  std::vector<obs::ProbeId> probe_ids_;
+  std::map<GroupId, FenceToken> prev_fence_;
+  std::map<NodeId, SerialNumber> prev_sn_;
+  std::map<GroupId, SerialNumber> committed_watermark_;
 };
 
 }  // namespace mams::cluster

@@ -22,6 +22,9 @@ class Logger {
 
   /// The simulator registers itself so log lines carry virtual timestamps.
   void set_time_source(const SimTime* now) noexcept { now_ = now; }
+  /// Current clock pointer; a new Simulator saves it and restores it on
+  /// destruction (so nested simulators don't clobber the outer clock).
+  const SimTime* time_source() const noexcept { return now_; }
 
   void Log(LogLevel level, const char* module, const char* fmt, ...)
       __attribute__((format(printf, 4, 5)));

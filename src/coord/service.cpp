@@ -12,9 +12,19 @@ CoordService::CoordService(net::Network& network, std::string name,
           // lambda runs on this replica in commit order.
           [this](paxos::InstanceId, const paxos::Value& v) {
             machine_.Apply(Command::Deserialize(v));
+            // Every committed command can flip the global view, so this is
+            // the one place where registered invariant probes are checked.
+            sim().obs().probes().Evaluate();
           },
           options.paxos),
       options_(options) {
+  auto& metrics = sim().obs().metrics();
+  sessions_opened_ = metrics.counter("coord.sessions_opened");
+  sessions_expired_ = metrics.counter("coord.sessions_expired");
+  lock_grants_ = metrics.counter("coord.lock_grants");
+  elections_ = metrics.counter("coord.elections");
+  watch_events_ = metrics.counter("coord.watch_events");
+  sessions_gauge_ = metrics.gauge("coord.sessions");
   OnRequest(net::kCoordRequest,
             [this](const net::Envelope& env, const net::MessagePtr& msg,
                    const ReplyFn& reply) { HandleRequest(env, msg, reply); });
@@ -144,6 +154,8 @@ void CoordService::DoRegister(const CoordRequestMsg& req,
   s.group = req.group;
   s.last_heartbeat = sim().Now();
   sessions_.emplace(s.id, s);
+  sessions_opened_->Add();
+  sessions_gauge_->Set(static_cast<std::int64_t>(sessions_.size()));
 
   Command cmd{CmdKind::kRegister, req.group, req.subject, req.state};
   const SessionId sid = s.id;
@@ -234,6 +246,10 @@ void CoordService::DoTryLock(const net::Envelope&, const CoordRequestMsg& req,
   election_bids_[req.group].push_back(std::move(bid));
   if (!election_window_open_.contains(req.group)) {
     election_window_open_.insert(req.group);
+    elections_->Add();
+    election_spans_[req.group] = sim().obs().tracer().Begin(
+        "coord", "election_window", id(), req.group,
+        {{"first_bidder", static_cast<std::uint64_t>(s->node)}});
     AfterLocal(options_.election_window,
                [this, group = req.group] { CloseElectionWindow(group); });
   }
@@ -243,7 +259,14 @@ void CoordService::CloseElectionWindow(GroupId group) {
   election_window_open_.erase(group);
   auto bids = std::move(election_bids_[group]);
   election_bids_.erase(group);
-  if (bids.empty()) return;
+  if (bids.empty()) {
+    auto span = election_spans_.find(group);
+    if (span != election_spans_.end()) {
+      sim().obs().tracer().End(span->second, {{"winner", "none"}});
+      election_spans_.erase(span);
+    }
+    return;
+  }
 
   // Pick the winner.
   std::size_t best = 0;
@@ -255,6 +278,16 @@ void CoordService::CloseElectionWindow(GroupId group) {
   Command cmd{CmdKind::kGrantLock, group, winner, ServerState::kDown};
   Commit(cmd, [this, group, winner, bids = std::move(bids)](Status st) {
     const GroupView& view = machine_.view(group);
+    if (st.ok()) lock_grants_->Add();
+    auto span = election_spans_.find(group);
+    if (span != election_spans_.end()) {
+      sim().obs().tracer().End(
+          span->second,
+          {{"winner", static_cast<std::uint64_t>(winner)},
+           {"bids", static_cast<std::uint64_t>(bids.size())},
+           {"fence", static_cast<std::uint64_t>(view.fence_token)}});
+      election_spans_.erase(span);
+    }
     for (const auto& bid : bids) {
       auto out = std::make_shared<CoordResponseMsg>();
       out->ok = st.ok();
@@ -297,6 +330,7 @@ void CoordService::DoCloseSession(const CoordRequestMsg& req,
   }
   const Session copy = *s;
   sessions_.erase(copy.id);
+  sessions_gauge_->Set(static_cast<std::int64_t>(sessions_.size()));
   Command cmd{CmdKind::kExpire, copy.group, copy.node, ServerState::kDown};
   Commit(cmd, [this, group = copy.group, reply](Status st) {
     Reply(reply, group, st.ok(), st.ok() ? "" : st.ToString());
@@ -314,6 +348,11 @@ void CoordService::ScanSessions() {
   }
   for (const Session& s : expired) {
     sessions_.erase(s.id);
+    sessions_expired_->Add();
+    sessions_gauge_->Set(static_cast<std::int64_t>(sessions_.size()));
+    sim().obs().tracer().Instant(
+        "coord", "session_expired", s.node, s.group,
+        {{"session", static_cast<std::uint64_t>(s.id)}});
     MAMS_INFO("coord", "session %llu (node %u, group %u) expired",
               static_cast<unsigned long long>(s.id), s.node, s.group);
     Command cmd{CmdKind::kExpire, s.group, s.node, ServerState::kDown};
@@ -330,6 +369,7 @@ void CoordService::FireWatches(GroupId group) {
   event->view = machine_.view(group);
   for (NodeId watcher : it->second) {
     if (watcher == id()) continue;
+    watch_events_->Add();
     Send(watcher, event);
   }
 }

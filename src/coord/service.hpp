@@ -23,6 +23,7 @@
 
 #include "coord/messages.hpp"
 #include "coord/state_machine.hpp"
+#include "obs/observability.hpp"
 #include "paxos/replica.hpp"
 
 namespace mams::coord {
@@ -121,6 +122,16 @@ class CoordService : public paxos::Replica {
   std::map<GroupId, std::vector<ElectionBid>> election_bids_;
   std::set<GroupId> election_window_open_;
   std::unique_ptr<sim::PeriodicTimer> expiry_timer_;
+
+  // Observability: counters for the service's externally visible events,
+  // plus one span per open election window.
+  obs::Counter* sessions_opened_;
+  obs::Counter* sessions_expired_;
+  obs::Counter* lock_grants_;
+  obs::Counter* elections_;
+  obs::Counter* watch_events_;
+  obs::Gauge* sessions_gauge_;
+  std::map<GroupId, obs::TraceRecorder::Span> election_spans_;
 };
 
 /// Convenience bundle: a frontend plus (n-1) backend consensus replicas,

@@ -1,5 +1,12 @@
 // Instrumentation for Figure 7: per-failover timestamps of each stage on
 // the elected standby. The bench computes stage proportions from these.
+//
+// This is a thin adapter over the obs subsystem: the six upgrade steps and
+// the election are recorded live as obs::TraceRecorder spans by MdsServer;
+// this log keeps the aggregate (start/granted/completed) timestamps the
+// fig7 bench consumes. One log per cluster/scenario — there is no process
+// singleton, so repeated bench trials and parallel test shards cannot see
+// each other's traces.
 #pragma once
 
 #include <vector>
@@ -24,13 +31,9 @@ struct FailoverTrace {
   }
 };
 
-/// Process-wide collector; benches reset it per trial.
+/// Per-cluster collector; benches reset it per trial via Clear().
 class FailoverTraceLog {
  public:
-  static FailoverTraceLog& Instance() {
-    static FailoverTraceLog log;
-    return log;
-  }
   void Record(FailoverTrace trace) { traces_.push_back(trace); }
   const std::vector<FailoverTrace>& traces() const noexcept { return traces_; }
   void Clear() { traces_.clear(); }

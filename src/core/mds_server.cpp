@@ -41,12 +41,30 @@ const char* ClientOpName(ClientOp op) noexcept {
 
 MdsServer::MdsServer(net::Network& network, std::string name,
                      MdsOptions options, NodeId coord,
-                     std::vector<NodeId> ssp_pool, GroupDirectory* directory)
+                     std::vector<NodeId> ssp_pool, GroupDirectory* directory,
+                     FailoverTraceLog* failover_log)
     : net::Host(network, std::move(name)),
       options_(options),
       coord_(coord),
       directory_(directory),
-      rng_(network.sim().rng().Fork(Fnv1a(this->name()) | 1)) {
+      rng_(network.sim().rng().Fork(Fnv1a(this->name()) | 1)),
+      obs_(&network.sim().obs()),
+      failover_log_(failover_log) {
+  auto& metrics = obs_->metrics();
+  m_.ops_served = metrics.counter("mds.ops_served");
+  m_.mutations = metrics.counter("mds.mutations");
+  m_.reads = metrics.counter("mds.reads");
+  m_.batches_synced = metrics.counter("mds.batches_synced");
+  m_.batches_applied = metrics.counter("mds.batches_applied");
+  m_.duplicate_batches = metrics.counter("mds.duplicate_batches");
+  m_.elections_won = metrics.counter("mds.elections_won");
+  m_.elections_lost = metrics.counter("mds.elections_lost");
+  m_.renews_completed = metrics.counter("mds.renews_completed");
+  m_.fenced_rejections = metrics.counter("mds.fenced_rejections");
+  m_.buffered_during_upgrade = metrics.counter("mds.buffered_during_upgrade");
+  m_.sync_batch_ns = metrics.histogram("mds.sync_batch_ns");
+  m_.batch_records = metrics.histogram("mds.batch_records");
+  m_.last_sn = metrics.gauge("mds.last_sn." + this->name());
   coord_client_ = std::make_unique<coord::CoordClient>(
       *this, coord_, options_.heartbeat_interval);
   coord_client_->SetWatchHandler(
@@ -69,6 +87,39 @@ MdsServer::MdsServer(net::Network& network, std::string name,
 }
 
 MdsServer::~MdsServer() = default;
+
+// --- observability helpers ---------------------------------------------------
+
+void MdsServer::StartStep(std::string step_name) {
+  auto& tracer = obs_->tracer();
+  tracer.End(step_span_);
+  step_span_ = tracer.Begin("failover", std::move(step_name), id(),
+                            options_.group);
+}
+
+void MdsServer::EndUpgradeSpans(bool ok) {
+  auto& tracer = obs_->tracer();
+  std::vector<obs::TraceArg> outcome{{"ok", ok ? "true" : "false"}};
+  tracer.End(step_span_, outcome);
+  tracer.End(buffer_span_, outcome);
+  tracer.End(switch_span_, outcome);
+  tracer.End(election_span_, std::move(outcome));
+}
+
+void MdsServer::StartRenewPhase(std::string phase) {
+  auto& tracer = obs_->tracer();
+  tracer.End(renew_phase_span_);
+  renew_phase_span_ =
+      tracer.Begin("renew", std::move(phase), id(), options_.group);
+}
+
+void MdsServer::EndRenewSpan(const char* outcome) {
+  auto& tracer = obs_->tracer();
+  tracer.End(renew_phase_span_);
+  tracer.End(renew_span_,
+             {{"outcome", std::string(outcome)},
+              {"sn", static_cast<std::uint64_t>(last_sn_)}});
+}
 
 void MdsServer::Start(ServerState initial_role) {
   role_ = initial_role;  // desired; confirmed during OnStart
@@ -120,6 +171,12 @@ void MdsServer::OnStartRetry(ServerState initial) {
 
 void MdsServer::OnCrash() {
   net::Host::OnCrash();
+  // Close whatever spans the dead incarnation left open so the timeline
+  // shows them ending at the crash, not dangling forever.
+  EndUpgradeSpans(/*ok=*/false);
+  EndRenewSpan("crashed");
+  obs_->tracer().End(checkpoint_span_, {{"ok", "crashed"}});
+  obs_->tracer().Instant("mds", "crash", id(), options_.group);
   coord_client_->Stop();
   election_retry_.Cancel();
   renew_scan_timer_.reset();
@@ -130,6 +187,7 @@ void MdsServer::OnCrash() {
   tree_.Reset();
   blocks_.Clear();
   last_sn_ = 0;
+  committed_sn_ = 0;
   cpu_free_at_ = 0;
   pending_sync_.clear();
   pending_replies_.clear();
@@ -162,6 +220,12 @@ void MdsServer::BecomeRole(ServerState role) {
   role_ = role;
   MAMS_INFO("mds", "%s -> %s (sn=%llu)", name().c_str(),
             ServerStateName(role), (unsigned long long)last_sn_);
+  obs_->tracer().Instant("mds", "role_change", id(), options_.group,
+                         {{"role", std::string(ServerStateName(role))},
+                          {"sn", static_cast<std::uint64_t>(last_sn_)}});
+  // Role flips are the node-local analogue of a view flip: re-check every
+  // registered invariant (e.g. "at most one active per group").
+  obs_->probes().Evaluate();
   if (role == ServerState::kActive) {
     if (directory_ != nullptr) {
       directory_->active_of[options_.group] = id();
@@ -255,6 +319,7 @@ void MdsServer::OnWatchEvent(const coord::GroupView& view) {
   // cover any residual tail).
   if (role_ == ServerState::kJunior &&
       view.StateOf(id()) == ServerState::kStandby) {
+    if (renew_.running) EndRenewSpan("promoted");
     renew_.running = false;
     renew_progress_timer_.reset();
     BecomeRole(ServerState::kStandby);
@@ -285,6 +350,8 @@ void MdsServer::MaybeStartElection(const coord::GroupView& view) {
   trace_.group = options_.group;
   trace_.elected = id();
   trace_.failure_detected = sim().Now();
+  election_span_ =
+      obs_->tracer().Begin("failover", "election", id(), options_.group);
   BidForLock();
 }
 
@@ -308,15 +375,27 @@ void MdsServer::BidForLock() {
           fence_ = r.value().fence;
           trace_.lock_granted = sim().Now();
           ++counters_.elections_won;
+          m_.elections_won->Add();
+          auto& tracer = obs_->tracer();
+          tracer.End(election_span_,
+                     {{"won", "true"},
+                      {"fence", static_cast<std::uint64_t>(fence_)}});
+          switch_span_ =
+              tracer.Begin("failover", "switch", id(), options_.group);
+          buffer_span_ = tracer.Begin("failover", "step3_buffer_mutations",
+                                      id(), options_.group);
           upgrade_in_progress_ = true;
+          StartStep("step1_check_state");
           UpgradeStep1CheckState();
           return;
         }
         ++counters_.elections_lost;
+        m_.elections_lost->Add();
         if (r.value().holder != kInvalidNode) {
           // Someone else won; they will upgrade. Stop competing (the
           // coordination events notify us of the outcome).
           election_in_progress_ = false;
+          obs_->tracer().End(election_span_, {{"won", "false"}});
           return;
         }
         // Window produced no grant for us and the lock is still free
@@ -343,6 +422,7 @@ void MdsServer::UpgradeStep1CheckState() {
       AbortUpgrade("demoted to junior during election");
       return;
     }
+    StartStep("step2_flip_states");
     UpgradeStep2FlipStates();
   });
 }
@@ -361,6 +441,7 @@ void MdsServer::UpgradeStep2FlipStates() {
         view_ = std::move(r).value();
         // Step 3 is implicit: HandleClientRequest buffers mutations while
         // upgrade_in_progress_ and keeps serving reads.
+        StartStep("step4_reflush_journals");
         UpgradeStep4ReflushJournals();
       });
 }
@@ -404,6 +485,7 @@ void MdsServer::UpgradeStep4DoReflush() {
       if (peer != id()) Send(peer, msg);
     }
   }
+  StartStep("step5_gather_registrations");
   UpgradeStep5GatherRegistrations();
 }
 
@@ -434,6 +516,7 @@ void MdsServer::UpgradeStep5GatherRegistrations() {
                               [](Result<coord::GroupView>) {});
       if (target == ServerState::kStandby) sync_targets_.insert(peer);
     }
+    StartStep("step6_become_active");
     UpgradeStep6BecomeActive();
   });
 }
@@ -443,19 +526,26 @@ void MdsServer::UpgradeStep6BecomeActive() {
   election_in_progress_ = false;
   BecomeRole(ServerState::kActive);
   trace_.switch_completed = sim().Now();
-  FailoverTraceLog::Instance().Record(trace_);
+  if (failover_log_ != nullptr) failover_log_->Record(trace_);
   // Commit the requests buffered during the switch (step 3/6).
   auto buffered = std::move(buffered_requests_);
   buffered_requests_.clear();
+  const auto buffered_count = static_cast<std::uint64_t>(buffered.size());
   for (auto& [req, reply] : buffered) {
     ProcessClientRequest(req, reply);
   }
+  auto& tracer = obs_->tracer();
+  tracer.End(step_span_);
+  tracer.End(buffer_span_, {{"buffered", buffered_count}});
+  tracer.End(switch_span_,
+             {{"ok", "true"}, {"sn", static_cast<std::uint64_t>(last_sn_)}});
 }
 
 void MdsServer::AbortUpgrade(const std::string& why) {
   MAMS_WARN("mds", "%s: upgrade aborted: %s", name().c_str(), why.c_str());
   upgrade_in_progress_ = false;
   election_in_progress_ = false;
+  EndUpgradeSpans(/*ok=*/false);
   coord_client_->ReleaseLock(options_.group, [](Status) {});
   fence_ = 0;
   // Buffered mutations cannot be honored here; clients retry at the next
@@ -546,6 +636,7 @@ void MdsServer::HandleClientRequest(const net::Envelope&,
     // committed until the upgrade finishes.
     if (IsMutation(req->op)) {
       ++counters_.buffered_during_upgrade;
+      m_.buffered_during_upgrade->Add();
       buffered_requests_.emplace_back(std::move(req), reply);
       return;
     }
@@ -660,6 +751,8 @@ void MdsServer::ProcessClientRequest(
 void MdsServer::ExecuteRead(const ClientRequestMsg& req, const ReplyFn& reply) {
   ++counters_.ops_served;
   ++counters_.reads;
+  m_.ops_served->Add();
+  m_.reads->Add();
   auto out = std::make_shared<ClientResponseMsg>();
   if (req.op == ClientOp::kGetFileInfo) {
     auto info = tree_.GetFileInfo(req.path);
@@ -726,6 +819,8 @@ void MdsServer::ExecuteMutation(
   }
   ++counters_.ops_served;
   ++counters_.mutations;
+  m_.ops_served->Add();
+  m_.mutations->Add();
   if (!rec.ok()) {
     // Idempotent resend: the op already committed in a previous life of
     // this request; acknowledge success without re-journaling.
@@ -758,10 +853,19 @@ void MdsServer::OnBatchSealed(journal::Batch batch) {
   recent_batches_.push_back(batch);
   if (recent_batches_.size() > kRecentBatchCap) recent_batches_.pop_front();
 
+  m_.last_sn->Set(static_cast<std::int64_t>(last_sn_));
+  m_.batch_records->Record(static_cast<std::int64_t>(batch.records.size()));
+
   PendingSync& ps = pending_sync_[batch.sn];
   ps.batch = batch;
   ps.awaiting = sync_targets_;
   ps.ssp_done = !options_.ssp_in_commit_path;  // ablation: SSP off-path
+  ps.begin = sim().Now();
+  ps.span = obs_->tracer().Begin(
+      "mds", "sync_batch", id(), options_.group,
+      {{"sn", static_cast<std::uint64_t>(batch.sn)},
+       {"records", static_cast<std::uint64_t>(batch.records.size())},
+       {"targets", static_cast<std::uint64_t>(ps.awaiting.size())}});
 
   // Replication fan-out costs CPU on the active: the batch is serialized,
   // checksummed and sent once per target (plus the SSP copy), so sends are
@@ -831,6 +935,14 @@ void MdsServer::MaybeCompleteSync(SerialNumber sn) {
   if (ps.completed || !ps.awaiting.empty() || !ps.ssp_done) return;
   ps.completed = true;
   ++counters_.batches_synced;
+  m_.batches_synced->Add();
+  m_.sync_batch_ns->Record(sim().Now() - ps.begin);
+  obs_->tracer().End(ps.span,
+                     {{"acks", static_cast<std::uint64_t>(ps.acks)},
+                      {"ssp_ok", ps.ssp_ok ? "true" : "false"}});
+  if (ps.acks > 0 || ps.ssp_ok) {
+    committed_sn_ = std::max(committed_sn_, sn);
+  }
   if (ps.acks == 0 && !ps.ssp_ok) {
     // The batch completed by timeouts alone: it exists only in this
     // process. Should we be deposed before it replicates, our namespace
@@ -876,6 +988,11 @@ void MdsServer::HandleJournalPrepare(const net::Envelope& env,
   // deposed active; refuse it so it steps down.
   if (req.fence < view_.fence_token) {
     ++counters_.fenced_rejections;
+    m_.fenced_rejections->Add();
+    obs_->tracer().Instant(
+        "mds", "fenced_rejection", id(), options_.group,
+        {{"stale_fence", static_cast<std::uint64_t>(req.fence)},
+         {"view_fence", static_cast<std::uint64_t>(view_.fence_token)}});
     ack->stale_fence = true;
     ack->max_sn = last_sn_;
     reply(ack);
@@ -898,6 +1015,7 @@ void MdsServer::HandleJournalPrepare(const net::Envelope& env,
     // "Only if sn from the active is larger than the current maximum serial
     // number, the standby applies journals" — duplicate, already applied.
     ++counters_.duplicate_batches;
+    m_.duplicate_batches->Add();
     ack->applied = true;
     ack->max_sn = last_sn_;
     reply(ack);
@@ -935,6 +1053,8 @@ void MdsServer::ApplyBatch(const journal::Batch& batch) {
   }
   last_sn_ = batch.sn;
   ++counters_.batches_applied;
+  m_.batches_applied->Add();
+  m_.last_sn->Set(static_cast<std::int64_t>(last_sn_));
   recent_batches_.push_back(batch);
   if (recent_batches_.size() > kRecentBatchCap) recent_batches_.pop_front();
 }
@@ -1042,6 +1162,9 @@ void MdsServer::FinishRenewTarget(NodeId junior, SerialNumber reported_sn) {
         [this, junior](Result<coord::GroupView> r) {
           if (!r.ok()) return;
           ++counters_.renews_completed;
+          m_.renews_completed->Add();
+          obs_->tracer().Instant(
+              "renew", "junior_promoted", junior, options_.group);
           if (renew_target_ == junior) renew_target_ = kInvalidNode;
         });
   }
@@ -1055,6 +1178,10 @@ void MdsServer::HandleRenewCommand(const net::MessagePtr& msg) {
   renew_.target_sn = cmd.active_sn;
   if (renew_.running) return;  // resume in place; new target noted
   renew_.running = true;
+  renew_span_ = obs_->tracer().Begin(
+      "renew", "renewing", id(), options_.group,
+      {{"from_sn", static_cast<std::uint64_t>(last_sn_)},
+       {"target_sn", static_cast<std::uint64_t>(cmd.active_sn)}});
 
   const bool use_image =
       !cmd.image_file.empty() && cmd.image_sn > last_sn_ &&
@@ -1078,8 +1205,10 @@ void MdsServer::HandleRenewCommand(const net::MessagePtr& msg) {
   }
 
   if (renew_.mode == RenewMode::kImageFirst) {
+    StartRenewPhase("image_fetch");
     RenewFetchImageChunk();
   } else {
+    StartRenewPhase("journal_replay");
     RenewFetchJournal();
   }
 }
@@ -1106,6 +1235,7 @@ void MdsServer::RenewFetchImageChunk() {
         if (!r.ok() || !r.value()->found) {
           // Pool unreachable or image gone: fall back to journal replay.
           renew_.mode = RenewMode::kJournalOnly;
+          StartRenewPhase("journal_replay");
           RenewFetchJournal();
           return;
         }
@@ -1135,10 +1265,12 @@ void MdsServer::RenewFetchImageChunk() {
             tree_.Reset();
             last_sn_ = 0;
             renew_.mode = RenewMode::kJournalOnly;
+            StartRenewPhase("journal_replay");
             RenewFetchJournal();
             return;
           }
           last_sn_ = renew_.image_sn;
+          StartRenewPhase("journal_replay");
           RenewFetchJournal();
         });
       });
@@ -1153,6 +1285,7 @@ void MdsServer::RenewFetchJournal() {
         if (!r.ok()) {
           SendRenewProgress(/*failed=*/true);
           renew_.running = false;
+          EndRenewSpan("ssp_failed");
           return;
         }
         const auto& reply = *r.value();
@@ -1181,6 +1314,7 @@ void MdsServer::RenewFetchJournal() {
           // SSP drained. Under live load the active has moved on; enter
           // the final synchronization stage: fetch the tail directly from
           // the active until the gap is small (Section III.D).
+          StartRenewPhase("final_sync");
           RenewFinalSync();
         });
       });
@@ -1193,6 +1327,7 @@ void MdsServer::RenewFinalSync() {
     // No active right now (mid-failover); progress reports resume the
     // renewal once a new active scans the view.
     renew_.running = false;
+    EndRenewSpan("no_active");
     return;
   }
   auto req = std::make_shared<RenewJournalFetchMsg>();
@@ -1221,6 +1356,7 @@ void MdsServer::RenewFinalSync() {
     // Close enough: report; the active folds us into live replication and
     // flips our state to standby.
     renew_.running = false;
+    EndRenewSpan("caught_up");
     SendRenewProgress();
   });
 }
@@ -1235,6 +1371,13 @@ void MdsServer::WriteCheckpoint() {
   if (latest_image_.has_value() && latest_image_->second == sn) return;
   const std::string file = ImageFile(sn);
   auto bytes = std::make_shared<std::vector<char>>(tree_.SaveImage());
+  // A previous checkpoint abandoned mid-write leaves its span open; close
+  // it before starting the next attempt.
+  obs_->tracer().End(checkpoint_span_, {{"ok", "abandoned"}});
+  checkpoint_span_ = obs_->tracer().Begin(
+      "mds", "checkpoint", id(), options_.group,
+      {{"sn", static_cast<std::uint64_t>(sn)},
+       {"bytes", static_cast<std::uint64_t>(bytes->size())}});
   const std::uint64_t logical = static_cast<std::uint64_t>(
       static_cast<double>(bytes->size()) * options_.image_inflation);
   const std::uint64_t chunk_logical = options_.image_chunk_bytes;
@@ -1247,6 +1390,7 @@ void MdsServer::WriteCheckpoint() {
                   write_chunk](std::size_t i) {
     if (i >= chunks) {
       latest_image_ = {file, sn};
+      obs_->tracer().End(checkpoint_span_, {{"ok", "true"}});
       return;
     }
     storage::SspRecord rec;

@@ -34,6 +34,7 @@
 #include "fsns/tree.hpp"
 #include "journal/writer.hpp"
 #include "net/host.hpp"
+#include "obs/observability.hpp"
 #include "storage/ssp.hpp"
 
 namespace mams::core {
@@ -52,9 +53,12 @@ struct GroupDirectory {
 
 class MdsServer : public net::Host {
  public:
+  /// `failover_log` (optional) collects per-failover stage timestamps for
+  /// the fig7 bench; the owner is the cluster/scenario, never a singleton.
   MdsServer(net::Network& network, std::string name, MdsOptions options,
             NodeId coord, std::vector<NodeId> ssp_pool,
-            GroupDirectory* directory);
+            GroupDirectory* directory,
+            FailoverTraceLog* failover_log = nullptr);
   ~MdsServer() override;
 
   /// All group members (node ids), including this server. Must be set
@@ -73,6 +77,11 @@ class MdsServer : public net::Host {
   // --- observability -----------------------------------------------------
   ServerState role() const noexcept { return role_; }
   SerialNumber last_sn() const noexcept { return last_sn_; }
+  /// Highest sn this server completed a 2PC sync for with at least one
+  /// standby ack or a durable SSP copy — i.e. acknowledged work that some
+  /// other party also holds. Invariant probes compare the post-failover
+  /// active against the cluster-wide max of this value.
+  SerialNumber committed_sn() const noexcept { return committed_sn_; }
   FenceToken fence() const noexcept { return fence_; }
   const fsns::Tree& tree() const noexcept { return tree_; }
   fsns::Tree& mutable_tree() noexcept { return tree_; }
@@ -194,6 +203,7 @@ class MdsServer : public net::Host {
   fsns::Tree tree_;
   fsns::BlockMap blocks_;
   SerialNumber last_sn_ = 0;
+  SerialNumber committed_sn_ = 0;
   SimTime cpu_free_at_ = 0;
 
   // --- active-side sync state ---------------------------------------------
@@ -205,6 +215,8 @@ class MdsServer : public net::Host {
     bool ssp_done = false;
     bool ssp_ok = false;
     bool completed = false;
+    SimTime begin = 0;
+    obs::TraceRecorder::Span span;
   };
   std::map<SerialNumber, PendingSync> pending_sync_;
   std::map<TxId, std::vector<ReplyFn>> pending_replies_;
@@ -250,6 +262,40 @@ class MdsServer : public net::Host {
   std::optional<std::pair<std::string, SerialNumber>> latest_image_;
 
   Counters counters_;
+
+  // --- observability ----------------------------------------------------------
+  // Spans over the failover/renewing machinery; the step helpers keep one
+  // span open per sequential stage, while buffer/switch spans overlap them.
+  void StartStep(std::string step_name);
+  void EndUpgradeSpans(bool ok);
+  void StartRenewPhase(std::string phase);
+  void EndRenewSpan(const char* outcome);
+
+  obs::Observability* obs_;
+  struct MetricHandles {
+    obs::Counter* ops_served;
+    obs::Counter* mutations;
+    obs::Counter* reads;
+    obs::Counter* batches_synced;
+    obs::Counter* batches_applied;
+    obs::Counter* duplicate_batches;
+    obs::Counter* elections_won;
+    obs::Counter* elections_lost;
+    obs::Counter* renews_completed;
+    obs::Counter* fenced_rejections;
+    obs::Counter* buffered_during_upgrade;
+    obs::Histogram* sync_batch_ns;
+    obs::Histogram* batch_records;
+    obs::Gauge* last_sn;
+  } m_{};
+  obs::TraceRecorder::Span election_span_;
+  obs::TraceRecorder::Span switch_span_;
+  obs::TraceRecorder::Span step_span_;
+  obs::TraceRecorder::Span buffer_span_;
+  obs::TraceRecorder::Span renew_span_;
+  obs::TraceRecorder::Span renew_phase_span_;
+  obs::TraceRecorder::Span checkpoint_span_;
+  FailoverTraceLog* failover_log_;
 };
 
 }  // namespace mams::core

@@ -52,7 +52,14 @@ std::optional<RecoveryTool::ImageCandidate> RecoveryTool::BestImage(
 
 Result<fsns::Tree> RecoveryTool::RebuildAt(const storage::FileStore& store,
                                            GroupId group, TxId target_txid,
-                                           RecoveryReport* report) {
+                                           RecoveryReport* report,
+                                           obs::TraceRecorder* tracer) {
+  obs::TraceRecorder::Span span;
+  if (tracer != nullptr) {
+    span = tracer->Begin("recovery", "rebuild_at", kInvalidNode, group,
+                         {{"target_txid", static_cast<std::uint64_t>(
+                               target_txid)}});
+  }
   RecoveryReport local;
   fsns::Tree tree;
   SerialNumber from_sn = 0;
@@ -78,6 +85,7 @@ Result<fsns::Tree> RecoveryTool::RebuildAt(const storage::FileStore& store,
         if (rec.txid > target_txid) break;
         Status s = tree.Apply(rec);
         if (!s.ok()) {
+          if (tracer != nullptr) tracer->End(span, {{"ok", "false"}});
           return Status::Corruption("replay diverged during recovery: " +
                                     s.ToString());
         }
@@ -90,6 +98,7 @@ Result<fsns::Tree> RecoveryTool::RebuildAt(const storage::FileStore& store,
   } else if (!local.base_image_sn) {
     // Nothing durable at all for this group.
     if (store.List(ImagePrefix(group)).empty()) {
+      if (tracer != nullptr) tracer->End(span, {{"ok", "false"}});
       return Status::NotFound("no journal or image for group " +
                               std::to_string(group));
     }
@@ -97,6 +106,13 @@ Result<fsns::Tree> RecoveryTool::RebuildAt(const storage::FileStore& store,
 
   local.recovered_txid = tree.last_txid();
   if (report != nullptr) *report = local;
+  if (tracer != nullptr) {
+    tracer->End(
+        span,
+        {{"ok", "true"},
+         {"recovered_txid", static_cast<std::uint64_t>(local.recovered_txid)},
+         {"batches", static_cast<std::uint64_t>(local.batches_replayed)}});
+  }
   return tree;
 }
 

@@ -17,6 +17,7 @@
 
 #include "common/status.hpp"
 #include "fsns/tree.hpp"
+#include "obs/trace.hpp"
 #include "storage/shared_file.hpp"
 
 namespace mams::core {
@@ -34,10 +35,13 @@ class RecoveryTool {
  public:
   /// Rebuilds group `group`'s namespace as of `target_txid` (inclusive)
   /// from the shared files in `store`. Passing the maximum TxId recovers
-  /// the latest durable state.
+  /// the latest durable state. A non-null `tracer` records one span for
+  /// the rebuild (image load + replay), so offline recovery shows up on
+  /// the same timeline as the failure that made it necessary.
   static Result<fsns::Tree> RebuildAt(const storage::FileStore& store,
                                       GroupId group, TxId target_txid,
-                                      RecoveryReport* report = nullptr);
+                                      RecoveryReport* report = nullptr,
+                                      obs::TraceRecorder* tracer = nullptr);
 
   /// Latest transaction id recoverable from this store for the group.
   static TxId LatestRecoverableTxid(const storage::FileStore& store,

@@ -67,4 +67,56 @@ inline constexpr MsgType kRsmDecision = 0x070b;
 inline constexpr MsgType kTestPing = 0x0801;
 inline constexpr MsgType kTestPong = 0x0802;
 
+/// Human-readable name for a message type, used to key per-type network
+/// metrics ("net.sent.journal_prepare" etc.). Unknown ids map to "unknown"
+/// so forgetting to extend this table cannot crash a bench.
+inline const char* MsgTypeName(MsgType type) noexcept {
+  switch (type) {
+    case kCoordRequest: return "coord_request";
+    case kCoordResponse: return "coord_response";
+    case kCoordWatchEvent: return "coord_watch_event";
+    case kCoordHeartbeat: return "coord_heartbeat";
+    case kPaxosPrepare: return "paxos_prepare";
+    case kPaxosPromise: return "paxos_promise";
+    case kPaxosAccept: return "paxos_accept";
+    case kPaxosAccepted: return "paxos_accepted";
+    case kPaxosLearn: return "paxos_learn";
+    case kJournalPrepare: return "journal_prepare";
+    case kJournalAck: return "journal_ack";
+    case kJournalCommit: return "journal_commit";
+    case kSspWrite: return "ssp_write";
+    case kSspWriteAck: return "ssp_write_ack";
+    case kSspRead: return "ssp_read";
+    case kSspReadReply: return "ssp_read_reply";
+    case kSspList: return "ssp_list";
+    case kSspListReply: return "ssp_list_reply";
+    case kClientRequest: return "client_request";
+    case kClientResponse: return "client_response";
+    case kGroupRegister: return "group_register";
+    case kGroupRegisterAck: return "group_register_ack";
+    case kRenewCommand: return "renew_command";
+    case kRenewProgress: return "renew_progress";
+    case kRenewJournalFetch: return "renew_journal_fetch";
+    case kRenewJournalReply: return "renew_journal_reply";
+    case kImageFetch: return "image_fetch";
+    case kImageChunk: return "image_chunk";
+    case kBlockReport: return "block_report";
+    case kBlockReportAck: return "block_report_ack";
+    case kNnEditStream: return "nn_edit_stream";
+    case kNnEditAck: return "nn_edit_ack";
+    case kQjmJournalWrite: return "qjm_journal_write";
+    case kQjmJournalAck: return "qjm_journal_ack";
+    case kQjmRecover: return "qjm_recover";
+    case kQjmRecoverReply: return "qjm_recover_reply";
+    case kNfsEditWrite: return "nfs_edit_write";
+    case kNfsEditRead: return "nfs_edit_read";
+    case kNfsEditReply: return "nfs_edit_reply";
+    case kRsmPropose: return "rsm_propose";
+    case kRsmDecision: return "rsm_decision";
+    case kTestPing: return "test_ping";
+    case kTestPong: return "test_pong";
+    default: return "unknown";
+  }
+}
+
 }  // namespace mams::net

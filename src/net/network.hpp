@@ -27,6 +27,8 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "net/message.hpp"
+#include "net/message_types.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace mams::net {
@@ -70,22 +72,27 @@ class Network {
   /// same observable behaviour as UDP/TCP-reset on a real cluster).
   void Send(Envelope env) {
     ++stats_.sent;
+    TypeCounters(env.payload->type()).Count(env.payload->ByteSize());
     if (!Connected(env.from, env.to)) {
       ++stats_.dropped;
+      dropped_->Add();
       return;
     }
     const SimTime delay = TransferDelay(env);
     sim_.After(delay, [this, env = std::move(env)] {
       if (!Connected(env.from, env.to)) {
         ++stats_.dropped;
+        dropped_->Add();
         return;
       }
       Endpoint* dst = endpoints_[env.to];
       if (dst == nullptr || !dst->EndpointAlive()) {
         ++stats_.dropped;
+        dropped_->Add();
         return;
       }
       ++stats_.delivered;
+      delivered_->Add();
       dst->Deliver(env);
     });
   }
@@ -111,6 +118,30 @@ class Network {
   const Stats& stats() const noexcept { return stats_; }
 
  private:
+  // Per-message-type counter handles, resolved once per type and cached so
+  // the per-send cost is one hash lookup, not a string concatenation.
+  struct PerType {
+    obs::Counter* sent;
+    obs::Counter* bytes;
+    void Count(std::size_t byte_size) {
+      sent->Add();
+      bytes->Add(byte_size);
+    }
+  };
+
+  PerType& TypeCounters(MsgType type) {
+    auto it = per_type_.find(type);
+    if (it == per_type_.end()) {
+      const std::string base = MsgTypeName(type);
+      auto& registry = sim_.obs().metrics();
+      it = per_type_
+               .emplace(type, PerType{registry.counter("net.sent." + base),
+                                      registry.counter("net.bytes." + base)})
+               .first;
+    }
+    return it->second;
+  }
+
   static std::uint64_t Key(NodeId a, NodeId b) noexcept {
     if (a > b) std::swap(a, b);
     return (static_cast<std::uint64_t>(a) << 32) | b;
@@ -136,6 +167,9 @@ class Network {
   std::vector<bool> link_up_;
   std::set<std::uint64_t> partitioned_;
   Stats stats_;
+  std::unordered_map<MsgType, PerType> per_type_;
+  obs::Counter* delivered_ = sim_.obs().metrics().counter("net.delivered");
+  obs::Counter* dropped_ = sim_.obs().metrics().counter("net.dropped");
 };
 
 }  // namespace mams::net

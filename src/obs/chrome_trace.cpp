@@ -1,0 +1,119 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace mams::obs {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Virtual nanoseconds -> microseconds with 3 decimals (Chrome's unit).
+void AppendMicros(std::string& out, SimTime ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns < 0 ? -(ns % 1000) : ns % 1000));
+  out += buf;
+}
+
+void AppendCommon(std::string& out, const char* category,
+                  const std::string& name, NodeId node, GroupId group) {
+  out += "\"name\":\"";
+  AppendEscaped(out, name);
+  out += "\",\"cat\":\"";
+  AppendEscaped(out, category);
+  out += "\",\"pid\":";
+  out += std::to_string(group);
+  out += ",\"tid\":";
+  out += node == kInvalidNode ? std::string("-1") : std::to_string(node);
+}
+
+void AppendArgs(std::string& out, const std::vector<TraceArg>& args) {
+  out += ",\"args\":{";
+  bool first = true;
+  for (const auto& arg : args) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    AppendEscaped(out, arg.key);
+    out += "\":\"";
+    AppendEscaped(out, arg.value);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const TraceRecorder& recorder) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const auto& span : recorder.spans()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"X\",";
+    AppendCommon(out, span.category, span.name, span.node, span.group);
+    out += ",\"ts\":";
+    AppendMicros(out, span.begin);
+    out += ",\"dur\":";
+    AppendMicros(out, span.end - span.begin);
+    AppendArgs(out, span.args);
+    out += '}';
+  }
+  for (const auto& inst : recorder.instants()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"ph\":\"i\",\"s\":\"t\",";
+    AppendCommon(out, inst.category, inst.name, inst.node, inst.group);
+    out += ",\"ts\":";
+    AppendMicros(out, inst.ts);
+    AppendArgs(out, inst.args);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTrace(const TraceRecorder& recorder,
+                        const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file " + path);
+  }
+  const std::string json = ChromeTraceJson(recorder);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Internal("short write to trace file " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace mams::obs

@@ -1,0 +1,32 @@
+// Chrome trace_event JSON export for TraceRecorder timelines.
+//
+// The emitted file loads directly in chrome://tracing and in Perfetto
+// (ui.perfetto.dev). Mapping:
+//
+//   span    -> "X" complete event   (robust to async interleaving;
+//                                    no per-thread B/E stack needed)
+//   instant -> "i" instant event (thread-scoped)
+//   pid     -> replica group id
+//   tid     -> node id (-1 when the event has no node)
+//   ts/dur  -> virtual microseconds with nanosecond decimals
+//
+// Spans still open at export time (mid-protocol or leaked by a crash) are
+// skipped; TraceRecorder::open_spans() reports how many there were.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "obs/trace.hpp"
+
+namespace mams::obs {
+
+/// Serializes the recorder's finished spans and instants as a Chrome
+/// trace_event JSON document. Deterministic: same recording, same bytes.
+std::string ChromeTraceJson(const TraceRecorder& recorder);
+
+/// Writes ChromeTraceJson(recorder) to `path`.
+Status WriteChromeTrace(const TraceRecorder& recorder,
+                        const std::string& path);
+
+}  // namespace mams::obs

@@ -1,0 +1,148 @@
+// MetricsRegistry — named counters, gauges, and HDR-style histograms.
+//
+// Protocol code resolves a metric once (usually in a constructor) and
+// keeps the returned pointer as a cheap handle; updates are a single
+// add/compare on the hot path. One registry per Simulator, so repeated
+// bench trials and parallel test shards never share state.
+//
+// The histogram uses HdrHistogram-style log2 buckets with 32 linear
+// sub-buckets per power of two (~3% relative resolution), which makes
+// Record() O(1) with bounded memory regardless of the value range —
+// unlike metrics::Cdf, which stores every sample. obs_test cross-checks
+// its quantiles against Cdf on identical samples.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mams::obs {
+
+struct Counter {
+  std::uint64_t value = 0;
+  void Add(std::uint64_t n = 1) noexcept { value += n; }
+};
+
+struct Gauge {
+  std::int64_t value = 0;
+  void Set(std::int64_t v) noexcept { value = v; }
+  void Add(std::int64_t d) noexcept { value += d; }
+  /// Ratchets upward (e.g. a high-watermark serial number).
+  void MaxWith(std::int64_t v) noexcept { value = std::max(value, v); }
+};
+
+class Histogram {
+ public:
+  void Record(std::int64_t value) {
+    const std::uint64_t v = value < 0 ? 0 : static_cast<std::uint64_t>(value);
+    const std::size_t idx = BucketIndex(v);
+    if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+    ++buckets_[idx];
+    ++count_;
+    sum_ += v;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::int64_t min() const noexcept {
+    return static_cast<std::int64_t>(count_ ? min_ : 0);
+  }
+  std::int64_t max() const noexcept { return static_cast<std::int64_t>(max_); }
+  double Mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Value at quantile q in [0,1]: the upper bound of the bucket holding
+  /// the q-th sample, so the result overestimates the exact order statistic
+  /// by at most one sub-bucket width (~3%).
+  std::int64_t Quantile(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count_ - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= target) {
+        return static_cast<std::int64_t>(
+            std::min(BucketUpperBound(i), max_));
+      }
+    }
+    return static_cast<std::int64_t>(max_);
+  }
+
+ private:
+  // Values below 2^(kSubBits+1) are exact; above, each power of two is
+  // split into 2^kSubBits linear sub-buckets.
+  static constexpr int kSubBits = 5;
+  static constexpr std::uint64_t kExact = 1ull << (kSubBits + 1);  // 64
+
+  static std::size_t BucketIndex(std::uint64_t v) noexcept {
+    if (v < kExact) return static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const int shift = msb - kSubBits;
+    const std::uint64_t sub = (v >> shift) - (1ull << kSubBits);
+    return static_cast<std::size_t>(kExact) +
+           static_cast<std::size_t>(shift - 1) * (1ull << kSubBits) +
+           static_cast<std::size_t>(sub);
+  }
+
+  static std::uint64_t BucketUpperBound(std::size_t idx) noexcept {
+    if (idx < kExact) return idx;
+    const std::size_t rel = idx - kExact;
+    const int shift = static_cast<int>(rel >> kSubBits) + 1;
+    const std::uint64_t sub = (rel & ((1ull << kSubBits) - 1)) +
+                              (1ull << kSubBits);
+    return ((sub + 1) << shift) - 1;
+  }
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create by name. Returned pointers are stable for the life of
+  /// the registry (node-based map storage) — cache them as handles.
+  Counter* counter(const std::string& name) { return &counters_[name]; }
+  Gauge* gauge(const std::string& name) { return &gauges_[name]; }
+  Histogram* histogram(const std::string& name) { return &histograms_[name]; }
+
+  /// Sorted-by-name iteration for deterministic dumps.
+  const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+
+  void Clear() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace mams::obs

@@ -1,0 +1,37 @@
+// The per-simulation observability bundle: one TraceRecorder, one
+// MetricsRegistry, and one ProbeRegistry, owned by the Simulator and
+// reached from any protocol module via sim().obs(). No process-wide
+// state: two Simulators (nested scopes, repeated bench trials, parallel
+// test shards in one process) never see each other's events.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
+
+namespace mams::obs {
+
+class Observability {
+ public:
+  explicit Observability(const SimTime* clock)
+      : tracer_(clock), probes_(clock) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  TraceRecorder& tracer() noexcept { return tracer_; }
+  const TraceRecorder& tracer() const noexcept { return tracer_; }
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  ProbeRegistry& probes() noexcept { return probes_; }
+  const ProbeRegistry& probes() const noexcept { return probes_; }
+
+ private:
+  TraceRecorder tracer_;
+  MetricsRegistry metrics_;
+  ProbeRegistry probes_;
+};
+
+}  // namespace mams::obs

@@ -1,0 +1,110 @@
+// Invariant probes — registered predicates evaluated on every flip of the
+// global view (and on server role changes), turning every test and bench
+// into a continuous correctness check instead of an end-state one.
+//
+// A probe returns std::nullopt while the invariant holds and a human-
+// readable violation description when it does not. Violations are logged
+// at error level immediately (so a chaos run fails loudly at the moment
+// the invariant breaks, with virtual timestamps) and retained for the
+// harness to assert on: `EXPECT_EQ(sim.obs().probes().violation_count(),
+// 0u)`.
+//
+// Probes are plain closures, so the layer that owns the state being
+// checked registers them (CfsCluster installs the standard MAMS set —
+// see cluster/cfs.hpp); the registry itself depends only on common/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace mams::obs {
+
+using ProbeId = std::uint64_t;
+
+class ProbeRegistry {
+ public:
+  using ProbeFn = std::function<std::optional<std::string>()>;
+  using ProbeId = obs::ProbeId;
+
+  struct Violation {
+    std::string probe;
+    std::string detail;
+    SimTime at = 0;
+  };
+
+  explicit ProbeRegistry(const SimTime* clock) : clock_(clock) {}
+
+  ProbeRegistry(const ProbeRegistry&) = delete;
+  ProbeRegistry& operator=(const ProbeRegistry&) = delete;
+
+  /// Registers a probe; the returned id unregisters it (owners whose state
+  /// the closure captures must unregister before they are destroyed).
+  ProbeId Register(std::string name, ProbeFn fn) {
+    const ProbeId id = ++next_id_;
+    probes_.emplace(id, NamedProbe{std::move(name), std::move(fn)});
+    return id;
+  }
+
+  void Unregister(ProbeId id) { probes_.erase(id); }
+
+  std::size_t probe_count() const noexcept { return probes_.size(); }
+
+  /// Runs every probe once; logs and records each violation. Returns the
+  /// number of violations found in this pass.
+  std::size_t Evaluate() {
+    if (probes_.empty()) return 0;
+    ++evaluations_;
+    std::size_t found = 0;
+    for (const auto& [id, probe] : probes_) {
+      std::optional<std::string> violation = probe.fn();
+      if (!violation.has_value()) continue;
+      ++found;
+      ++violation_count_;
+      MAMS_ERROR("probe", "invariant '%s' violated: %s", probe.name.c_str(),
+                 violation->c_str());
+      if (violations_.size() < kMaxStoredViolations) {
+        violations_.push_back(
+            Violation{probe.name, std::move(*violation),
+                      clock_ != nullptr ? *clock_ : 0});
+      }
+    }
+    return found;
+  }
+
+  std::uint64_t evaluations() const noexcept { return evaluations_; }
+  std::uint64_t violation_count() const noexcept { return violation_count_; }
+  /// First kMaxStoredViolations violations, in discovery order.
+  const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+
+  void ClearViolations() {
+    violations_.clear();
+    violation_count_ = 0;
+  }
+
+ private:
+  struct NamedProbe {
+    std::string name;
+    ProbeFn fn;
+  };
+
+  static constexpr std::size_t kMaxStoredViolations = 256;
+
+  const SimTime* clock_;
+  ProbeId next_id_ = 0;
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t violation_count_ = 0;
+  std::map<ProbeId, NamedProbe> probes_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace mams::obs

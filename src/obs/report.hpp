@@ -1,0 +1,43 @@
+// Aligned-table text dump of a MetricsRegistry, reusing the bench
+// harness's metrics::Table so obs output lines up with every existing
+// figure/table print. Deterministic: metrics iterate sorted by name.
+#pragma once
+
+#include <cstdio>
+
+#include "metrics/table.hpp"
+#include "obs/metrics.hpp"
+
+namespace mams::obs {
+
+/// Prints all counters, gauges, and histogram summaries to `out`.
+/// Histogram durations are recorded in virtual nanoseconds; the dump
+/// reports them as-is (callers pick the unit when recording).
+inline void PrintMetrics(const MetricsRegistry& registry,
+                         std::FILE* out = stdout) {
+  if (!registry.counters().empty() || !registry.gauges().empty()) {
+    metrics::Table scalars({"metric", "kind", "value"});
+    for (const auto& [name, c] : registry.counters()) {
+      scalars.AddRow({name, "counter", std::to_string(c.value)});
+    }
+    for (const auto& [name, g] : registry.gauges()) {
+      scalars.AddRow({name, "gauge", std::to_string(g.value)});
+    }
+    scalars.Print(out);
+  }
+  if (!registry.histograms().empty()) {
+    metrics::Table hist(
+        {"histogram", "count", "mean", "p50", "p90", "p99", "max"});
+    for (const auto& [name, h] : registry.histograms()) {
+      hist.AddRow({name, std::to_string(h.count()),
+                   metrics::Table::Num(h.Mean(), 1),
+                   std::to_string(h.Quantile(0.50)),
+                   std::to_string(h.Quantile(0.90)),
+                   std::to_string(h.Quantile(0.99)),
+                   std::to_string(h.max())});
+    }
+    hist.Print(out);
+  }
+}
+
+}  // namespace mams::obs

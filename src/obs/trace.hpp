@@ -1,0 +1,184 @@
+// TraceRecorder — typed events and nested spans in virtual time.
+//
+// One recorder per Simulator (no singletons): protocol code reaches it via
+// sim().obs().tracer(). Recording is off by default so benchmarks measure
+// protocol cost, not bookkeeping; a bench or test that wants a timeline
+// calls set_enabled(true) and later exports with obs/chrome_trace.hpp.
+//
+// Spans are begin/end pairs carrying a category, a name, the node and
+// replica group they belong to, and free-form key=value args. They may
+// overlap arbitrarily (async protocol sections interleave), so the
+// exporter emits them as Chrome "X" complete events rather than relying
+// on per-thread B/E stacking. Instants mark point events (a session
+// expiry, a fencing rejection).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace mams::obs {
+
+/// One key=value annotation on a span or instant.
+struct TraceArg {
+  std::string key;
+  std::string value;
+
+  TraceArg(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  TraceArg(std::string k, std::uint64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+  TraceArg(std::string k, std::int64_t v)
+      : key(std::move(k)), value(std::to_string(v)) {}
+};
+
+/// A finished begin/end pair.
+struct SpanRecord {
+  const char* category = "";
+  std::string name;
+  NodeId node = kInvalidNode;
+  GroupId group = 0;
+  SimTime begin = 0;
+  SimTime end = 0;
+  std::vector<TraceArg> args;
+};
+
+/// A point event.
+struct InstantRecord {
+  const char* category = "";
+  std::string name;
+  NodeId node = kInvalidNode;
+  GroupId group = 0;
+  SimTime ts = 0;
+  std::vector<TraceArg> args;
+};
+
+class TraceRecorder {
+ public:
+  /// `clock` is the simulator's virtual-time cursor; the recorder never
+  /// advances it, only reads it.
+  explicit TraceRecorder(const SimTime* clock) : clock_(clock) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Lightweight span handle protocol code stores across callbacks. A
+  /// default-constructed (or already-ended) handle is inactive; ending it
+  /// is a no-op, which lets abort paths close "whatever is open" safely.
+  class Span {
+   public:
+    Span() = default;
+    bool active() const noexcept { return id_ != 0; }
+
+   private:
+    friend class TraceRecorder;
+    std::uint64_t id_ = 0;
+  };
+
+  /// Opens a span. Returns an inactive handle while recording is disabled.
+  Span Begin(const char* category, std::string name,
+             NodeId node = kInvalidNode, GroupId group = 0,
+             std::vector<TraceArg> args = {}) {
+    Span span;
+    if (!enabled_) return span;
+    span.id_ = BeginRaw(category, std::move(name), node, group,
+                        std::move(args));
+    return span;
+  }
+
+  /// Closes a span; extra args are appended to the begin-time args. Ending
+  /// an inactive handle is a no-op (see Span); the handle is consumed.
+  void End(Span& span, std::vector<TraceArg> args = {}) {
+    if (!span.active()) return;
+    EndRaw(span.id_, std::move(args));
+    span.id_ = 0;
+  }
+
+  /// Low-level API (tests, adapters). BeginRaw always records, even while
+  /// disabled callers should prefer Begin. EndRaw returns false — and
+  /// counts a mismatch — for an id that was never begun or already ended.
+  std::uint64_t BeginRaw(const char* category, std::string name, NodeId node,
+                         GroupId group, std::vector<TraceArg> args = {}) {
+    const std::uint64_t id = ++next_id_;
+    OpenSpan open;
+    open.record.category = category;
+    open.record.name = std::move(name);
+    open.record.node = node;
+    open.record.group = group;
+    open.record.begin = Now();
+    open.record.args = std::move(args);
+    open_.emplace(id, std::move(open));
+    return id;
+  }
+
+  bool EndRaw(std::uint64_t id, std::vector<TraceArg> args = {}) {
+    auto it = open_.find(id);
+    if (it == open_.end()) {
+      ++mismatched_ends_;
+      return false;
+    }
+    SpanRecord rec = std::move(it->second.record);
+    open_.erase(it);
+    rec.end = Now();
+    for (auto& a : args) rec.args.push_back(std::move(a));
+    spans_.push_back(std::move(rec));
+    return true;
+  }
+
+  /// Records a point event (no-op while disabled).
+  void Instant(const char* category, std::string name,
+               NodeId node = kInvalidNode, GroupId group = 0,
+               std::vector<TraceArg> args = {}) {
+    if (!enabled_) return;
+    InstantRecord rec;
+    rec.category = category;
+    rec.name = std::move(name);
+    rec.node = node;
+    rec.group = group;
+    rec.ts = Now();
+    rec.args = std::move(args);
+    instants_.push_back(std::move(rec));
+  }
+
+  // --- introspection -------------------------------------------------------
+  /// Completed spans in completion order (children complete before parents,
+  /// so a nested span precedes its enclosing one here).
+  const std::vector<SpanRecord>& spans() const noexcept { return spans_; }
+  const std::vector<InstantRecord>& instants() const noexcept {
+    return instants_;
+  }
+  /// Spans begun but not yet ended (mid-protocol, or leaked by a crash).
+  std::size_t open_spans() const noexcept { return open_.size(); }
+  /// Ends that matched no open span (double-end or never-begun).
+  std::uint64_t mismatched_ends() const noexcept { return mismatched_ends_; }
+
+  void Clear() {
+    spans_.clear();
+    instants_.clear();
+    open_.clear();
+    mismatched_ends_ = 0;
+  }
+
+ private:
+  struct OpenSpan {
+    SpanRecord record;
+  };
+
+  SimTime Now() const noexcept { return clock_ != nullptr ? *clock_ : 0; }
+
+  const SimTime* clock_;
+  bool enabled_ = false;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t mismatched_ends_ = 0;
+  std::unordered_map<std::uint64_t, OpenSpan> open_;
+  std::vector<SpanRecord> spans_;
+  std::vector<InstantRecord> instants_;
+};
+
+}  // namespace mams::obs

@@ -27,6 +27,7 @@
 #include "common/bytes.hpp"
 #include "common/logging.hpp"
 #include "net/host.hpp"
+#include "obs/observability.hpp"
 #include "paxos/messages.hpp"
 #include "paxos/proposer.hpp"
 
@@ -52,7 +53,14 @@ class Replica : public net::Host {
       : net::Host(network, std::move(name)),
         apply_(std::move(apply)),
         options_(options),
-        rng_(network.sim().rng().Fork(Fnv1a(this->name()))) {
+        rng_(network.sim().rng().Fork(Fnv1a(this->name()))),
+        obs_(&network.sim().obs()),
+        proposals_(obs_->metrics().counter("paxos.propose")),
+        rounds_(obs_->metrics().counter("paxos.rounds")),
+        decided_(obs_->metrics().counter("paxos.decided")),
+        propose_fails_(obs_->metrics().counter("paxos.propose_fail")),
+        propose_rounds_(obs_->metrics().histogram("paxos.propose_rounds")),
+        propose_ns_(obs_->metrics().histogram("paxos.propose_ns")) {
     RegisterHandlers();
   }
 
@@ -87,6 +95,7 @@ class Replica : public net::Host {
   void OnCrash() override {
     net::Host::OnCrash();
     proposing_ = false;
+    obs_->tracer().End(proposal_span_, {{"ok", "crashed"}});
     // Pending client proposals die with the process.
     queue_.clear();
   }
@@ -140,6 +149,9 @@ class Replica : public net::Host {
       return;
     }
     proposing_ = true;
+    proposals_->Add();
+    proposal_begin_ = network().sim().Now();
+    proposal_span_ = obs_->tracer().Begin("paxos", "propose", id());
     attempt_ = Attempt{};
     attempt_.instance = NextFreeInstance();
     attempt_.state = std::make_unique<ProposerState>(id(), peers_.size());
@@ -157,11 +169,13 @@ class Replica : public net::Host {
     if (++attempt_.rounds > options_.max_rounds_per_proposal) {
       auto pending = std::move(queue_.front());
       queue_.pop_front();
+      FinishProposalObs(false);
       pending.done(Status::Unavailable("paxos: no quorum after max rounds"),
                    0);
       StartNextProposal();
       return;
     }
+    rounds_->Add();
     // A slot may have been learned (from another proposer) since we picked
     // it; move on if so.
     if (chosen_.contains(attempt_.instance)) {
@@ -241,6 +255,8 @@ class Replica : public net::Host {
     if (attempt_.state->ChoseOwnCandidate()) {
       auto pending = std::move(queue_.front());
       queue_.pop_front();
+      decided_->Add();
+      FinishProposalObs(true, instance);
       pending.done(Status::Ok(), instance);
       StartNextProposal();
     } else {
@@ -261,6 +277,18 @@ class Replica : public net::Host {
   SimTime Backoff() {
     return static_cast<SimTime>(
         rng_.Range(options_.retry_backoff_min, options_.retry_backoff_max));
+  }
+
+  /// Records latency/round histograms and closes the proposal span.
+  void FinishProposalObs(bool ok, InstanceId instance = 0) {
+    propose_rounds_->Record(attempt_.rounds);
+    propose_ns_->Record(network().sim().Now() - proposal_begin_);
+    if (!ok) propose_fails_->Add();
+    obs_->tracer().End(
+        proposal_span_,
+        {{"ok", ok ? "true" : "false"},
+         {"instance", static_cast<std::uint64_t>(instance)},
+         {"rounds", static_cast<std::uint64_t>(attempt_.rounds)}});
   }
 
   void Learn(InstanceId instance, const Value& value) {
@@ -292,6 +320,17 @@ class Replica : public net::Host {
   Attempt attempt_;
   Ballot max_seen_ballot_;
   InstanceId applied_through_ = 0;
+
+  // Observability (per-simulator registry; handles are stable pointers).
+  obs::Observability* obs_;
+  obs::Counter* proposals_;
+  obs::Counter* rounds_;
+  obs::Counter* decided_;
+  obs::Counter* propose_fails_;
+  obs::Histogram* propose_rounds_;
+  obs::Histogram* propose_ns_;
+  obs::TraceRecorder::Span proposal_span_;
+  SimTime proposal_begin_ = 0;
 };
 
 }  // namespace mams::paxos

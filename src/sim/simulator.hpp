@@ -17,6 +17,7 @@
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/observability.hpp"
 #include "sim/event_queue.hpp"
 
 namespace mams::sim {
@@ -24,16 +25,25 @@ namespace mams::sim {
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1)
-      : rng_(seed) {
+      : rng_(seed),
+        prev_log_clock_(Logger::Instance().time_source()),
+        obs_(&now_) {
     Logger::Instance().set_time_source(&now_);
   }
-  ~Simulator() { Logger::Instance().set_time_source(nullptr); }
+  // Restore whatever clock the logger used before this simulator existed,
+  // so a nested or sequential-in-scope Simulator being destroyed cannot
+  // blank the outer one's timestamps.
+  ~Simulator() { Logger::Instance().set_time_source(prev_log_clock_); }
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime Now() const noexcept { return now_; }
   Rng& rng() noexcept { return rng_; }
+
+  /// Tracing, metrics, and invariant probes scoped to this simulation.
+  obs::Observability& obs() noexcept { return obs_; }
+  const obs::Observability& obs() const noexcept { return obs_; }
 
   /// Schedules `fn` after a (non-negative) delay.
   EventHandle After(SimTime delay, EventFn fn) {
@@ -87,6 +97,8 @@ class Simulator {
   SimTime now_ = 0;
   EventQueue queue_;
   Rng rng_;
+  const SimTime* prev_log_clock_ = nullptr;
+  obs::Observability obs_;
 };
 
 /// Convenience: a repeating timer that reschedules itself until cancelled.

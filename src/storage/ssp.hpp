@@ -17,6 +17,7 @@
 
 #include "common/bytes.hpp"
 #include "net/host.hpp"
+#include "obs/observability.hpp"
 #include "storage/ssp_messages.hpp"
 
 namespace mams::storage {
@@ -33,7 +34,15 @@ class SspClient {
   using Options = SspOptions;
 
   SspClient(net::Host& host, std::vector<NodeId> pool, Options options = {})
-      : host_(host), pool_(std::move(pool)), options_(options) {}
+      : host_(host),
+        pool_(std::move(pool)),
+        options_(options),
+        obs_(&host.network().sim().obs()),
+        appends_(obs_->metrics().counter("ssp.append")),
+        append_fails_(obs_->metrics().counter("ssp.append_fail")),
+        append_ns_(obs_->metrics().histogram("ssp.append_ns")),
+        reads_(obs_->metrics().counter("ssp.read")),
+        read_failovers_(obs_->metrics().counter("ssp.read_failover")) {}
 
   const std::vector<NodeId>& pool() const noexcept { return pool_; }
   void set_pool(std::vector<NodeId> pool) { pool_ = std::move(pool); }
@@ -57,13 +66,26 @@ class SspClient {
   void Append(const std::string& file, SspRecord record,
               std::function<void(Status)> done) {
     auto replicas = Placement(file);
+    appends_->Add();
     if (replicas.empty()) {
+      append_fails_->Add();
       done(Status::Unavailable("ssp pool empty"));
       return;
     }
     auto state = std::make_shared<AppendState>();
     state->remaining = replicas.size();
-    state->done = std::move(done);
+    // Wrap the completion so every append records latency and a span,
+    // whichever replica (or timeout) finishes it.
+    state->done = [this, done = std::move(done),
+                   begin = host_.network().sim().Now(),
+                   span = obs_->tracer().Begin("ssp", "append", host_.id(), 0,
+                                               {{"file", file}})](
+                      Status status) mutable {
+      append_ns_->Record(host_.network().sim().Now() - begin);
+      if (!status.ok()) append_fails_->Add();
+      obs_->tracer().End(span, {{"status", status.ok() ? "ok" : "fail"}});
+      done(status);
+    };
     for (NodeId replica : replicas) {
       auto msg = std::make_shared<SspWriteMsg>();
       msg->file = file;
@@ -140,6 +162,14 @@ class SspClient {
                         std::shared_ptr<SspReadMsg> msg, std::size_t attempt,
                         ReadCallback done) {
     auto replicas = Placement(file);
+    if (attempt == 0) {
+      reads_->Add();
+    } else {
+      read_failovers_->Add();
+      obs_->tracer().Instant("ssp", "read_failover", host_.id(), 0,
+                             {{"file", file},
+                              {"attempt", static_cast<std::uint64_t>(attempt)}});
+    }
     if (attempt >= replicas.size()) {
       done(Status::Unavailable("all ssp replicas failed for " + file));
       return;
@@ -181,6 +211,12 @@ class SspClient {
   net::Host& host_;
   std::vector<NodeId> pool_;
   Options options_;
+  obs::Observability* obs_;
+  obs::Counter* appends_;
+  obs::Counter* append_fails_;
+  obs::Histogram* append_ns_;
+  obs::Counter* reads_;
+  obs::Counter* read_failovers_;
 };
 
 }  // namespace mams::storage

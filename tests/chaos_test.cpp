@@ -104,6 +104,17 @@ TEST_P(ChaosTest, LinkFlapStormConvergesWithoutLoss) {
     EXPECT_EQ(mds.tree().Fingerprint(), active->tree().Fingerprint())
         << mds.name() << " seed " << seed;
   }
+
+  // The cluster's invariant probes watched every view/role flip during the
+  // storm; none may have fired (single active, monotone fences and sns,
+  // no committed-sn regression).
+  const auto& probes = sim.obs().probes();
+  EXPECT_GT(probes.evaluations(), 0u) << "probes never ran";
+  EXPECT_EQ(probes.violation_count(), 0u)
+      << "seed " << seed << "; first: "
+      << (probes.violations().empty() ? std::string("<none>")
+                                      : probes.violations()[0].probe + ": " +
+                                            probes.violations()[0].detail);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
@@ -142,6 +153,7 @@ TEST_P(PoolChaosTest, PoolNodeFailuresDontBlockRenewal) {
   EXPECT_EQ(victim.role(), ServerState::kStandby) << "seed " << seed;
   EXPECT_EQ(victim.tree().Fingerprint(),
             cfs.FindActive(0)->tree().Fingerprint());
+  EXPECT_EQ(sim.obs().probes().violation_count(), 0u) << "seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PoolChaosTest, ::testing::Values(1, 2, 3));

@@ -21,7 +21,6 @@ class ClusterTest : public ::testing::Test {
  protected:
   void Build(GroupId groups, int standbys, std::uint64_t seed = 7,
              int juniors = 0) {
-    core::FailoverTraceLog::Instance().Clear();
     sim_ = std::make_unique<sim::Simulator>(seed);
     net_ = std::make_unique<net::Network>(*sim_);
     CfsConfig cfg;
@@ -137,7 +136,7 @@ TEST_F(ClusterTest, ActiveCrashTriggersElectionAndFailover) {
   EXPECT_TRUE(CreateFile("/post").ok());
 
   // Exactly one failover was traced, with sub-second election+switch.
-  const auto& traces = core::FailoverTraceLog::Instance().traces();
+  const auto& traces = cluster_->failover_log().traces();
   ASSERT_EQ(traces.size(), 1u);
   EXPECT_TRUE(traces[0].complete());
   EXPECT_LT(traces[0].ElectionTime(), 500 * kMillisecond);

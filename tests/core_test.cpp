@@ -18,7 +18,6 @@ namespace {
 class CoreTest : public ::testing::Test {
  protected:
   void Build(cluster::CfsConfig cfg, std::uint64_t seed = 17) {
-    FailoverTraceLog::Instance().Clear();
     sim_ = std::make_unique<sim::Simulator>(seed);
     net_ = std::make_unique<net::Network>(*sim_);
     cfs_ = std::make_unique<cluster::CfsCluster>(*net_, cfg);
@@ -160,7 +159,7 @@ TEST_F(CoreTest, FailoverTraceStagesAreOrdered) {
   ASSERT_TRUE(CreateFile("/t/1").ok());
   cfs_->FindActive(0)->Crash();
   Run(12 * kSecond);
-  const auto& traces = FailoverTraceLog::Instance().traces();
+  const auto& traces = cfs_->failover_log().traces();
   ASSERT_EQ(traces.size(), 1u);
   const auto& t = traces[0];
   ASSERT_TRUE(t.complete());
