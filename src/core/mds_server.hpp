@@ -284,10 +284,18 @@ class MdsServer : public net::Host {
     obs::Counter* renews_completed;
     obs::Counter* fenced_rejections;
     obs::Counter* buffered_during_upgrade;
+    obs::Counter* resolve_cache_hits;
+    obs::Counter* resolve_cache_misses;
+    obs::Counter* resolve_cache_invalidations;
     obs::Histogram* sync_batch_ns;
     obs::Histogram* batch_records;
+    obs::Histogram* resolve_ns;
     obs::Gauge* last_sn;
   } m_{};
+  /// Publishes the tree's cumulative resolve-cache stats into the metrics
+  /// registry as deltas since the previous publish.
+  void PublishCacheStats();
+  fsns::ResolveCache::Stats cache_published_{};
   obs::TraceRecorder::Span election_span_;
   obs::TraceRecorder::Span switch_span_;
   obs::TraceRecorder::Span step_span_;

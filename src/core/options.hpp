@@ -31,6 +31,12 @@ struct OpCosts {
 struct MdsOptions {
   GroupId group = 0;
 
+  // Namespace resolution.
+  /// Entries in the tree's LRU path->inode resolution cache; 0 disables
+  /// (the cache-off ablation measured by bench/micro_namespace). Keep it
+  /// above the hot path set — an undersized LRU thrashes.
+  std::size_t resolve_cache_capacity = 65536;
+
   // Coordination (paper Section IV.B).
   SimTime heartbeat_interval = 2 * kSecond;
   SimTime session_timeout = 5 * kSecond;

@@ -1,5 +1,7 @@
 #include "fsns/path.hpp"
 
+#include <algorithm>
+
 namespace mams::fsns {
 
 bool IsValidPath(std::string_view path) {
@@ -22,21 +24,24 @@ bool IsValidPath(std::string_view path) {
 std::vector<std::string_view> SplitPath(std::string_view path) {
   std::vector<std::string_view> parts;
   if (path.size() <= 1) return parts;
-  std::size_t start = 1;
-  while (start < path.size()) {
-    std::size_t end = path.find('/', start);
-    if (end == std::string_view::npos) end = path.size();
-    parts.push_back(path.substr(start, end - start));
-    start = end + 1;
-  }
+  // Every component is preceded by exactly one '/' in a valid path, so the
+  // slash count is a tight capacity bound (an overestimate only for the
+  // degenerate "//" inputs, whose empty components are skipped).
+  parts.reserve(static_cast<std::size_t>(
+      std::count(path.begin(), path.end(), '/')));
+  for (std::string_view comp : PathComponents(path)) parts.push_back(comp);
   return parts;
 }
 
 std::string ParentPath(std::string_view path) {
+  return std::string(ParentDir(path));
+}
+
+std::string_view ParentDir(std::string_view path) noexcept {
   if (path.size() <= 1) return {};
   const std::size_t slash = path.rfind('/');
-  if (slash == 0) return "/";
-  return std::string(path.substr(0, slash));
+  if (slash == 0) return path.substr(0, 1);  // "/"
+  return path.substr(0, slash);
 }
 
 std::string_view BaseName(std::string_view path) {
@@ -46,7 +51,9 @@ std::string_view BaseName(std::string_view path) {
 }
 
 std::string JoinPath(std::string_view parent, std::string_view child) {
-  std::string out(parent);
+  std::string out;
+  out.reserve(parent.size() + 1 + child.size());
+  out += parent;
   if (out.empty() || out.back() != '/') out += '/';
   out += child;
   return out;
@@ -57,6 +64,24 @@ bool IsPrefixPath(std::string_view ancestor, std::string_view path) {
   if (path.size() < ancestor.size()) return false;
   if (path.substr(0, ancestor.size()) != ancestor) return false;
   return path.size() == ancestor.size() || path[ancestor.size()] == '/';
+}
+
+std::string_view ChildOf(std::string_view parent,
+                         std::string_view path) noexcept {
+  if (parent.empty() || path.size() <= parent.size()) return {};
+  if (parent == "/") {
+    const std::string_view base = path.substr(1);
+    return base.find('/') == std::string_view::npos ? base
+                                                    : std::string_view{};
+  }
+  if (path.substr(0, parent.size()) != parent ||
+      path[parent.size()] != '/') {
+    return {};
+  }
+  const std::string_view base = path.substr(parent.size() + 1);
+  return !base.empty() && base.find('/') == std::string_view::npos
+             ? base
+             : std::string_view{};
 }
 
 }  // namespace mams::fsns

@@ -1,0 +1,133 @@
+// ResolveCache — an LRU full-path -> inode-id cache for namespace
+// resolution (the HopsFS/λFS-style path cache, adapted to a single-node
+// in-memory tree).
+//
+// Correctness model: the cache holds only POSITIVE entries (paths that
+// resolved successfully), so creates and mkdirs never require
+// invalidation — a path absent from the cache just falls back to the tree
+// walk. Structural mutations that remove or move inodes (delete, rename)
+// must call InvalidatePrefix on every affected root; LoadImage/Reset clear
+// the mappings wholesale. The cached value is an InodeId, never a pointer:
+// a hit is re-validated against the inode table, so a missed invalidation
+// can cost staleness only if an id is reused for a different path — ids are
+// monotonically allocated and never reused, making the id itself the
+// validity token.
+//
+// The index is keyed by string_views that alias the owning LRU entries'
+// strings (stable under list splice), so cache HITS perform exactly one
+// hash lookup and zero allocations.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "fsns/path.hpp"
+
+namespace mams::fsns {
+
+class ResolveCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t invalidations = 0;  ///< entries dropped by prefix/clear
+  };
+
+  /// An entry costs roughly a path string plus ~100 bytes of node/index
+  /// overhead, so the default is ~10 MB — nothing next to the inode table
+  /// it accelerates. Size generously: an LRU whose capacity is below the
+  /// hot path set thrashes (every miss pays an insert + evict) and can be
+  /// slower than no cache at all.
+  static constexpr std::size_t kDefaultCapacity = 65536;
+
+  explicit ResolveCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  ResolveCache(ResolveCache&&) = default;
+  ResolveCache& operator=(ResolveCache&&) = default;
+
+  /// Capacity 0 disables the cache entirely (benchmark ablation; the
+  /// lookup fast path is compiled but never taken).
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    if (capacity_ == 0) {
+      Clear();
+      return;
+    }
+    while (lru_.size() > capacity_) EvictOldest();
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool enabled() const noexcept { return capacity_ > 0; }
+  std::size_t size() const noexcept { return lru_.size(); }
+  const Stats& stats() const noexcept { return stats_; }
+
+  /// Hit: the id cached for `path`, promoted to most-recently-used.
+  std::optional<InodeId> Lookup(std::string_view path) {
+    auto it = index_.find(path);
+    if (it == index_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->id;
+  }
+
+  void Insert(std::string_view path, InodeId id) {
+    auto it = index_.find(path);
+    if (it != index_.end()) {
+      it->second->id = id;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    lru_.push_front(Entry{std::string(path), id});
+    index_.emplace(std::string_view(lru_.front().path), lru_.begin());
+    if (lru_.size() > capacity_) EvictOldest();
+  }
+
+  /// Drops `prefix` itself and every cached path beneath it (delete and
+  /// rename take out whole subtrees). Linear in the cache size — structural
+  /// mutations are orders of magnitude rarer than lookups.
+  void InvalidatePrefix(std::string_view prefix) {
+    if (lru_.empty()) return;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (IsPrefixPath(prefix, it->path)) {
+        index_.erase(std::string_view(it->path));
+        it = lru_.erase(it);
+        ++stats_.invalidations;
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Drops every mapping; keeps capacity and cumulative stats.
+  void Clear() {
+    stats_.invalidations += lru_.size();
+    index_.clear();
+    lru_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::string path;
+    InodeId id;
+  };
+
+  void EvictOldest() {
+    index_.erase(std::string_view(lru_.back().path));
+    lru_.pop_back();
+  }
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string_view, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace mams::fsns

@@ -15,6 +15,8 @@ Tree::Tree() { Reset(); }
 void Tree::Reset() {
   inodes_.clear();
   client_table_.clear();
+  resolve_cache_.Clear();
+  active_hint_ = nullptr;
   Inode root;
   root.id = kRootInode;
   root.parent = kInvalidInode;
@@ -28,13 +30,50 @@ void Tree::Reset() {
 
 const Inode* Tree::Resolve(std::string_view path) const {
   if (!IsValidPath(path)) return nullptr;
-  const Inode* cur = &inodes_.at(kRootInode);
-  for (std::string_view comp : SplitPath(path)) {
-    if (!cur->is_dir) return nullptr;
-    auto it = cur->children.find(std::string(comp));
-    if (it == cur->children.end()) return nullptr;
-    cur = &inodes_.at(it->second);
+  if (path.size() == 1) return &inodes_.at(kRootInode);
+
+  // Batch-apply fast path: when a hint names this path's parent (or the
+  // path itself), answer from the memoized directory with a single child
+  // lookup. The parent's child index is always current — creates earlier
+  // in the batch are visible — so a missing child is a definitive miss.
+  if (active_hint_ != nullptr && active_hint_->parent != kInvalidInode) {
+    if (path == active_hint_->parent_path) {
+      auto pit = inodes_.find(active_hint_->parent);
+      if (pit != inodes_.end()) return &pit->second;
+    } else if (const std::string_view base =
+                   ChildOf(active_hint_->parent_path, path);
+               !base.empty()) {
+      auto pit = inodes_.find(active_hint_->parent);
+      if (pit != inodes_.end() && pit->second.is_dir) {
+        const InodeId* child = pit->second.FindChild(base);
+        if (child == nullptr) return nullptr;
+        auto cit = inodes_.find(*child);
+        return cit == inodes_.end() ? nullptr : &cit->second;
+      }
+    }
   }
+
+  // LRU cache: one hash probe on the full path. The cached id is
+  // re-validated against the inode table; ids are never reused, so a live
+  // entry can only mean "this exact inode" (stale ids of deleted inodes
+  // simply miss and fall through to the walk, which refreshes the entry).
+  if (resolve_cache_.enabled()) {
+    if (auto id = resolve_cache_.Lookup(path)) {
+      auto it = inodes_.find(*id);
+      if (it != inodes_.end()) return &it->second;
+    }
+  }
+
+  // Zero-allocation walk: component cursor over the original string_view,
+  // heterogeneous lookups into each directory's child index.
+  const Inode* cur = &inodes_.at(kRootInode);
+  for (std::string_view comp : PathComponents(path)) {
+    if (!cur->is_dir) return nullptr;
+    const InodeId* child = cur->FindChild(comp);
+    if (child == nullptr) return nullptr;
+    cur = &inodes_.at(*child);
+  }
+  if (resolve_cache_.enabled()) resolve_cache_.Insert(path, cur->id);
   return cur;
 }
 
@@ -141,11 +180,12 @@ Status Tree::DoCreate(std::string_view path, std::uint32_t replication,
   // This also lets a hash-partitioned group hold a file whose parent
   // directory entry is owned by a different group (the ancestors appear
   // here as non-authoritative "ghost" directories).
-  Inode* parent = ResolveMutable(ParentPath(path));
+  const std::string_view parent_path = ParentDir(path);
+  Inode* parent = ResolveMutable(parent_path);
   if (parent == nullptr) {
-    Status mk = DoMkdir(ParentPath(path), mtime);
+    Status mk = DoMkdir(parent_path, mtime);
     if (!mk.ok()) return mk;
-    parent = ResolveMutable(ParentPath(path));
+    parent = ResolveMutable(parent_path);
   }
   if (!parent->is_dir) {
     return Status::FailedPrecondition("parent is a file: " + std::string(path));
@@ -158,7 +198,7 @@ Status Tree::DoCreate(std::string_view path, std::uint32_t replication,
   node.replication = replication;
   node.mtime = mtime;
   node.complete = false;
-  parent->children.emplace(node.name, node.id);
+  parent->AddChild(node.name, node.id);
   parent->mtime = mtime;
   ++file_count_;
   inodes_.emplace(node.id, std::move(node));
@@ -176,17 +216,18 @@ Status Tree::DoMkdir(std::string_view path, SimTime mtime) {
                ? Status::Ok()  // HDFS mkdirs semantics: already-dir is OK
                : Status::AlreadyExists(std::string(path) + " is a file");
   }
-  // Create missing ancestors (mkdir -p), walking down from the root.
-  const Inode* cur = &inodes_.at(kRootInode);
-  std::string built = "";
-  for (std::string_view comp : SplitPath(path)) {
-    built += '/';
-    built += comp;
-    auto it = cur->children.find(std::string(comp));
-    if (it != cur->children.end()) {
-      const Inode& child = inodes_.at(it->second);
+  // Create missing ancestors (mkdir -p), walking down from the root with
+  // the zero-allocation cursor; the failing prefix for the error message is
+  // recovered from the cursor position instead of being built every step.
+  Inode* cur = &inodes_.at(kRootInode);
+  const PathComponents comps(path);
+  for (auto it = comps.begin(); it != comps.end(); ++it) {
+    const std::string_view comp = *it;
+    if (const InodeId* existing_child = cur->FindChild(comp)) {
+      Inode& child = inodes_.at(*existing_child);
       if (!child.is_dir) {
-        return Status::FailedPrecondition(built + " is a file");
+        return Status::FailedPrecondition(
+            std::string(path.substr(0, it.prefix_length())) + " is a file");
       }
       cur = &child;
       continue;
@@ -197,9 +238,8 @@ Status Tree::DoMkdir(std::string_view path, SimTime mtime) {
     dir.name = std::string(comp);
     dir.is_dir = true;
     dir.mtime = mtime;
-    Inode& parent = inodes_.at(cur->id);
-    parent.children.emplace(dir.name, dir.id);
-    parent.mtime = mtime;
+    cur->AddChild(dir.name, dir.id);
+    cur->mtime = mtime;
     const InodeId id = dir.id;
     inodes_.emplace(id, std::move(dir));
     cur = &inodes_.at(id);
@@ -231,12 +271,17 @@ Status Tree::DoDelete(std::string_view path, SimTime mtime) {
     for (const auto& [name, child] : cur.children) stack.push_back(child);
   }
   Inode& parent = inodes_.at(node->parent);
-  parent.children.erase(node->name);
+  parent.RemoveChild(node->name);
   parent.mtime = mtime;
   for (InodeId id : doomed) {
     CountInode(inodes_.at(id), -1);
     inodes_.erase(id);
   }
+  // Every cached resolution at or under the deleted root is now dangling
+  // (id validation would catch the staleness, but eager invalidation keeps
+  // the cache from filling with dead weight — and protects the invariant
+  // that a live cached id always means "this exact path").
+  resolve_cache_.InvalidatePrefix(path);
   return Status::Ok();
 }
 
@@ -254,18 +299,23 @@ Status Tree::DoRename(std::string_view src, std::string_view dst,
   if (Resolve(dst) != nullptr) {
     return Status::AlreadyExists(std::string(dst));
   }
-  Inode* new_parent = ResolveMutable(ParentPath(dst));
+  Inode* new_parent = ResolveMutable(ParentDir(dst));
   if (new_parent == nullptr || !new_parent->is_dir) {
     return Status::NotFound("destination parent of " + std::string(dst));
   }
   Inode& old_parent = inodes_.at(node->parent);
-  old_parent.children.erase(node->name);
+  old_parent.RemoveChild(node->name);
   old_parent.mtime = mtime;
   node->name = std::string(BaseName(dst));
   node->parent = new_parent->id;
   node->mtime = mtime;
-  new_parent->children.emplace(node->name, node->id);
+  new_parent->AddChild(node->name, node->id);
   new_parent->mtime = mtime;
+  // The whole source subtree now answers to different paths; the dst
+  // prefix is cleared too as cheap insurance (no positive entry can exist
+  // there — dst was just verified absent — but the scan is already paid).
+  resolve_cache_.InvalidatePrefix(src);
+  resolve_cache_.InvalidatePrefix(dst);
   return Status::Ok();
 }
 
@@ -445,8 +495,34 @@ Result<LogRecord> Tree::SetTimes(std::string_view path, SimTime mtime,
 // --- replay -----------------------------------------------------------------
 
 Status Tree::Apply(const journal::LogRecord& record) {
+  return Apply(record, nullptr);
+}
+
+void Tree::PrimeHint(BatchHint& hint, const journal::LogRecord& record) const {
+  const std::string_view parent = ParentDir(record.path);
+  if (parent.empty()) {  // record targets "/": nothing to memoize
+    hint.parent = kInvalidInode;
+    hint.parent_path.clear();
+    return;
+  }
+  if (hint.parent != kInvalidInode && parent == hint.parent_path) {
+    return;  // same directory as the previous record: reuse
+  }
+  hint.parent = kInvalidInode;
+  hint.parent_path.assign(parent);
+  // Resolved without the hint installed (active_hint_ is still null here),
+  // so this walk goes through the LRU cache and fills it as a side effect.
+  const Inode* p = Resolve(parent);
+  if (p != nullptr && p->is_dir) hint.parent = p->id;
+}
+
+Status Tree::Apply(const journal::LogRecord& record, BatchHint* hint) {
   if (record.txid != 0 && record.txid <= last_txid_) {
     return Status::Ok();  // idempotent replay of an already-applied record
+  }
+  if (hint != nullptr) {
+    PrimeHint(*hint, record);
+    if (hint->parent != kInvalidInode) active_hint_ = hint;
   }
   Status s;
   switch (record.op) {
@@ -482,6 +558,13 @@ Status Tree::Apply(const journal::LogRecord& record) {
     case OpCode::kSetTimes:
       s = DoSetTimes(record.path, record.mtime);
       break;
+  }
+  active_hint_ = nullptr;
+  if (hint != nullptr && journal::MutatesStructure(record.op)) {
+    // The record may have removed or moved the memoized directory (or any
+    // ancestor of it); the next record re-resolves from scratch.
+    hint->parent = kInvalidInode;
+    hint->parent_path.clear();
   }
   if (!s.ok()) {
     return Status::Internal("replay diverged at txid " +
@@ -589,7 +672,7 @@ Status Tree::LoadImage(const std::vector<char>& bytes) {
       if (pit == fresh.inodes_.end()) {
         return Status::Corruption("image child precedes parent");
       }
-      pit->second.children.emplace(name, id);
+      pit->second.AddChild(name, id);
     }
   }
   const std::uint64_t nclients = in.U64();
@@ -605,6 +688,10 @@ Status Tree::LoadImage(const std::vector<char>& bytes) {
   if (!fresh.inodes_.contains(kRootInode)) {
     return Status::Corruption("image missing root");
   }
+  // Keep this tree's cache configuration and cumulative stats across the
+  // swap; the mappings themselves describe the old namespace and go.
+  fresh.resolve_cache_ = std::move(resolve_cache_);
+  fresh.resolve_cache_.Clear();
   *this = std::move(fresh);
   return Status::Ok();
 }

@@ -27,9 +27,19 @@
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
+#include "fsns/resolve_cache.hpp"
 #include "journal/record.hpp"
 
 namespace mams::fsns {
+
+/// Transparent string hash so unordered containers keyed by std::string
+/// accept std::string_view lookups without materializing a temporary.
+struct StringViewHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 struct Inode {
   InodeId id = kInvalidInode;
@@ -42,7 +52,27 @@ struct Inode {
   SimTime mtime = 0;
   bool complete = true;              ///< files: closed vs under construction
   std::vector<BlockId> blocks;       ///< files only
+
+  // Directory entries are kept twice: the sorted map drives everything
+  // that needs deterministic order (listing, image export, fingerprint),
+  // the hash index serves the resolve hot path with O(1) heterogeneous
+  // string_view lookups. AddChild/RemoveChild keep the two in lock-step.
   std::map<std::string, InodeId> children;  ///< dirs only, sorted
+  std::unordered_map<std::string, InodeId, StringViewHash, std::equal_to<>>
+      child_index;  ///< dirs only, mirrors `children`
+
+  const InodeId* FindChild(std::string_view name_sv) const {
+    auto it = child_index.find(name_sv);
+    return it == child_index.end() ? nullptr : &it->second;
+  }
+  void AddChild(const std::string& child_name, InodeId child_id) {
+    children.emplace(child_name, child_id);
+    child_index.emplace(child_name, child_id);
+  }
+  void RemoveChild(const std::string& child_name) {
+    children.erase(child_name);
+    child_index.erase(child_name);
+  }
 };
 
 struct FileInfo {
@@ -106,6 +136,32 @@ class Tree {
   /// divergence and returns Internal.
   Status Apply(const journal::LogRecord& record);
 
+  /// Parent-directory memo for batch replay. Journal batches are bursty:
+  /// long runs of records target the same directory (create + addBlock +
+  /// completeFile streams into one hot dir), so the batch-apply fast path
+  /// resolves each record's parent once and reuses it across consecutive
+  /// records. Pass one hint across all Apply() calls of a batch; the tree
+  /// keeps it coherent (structural records — delete/rename — drop it).
+  class BatchHint {
+   public:
+    BatchHint() = default;
+
+   private:
+    friend class Tree;
+    std::string parent_path;
+    InodeId parent = kInvalidInode;
+  };
+  Status Apply(const journal::LogRecord& record, BatchHint* hint);
+
+  // --- resolution cache ------------------------------------------------------
+  /// Sizes the LRU path->inode cache consulted by every resolution;
+  /// capacity 0 disables it (benchmark ablation). Survives Reset() and
+  /// LoadImage() (mappings are dropped, configuration and stats persist).
+  void SetResolveCacheCapacity(std::size_t capacity) {
+    resolve_cache_.set_capacity(capacity);
+  }
+  const ResolveCache& resolve_cache() const noexcept { return resolve_cache_; }
+
   /// Highest txid folded into this tree (from mutations or replay).
   TxId last_txid() const noexcept { return last_txid_; }
   void set_last_txid(TxId txid) noexcept { last_txid_ = txid; }
@@ -143,6 +199,10 @@ class Tree {
   Inode* ResolveMutable(std::string_view path);
   InodeId AllocateInode() { return next_inode_++; }
 
+  /// Points `hint` at the parent directory of `record.path`, reusing the
+  /// memo when the parent is unchanged from the previous record.
+  void PrimeHint(BatchHint& hint, const journal::LogRecord& record) const;
+
   /// Remembers a successfully applied client op for duplicate suppression.
   void RememberApplied(ClientOpId client);
 
@@ -175,6 +235,14 @@ class Tree {
   TxId last_txid_ = 0;
   std::uint64_t file_count_ = 0;
   std::unordered_map<std::uint64_t, ClientEntry> client_table_;
+
+  /// Pure accelerator state: never serialized, never fingerprinted, never
+  /// observable through query results — only through resolve speed.
+  mutable ResolveCache resolve_cache_;
+  /// Set only while Apply(record, hint) executes its mutation core; lets
+  /// Resolve() answer hinted lookups without threading the hint through
+  /// every Do* signature.
+  const BatchHint* active_hint_ = nullptr;
 };
 
 }  // namespace mams::fsns

@@ -34,6 +34,15 @@ enum class OpCode : std::uint8_t {
 
 const char* OpCodeName(OpCode op) noexcept;
 
+/// True when replaying `op` can remove or relocate existing inodes (as
+/// opposed to adding nodes or mutating attributes in place). Replayers
+/// that keep resolution state across records — parent-directory memos,
+/// path caches — must drop it for the affected prefixes after such a
+/// record; everything else is invalidation-free by construction.
+constexpr bool MutatesStructure(OpCode op) noexcept {
+  return op == OpCode::kDelete || op == OpCode::kRename;
+}
+
 struct LogRecord {
   TxId txid = 0;
   OpCode op = OpCode::kCreate;

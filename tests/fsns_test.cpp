@@ -56,6 +56,75 @@ TEST(PathTest, PrefixRelation) {
   EXPECT_TRUE(IsPrefixPath("/", "/anything"));
 }
 
+TEST(PathTest, SplitEdgeCases) {
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_TRUE(SplitPath("").empty());
+
+  auto single = SplitPath("/a");
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], "a");
+
+  // Inputs IsValidPath rejects still split sanely: empty components from
+  // trailing or repeated '/' are skipped, never yielded.
+  auto trailing = SplitPath("/a/b/");
+  ASSERT_EQ(trailing.size(), 2u);
+  EXPECT_EQ(trailing[0], "a");
+  EXPECT_EQ(trailing[1], "b");
+
+  auto doubled = SplitPath("/a//b///c");
+  ASSERT_EQ(doubled.size(), 3u);
+  EXPECT_EQ(doubled[0], "a");
+  EXPECT_EQ(doubled[1], "b");
+  EXPECT_EQ(doubled[2], "c");
+}
+
+TEST(PathTest, ComponentsCursorMatchesSplit) {
+  for (std::string_view path :
+       {"/", "/a", "/a/b/c", "/deep/er/and/deep/er", "/a//b/", "///"}) {
+    const auto split = SplitPath(path);
+    std::vector<std::string_view> walked;
+    for (std::string_view comp : PathComponents(path)) walked.push_back(comp);
+    EXPECT_EQ(walked, split) << path;
+    // Every component aliases the original buffer (zero-copy guarantee).
+    for (std::string_view comp : walked) {
+      EXPECT_GE(comp.data(), path.data());
+      EXPECT_LE(comp.data() + comp.size(), path.data() + path.size());
+    }
+  }
+}
+
+TEST(PathTest, ComponentsPrefixLength) {
+  const std::string_view path = "/a/bb/ccc";
+  std::vector<std::size_t> prefixes;
+  for (auto it = PathComponents(path).begin();
+       it != PathComponents(path).end(); ++it) {
+    prefixes.push_back(it.prefix_length());
+  }
+  ASSERT_EQ(prefixes.size(), 3u);
+  EXPECT_EQ(path.substr(0, prefixes[0]), "/a");
+  EXPECT_EQ(path.substr(0, prefixes[1]), "/a/bb");
+  EXPECT_EQ(path.substr(0, prefixes[2]), "/a/bb/ccc");
+}
+
+TEST(PathTest, ParentDirAliasesInput) {
+  const std::string_view path = "/a/b/c";
+  EXPECT_EQ(ParentDir(path), "/a/b");
+  EXPECT_EQ(ParentDir(path).data(), path.data());  // no allocation
+  EXPECT_EQ(ParentDir("/a"), "/");
+  EXPECT_EQ(ParentDir("/"), "");
+  EXPECT_EQ(ParentDir(""), "");
+}
+
+TEST(PathTest, ChildOf) {
+  EXPECT_EQ(ChildOf("/a", "/a/b"), "b");
+  EXPECT_EQ(ChildOf("/", "/a"), "a");
+  EXPECT_EQ(ChildOf("/a", "/a/b/c"), "");   // grandchild
+  EXPECT_EQ(ChildOf("/a", "/ab"), "");      // sibling with shared prefix
+  EXPECT_EQ(ChildOf("/a", "/a"), "");       // self
+  EXPECT_EQ(ChildOf("/", "/a/b"), "");      // not a direct child of root
+  EXPECT_EQ(ChildOf("", "/a"), "");         // no parent
+}
+
 // --- tree basics -------------------------------------------------------------
 
 class TreeTest : public ::testing::Test {
