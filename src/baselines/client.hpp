@@ -14,6 +14,7 @@
 #include "cluster/client.hpp"
 #include "core/messages.hpp"
 #include "net/host.hpp"
+#include "net/rpc.hpp"
 
 namespace mams::baselines {
 
@@ -83,42 +84,57 @@ class BaselineClient : public net::Host {
     state->done = std::move(done);
     state->outcome.op = state->request->op;
     state->outcome.issued = sim().Now();
-    Attempt(state);
-  }
 
-  void Attempt(const std::shared_ptr<OpState>& state) {
-    if (state->outcome.attempts > options_.max_attempts) {
-      Finish(state, Status::Unavailable("retries exhausted"));
-      return;
-    }
-    const NodeId target = servers_[current_];
-    state->last_target = target;
-    Call(target, state->request, options_.rpc_timeout,
-         [this, state](Result<net::MessagePtr> r) {
-           if (!r.ok()) {
-             FailOver(state);
-             return;
-           }
-           const auto& resp = net::Cast<core::ClientResponseMsg>(r.value());
-           if (!resp.ok && resp.code == StatusCode::kUnavailable) {
-             FailOver(state);
-             return;
-           }
-           Finish(state, resp.ok ? Status::Ok()
-                                 : Status(resp.code, resp.error));
-         });
-  }
-
-  void FailOver(const std::shared_ptr<OpState>& state) {
-    ++state->outcome.attempts;
-    // Shared failover-proxy semantics: advance the cursor only if the
-    // failed target is still the current one. Concurrent ops failing
-    // against the same dead server must not rotate it twice (they would
-    // cancel each other out and park the cursor on the dead node).
-    if (servers_[current_] == state->last_target) {
-      current_ = (current_ + 1) % servers_.size();
-    }
-    AfterLocal(options_.failover_backoff, [this, state] { Attempt(state); });
+    // The whole failover-proxy loop as one policy-driven call: each failed
+    // attempt rotates the shared server cursor and waits out the
+    // per-system failover backoff. The budget is enforced by the cancel
+    // hook (counted *before* giving up, as the proxy does), so the final
+    // backoff is still paid — it is part of each baseline's
+    // client-visible MTTR.
+    net::RpcPolicy policy;
+    policy.attempt_timeout = options_.rpc_timeout;
+    policy.max_attempts = options_.max_attempts + 1;  // last one is cancelled
+    policy.backoff_base = options_.failover_backoff;
+    policy.backoff_multiplier = 1.0;
+    policy.backoff_cap = options_.failover_backoff;
+    net::RpcHooks hooks;
+    hooks.cancelled = [this, state] {
+      return state->outcome.attempts > options_.max_attempts;
+    };
+    hooks.target = [this, state](int) {
+      state->last_target = servers_[current_];
+      return state->last_target;
+    };
+    hooks.retry_response = [](const net::MessagePtr& msg) {
+      const auto& resp = net::Cast<core::ClientResponseMsg>(msg);
+      return !resp.ok && resp.code == StatusCode::kUnavailable;
+    };
+    hooks.on_retry = [this, state](int, const Status&) {
+      ++state->outcome.attempts;
+      // Shared failover-proxy semantics: advance the cursor only if the
+      // failed target is still the current one. Concurrent ops failing
+      // against the same dead server must not rotate it twice (they would
+      // cancel each other out and park the cursor on the dead node).
+      if (servers_[current_] == state->last_target) {
+        current_ = (current_ + 1) % servers_.size();
+      }
+    };
+    net::RpcCall::Start(
+        *this, servers_[current_], state->request, policy,
+        [this, state](Result<net::MessagePtr> r) {
+          if (!r.ok()) {
+            Finish(state, Status::Unavailable("retries exhausted"));
+            return;
+          }
+          const auto& resp = net::Cast<core::ClientResponseMsg>(r.value());
+          if (!resp.ok && resp.code == StatusCode::kUnavailable) {
+            Finish(state, Status::Unavailable("retries exhausted"));
+            return;
+          }
+          Finish(state,
+                 resp.ok ? Status::Ok() : Status(resp.code, resp.error));
+        },
+        std::move(hooks));
   }
 
   void Finish(const std::shared_ptr<OpState>& state, Status status) {

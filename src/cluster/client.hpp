@@ -21,6 +21,7 @@
 #include "core/messages.hpp"
 #include "fsns/partition.hpp"
 #include "net/host.hpp"
+#include "net/rpc.hpp"
 
 namespace mams::cluster {
 
@@ -228,29 +229,38 @@ class FsClient : public net::Host {
       Resolve(state);
       return;
     }
-    Call(active, state->request, options_.rpc_timeout,
-         [this, state, active](Result<net::MessagePtr> r) {
-           if (!r.ok()) {
-             // Timeout: the active may be gone. Re-resolve and resend.
-             InvalidateActive(state->group, active);
-             ++counters_.retries;
-             ++state->outcome.attempts;
-             Resolve(state);
-             return;
-           }
-           auto resp =
-               std::static_pointer_cast<const core::ClientResponseMsg>(
-                   std::move(r).value());
-           if (!resp->ok && resp->code == StatusCode::kUnavailable) {
-             // "not active" — the group is failing over.
-             InvalidateActive(state->group, active);
-             ++counters_.retries;
-             ++state->outcome.attempts;
-             Resolve(state);
-             return;
-           }
-           Finish(state, std::move(resp));
-         });
+    // One bounded send per cached target: a failed exchange re-resolves
+    // the active through the coordination service before resending, so
+    // the retry loop lives in Resolve's view-poll policy, not here. The
+    // resend carries the SAME ClientOpId — the server's duplicate
+    // suppression makes it idempotent end to end.
+    net::RpcPolicy policy;
+    policy.attempt_timeout = options_.rpc_timeout;
+    policy.max_attempts = 1;
+    net::RpcCall::Start(
+        *this, active, state->request, policy,
+        [this, state, active](Result<net::MessagePtr> r) {
+          if (!r.ok()) {
+            // Timeout: the active may be gone. Re-resolve and resend.
+            InvalidateActive(state->group, active);
+            ++counters_.retries;
+            ++state->outcome.attempts;
+            Resolve(state);
+            return;
+          }
+          auto resp =
+              std::static_pointer_cast<const core::ClientResponseMsg>(
+                  std::move(r).value());
+          if (!resp->ok && resp->code == StatusCode::kUnavailable) {
+            // "not active" — the group is failing over.
+            InvalidateActive(state->group, active);
+            ++counters_.retries;
+            ++state->outcome.attempts;
+            Resolve(state);
+            return;
+          }
+          Finish(state, std::move(resp));
+        });
   }
 
   /// Polls the coordination service until the group exposes an active,
@@ -259,25 +269,31 @@ class FsClient : public net::Host {
   /// fails fast during an outage — that is how the MTTR benches observe
   /// the paper's "operation returns failure" timestamps.
   void Resolve(const std::shared_ptr<OpState>& state) {
-    coord_client_->GetView(
-        state->group, [this, state](Result<coord::GroupView> r) {
-          NodeId active = kInvalidNode;
-          if (r.ok()) active = r.value().FindActive();
-          if (active == kInvalidNode) {
-            if (++state->outcome.attempts > options_.max_attempts) {
-              Finish(state, Status::Unavailable("no active (failing over)"));
-              return;
-            }
-            const SimTime jitter = static_cast<SimTime>(
-                rng_.Below(static_cast<std::uint64_t>(options_.resolve_poll)));
-            AfterLocal(options_.resolve_poll + jitter,
-                       [this, state] { Resolve(state); });
+    net::RpcPolicy policy;
+    policy.attempt_timeout = coord_client_->policies().rpc.attempt_timeout;
+    // Remaining op budget = remaining view polls; at least one.
+    policy.max_attempts =
+        std::max(1, options_.max_attempts - state->outcome.attempts + 1);
+    policy.backoff_base = options_.resolve_poll;
+    policy.backoff_multiplier = 1.0;
+    policy.backoff_cap = options_.resolve_poll;
+    policy.jitter = 1.0;  // decorrelates a reconnecting herd of clients
+    coord_client_->WaitForActive(
+        state->group, policy,
+        [state](int, const Status&) { ++state->outcome.attempts; },
+        [this, state](Result<coord::GroupView> r) {
+          if (!r.ok()) {
+            ++state->outcome.attempts;  // the final fruitless poll
+            Finish(state, Status::Unavailable("no active (failing over)"));
             return;
           }
+          const NodeId active = r.value().FindActive();
           const bool fresh = CachedActive(state->group) != active;
           active_cache_[state->group] = active;
           if (fresh) {
             ++counters_.reconnects;
+            // Latency-model charge for TCP + session setup on a fresh
+            // connection — not a retry timer.
             AfterLocal(options_.reconnect_cost,
                        [this, state] { Attempt(state); });
           } else {

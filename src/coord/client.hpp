@@ -3,6 +3,12 @@
 // that participates in a replica group (metadata servers, backup nodes)
 // or observes one (file-system clients resolving the active).
 //
+// All exchanges run through net::RpcCall under per-family policies
+// (`policies()`): registration retries until the service answers, election
+// bids loop with a fresh draw per attempt (BidLoop), view polls can wait
+// for an active to appear (WaitForActive), and everything else is a single
+// bounded attempt whose failure the owner handles.
+//
 // Ownership note: the owning Host must destroy (or Stop()) this object in
 // its OnCrash so heartbeats stop — that is exactly what makes the
 // coordination service expire the session and trigger failover.
@@ -14,6 +20,7 @@
 
 #include "coord/messages.hpp"
 #include "net/host.hpp"
+#include "net/rpc.hpp"
 #include "sim/simulator.hpp"
 
 namespace mams::coord {
@@ -30,13 +37,44 @@ class CoordClient {
   using LockCallback = std::function<void(Result<LockResult>)>;
   using WatchHandler = std::function<void(const GroupView&)>;
 
+  /// Per-call-family retry policies, derived from the ctor's timeouts and
+  /// overridable before the first call.
+  struct Policies {
+    net::RpcPolicy rpc;        ///< single-shot ops: watch/view/state/release
+    net::RpcPolicy register_rpc;  ///< session open: retried until answered
+    net::RpcPolicy trylock;    ///< one bid; BidLoop layers pacing on top
+    net::RpcPolicy heartbeat;  ///< one per beat, never retried
+  };
+
   CoordClient(net::Host& host, NodeId coord,
               SimTime heartbeat_interval = 2 * kSecond,
               SimTime rpc_timeout = 2 * kSecond)
-      : host_(host),
-        coord_(coord),
-        heartbeat_interval_(heartbeat_interval),
-        rpc_timeout_(rpc_timeout) {}
+      : host_(host), coord_(coord), heartbeat_interval_(heartbeat_interval) {
+    policies_.rpc.attempt_timeout = rpc_timeout;
+    policies_.rpc.max_attempts = 1;
+
+    // A node that cannot open its session cannot participate at all, so
+    // registration keeps trying; the call is idempotent — the service
+    // answers a retried register from its response cache instead of
+    // opening a second session.
+    policies_.register_rpc.attempt_timeout = rpc_timeout;
+    policies_.register_rpc.max_attempts = 0;
+    policies_.register_rpc.backoff_base = 500 * kMillisecond;
+    policies_.register_rpc.backoff_multiplier = 2.0;
+    policies_.register_rpc.backoff_cap = 2 * kSecond;
+    policies_.register_rpc.jitter = 0.25;
+
+    // Election replies wait out the service-side window; use a roomier
+    // deadline than plain RPCs. Bids are never deduped: each one carries
+    // a fresh random draw.
+    policies_.trylock.attempt_timeout = rpc_timeout + 2 * kSecond;
+    policies_.trylock.max_attempts = 1;
+    policies_.trylock.idempotent = false;
+
+    policies_.heartbeat.attempt_timeout = heartbeat_interval;
+    policies_.heartbeat.max_attempts = 1;
+    policies_.heartbeat.idempotent = false;
+  }
 
   ~CoordClient() { Stop(); }
   CoordClient(const CoordClient&) = delete;
@@ -44,6 +82,7 @@ class CoordClient {
 
   SessionId session() const noexcept { return session_; }
   bool registered() const noexcept { return session_ != 0; }
+  Policies& policies() noexcept { return policies_; }
 
   /// Fires when a heartbeat reveals the session has expired server-side
   /// (the client was partitioned past the timeout). Heartbeating stops;
@@ -66,28 +105,33 @@ class CoordClient {
   }
 
   /// Opens a session (joining `group` in `initial` state) and starts
-  /// heartbeating.
+  /// heartbeating. Retries under `policies().register_rpc` until the
+  /// service answers or Stop() cancels the attempt.
   void Register(GroupId group, ServerState initial, ViewCallback done) {
     auto req = std::make_shared<CoordRequestMsg>();
     req->op = CoordOp::kRegister;
     req->group = group;
     req->subject = host_.id();
     req->state = initial;
-    host_.Call(coord_, req, rpc_timeout_,
-               [this, done = std::move(done)](Result<net::MessagePtr> r) {
-                 if (!r.ok()) {
-                   done(r.status());
-                   return;
-                 }
-                 const auto& resp = net::Cast<CoordResponseMsg>(r.value());
-                 if (!resp.ok) {
-                   done(Status::Unavailable(resp.error));
-                   return;
-                 }
-                 session_ = resp.session;
-                 StartHeartbeats();
-                 done(resp.view);
-               });
+    net::RpcHooks hooks;
+    hooks.cancelled = [this, epoch = epoch_] { return epoch != epoch_; };
+    net::RpcCall::Start(
+        host_, coord_, std::move(req), policies_.register_rpc,
+        [this, done = std::move(done)](Result<net::MessagePtr> r) {
+          if (!r.ok()) {
+            done(r.status());
+            return;
+          }
+          const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+          if (!resp.ok) {
+            done(Status::Unavailable(resp.error));
+            return;
+          }
+          session_ = resp.session;
+          StartHeartbeats();
+          done(resp.view);
+        },
+        std::move(hooks));
   }
 
   /// Subscribes this host to group-view change events.
@@ -96,15 +140,16 @@ class CoordClient {
     req->op = CoordOp::kWatch;
     req->group = group;
     req->session = session_;
-    host_.Call(coord_, req, rpc_timeout_,
-               [done = std::move(done)](Result<net::MessagePtr> r) {
-                 if (!r.ok()) {
-                   done(r.status());
-                   return;
-                 }
-                 const auto& resp = net::Cast<CoordResponseMsg>(r.value());
-                 done(resp.ok ? Status::Ok() : Status::Unavailable(resp.error));
-               });
+    net::RpcCall::Start(
+        host_, coord_, std::move(req), policies_.rpc,
+        [done = std::move(done)](Result<net::MessagePtr> r) {
+          if (!r.ok()) {
+            done(r.status());
+            return;
+          }
+          const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+          done(resp.ok ? Status::Ok() : Status::Unavailable(resp.error));
+        });
   }
 
   /// Election bid (Algorithm 1): the draw and max_sn establish priority.
@@ -116,26 +161,39 @@ class CoordClient {
     req->session = session_;
     req->draw = draw;
     req->max_sn = max_sn;
-    // Election replies wait out the service-side window; use a roomier
-    // deadline than plain RPCs.
-    host_.Call(coord_, req, rpc_timeout_ + 2 * kSecond,
-               [done = std::move(done)](Result<net::MessagePtr> r) {
-                 if (!r.ok()) {
-                   done(r.status());
-                   return;
-                 }
-                 const auto& resp = net::Cast<CoordResponseMsg>(r.value());
-                 if (!resp.ok) {
-                   done(Status::Unavailable(resp.error));
-                   return;
-                 }
-                 LockResult lock;
-                 lock.granted = resp.lock_granted;
-                 lock.holder = resp.lock_holder;
-                 lock.fence = resp.fence_token;
-                 lock.view = resp.view;
-                 done(lock);
-               });
+    net::RpcCall::Start(host_, coord_, std::move(req), policies_.trylock,
+                        MapLock(std::move(done)));
+  }
+
+  /// Algorithm 1's periodic bid: keeps placing fresh-draw bids (the
+  /// paper's "each standby tries to obtain a distributed lock
+  /// periodically") until the lock is decided — granted to us or observed
+  /// held by a peer — or `cancelled` fires. `draw` and `max_sn` are
+  /// re-evaluated for every bid; `policy` supplies the pacing.
+  void BidLoop(GroupId group, std::function<std::uint64_t()> draw,
+               std::function<SerialNumber()> max_sn,
+               const net::RpcPolicy& policy, std::function<bool()> cancelled,
+               LockCallback done) {
+    net::RpcHooks hooks;
+    hooks.cancelled = std::move(cancelled);
+    hooks.make_message = [this, group, draw = std::move(draw),
+                          max_sn = std::move(max_sn)](int) {
+      auto req = std::make_shared<CoordRequestMsg>();
+      req->op = CoordOp::kTryLock;
+      req->group = group;
+      req->session = session_;
+      req->draw = draw();
+      req->max_sn = max_sn();
+      return req;
+    };
+    hooks.retry_response = [](const net::MessagePtr& msg) {
+      const auto& resp = net::Cast<CoordResponseMsg>(msg);
+      // Keep bidding while the service errs or the lock stays unclaimed.
+      return !resp.ok ||
+             (!resp.lock_granted && resp.lock_holder == kInvalidNode);
+    };
+    net::RpcCall::Start(host_, coord_, nullptr, policy,
+                        MapLock(std::move(done)), std::move(hooks));
   }
 
   void ReleaseLock(GroupId group, std::function<void(Status)> done) {
@@ -143,15 +201,16 @@ class CoordClient {
     req->op = CoordOp::kReleaseLock;
     req->group = group;
     req->session = session_;
-    host_.Call(coord_, req, rpc_timeout_,
-               [done = std::move(done)](Result<net::MessagePtr> r) {
-                 if (!r.ok()) {
-                   done(r.status());
-                   return;
-                 }
-                 const auto& resp = net::Cast<CoordResponseMsg>(r.value());
-                 done(resp.ok ? Status::Ok() : Status::Unavailable(resp.error));
-               });
+    net::RpcCall::Start(
+        host_, coord_, std::move(req), policies_.rpc,
+        [done = std::move(done)](Result<net::MessagePtr> r) {
+          if (!r.ok()) {
+            done(r.status());
+            return;
+          }
+          const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+          done(resp.ok ? Status::Ok() : Status::Unavailable(resp.error));
+        });
   }
 
   /// Sets `subject`'s state; pass the fence token when flipping a peer.
@@ -164,19 +223,20 @@ class CoordClient {
     req->subject = subject;
     req->state = state;
     req->fence = fence;
-    host_.Call(coord_, req, rpc_timeout_,
-               [done = std::move(done)](Result<net::MessagePtr> r) {
-                 if (!r.ok()) {
-                   done(r.status());
-                   return;
-                 }
-                 const auto& resp = net::Cast<CoordResponseMsg>(r.value());
-                 if (!resp.ok) {
-                   done(Status::Aborted(resp.error));
-                   return;
-                 }
-                 done(resp.view);
-               });
+    net::RpcCall::Start(
+        host_, coord_, std::move(req), policies_.rpc,
+        [done = std::move(done)](Result<net::MessagePtr> r) {
+          if (!r.ok()) {
+            done(r.status());
+            return;
+          }
+          const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+          if (!resp.ok) {
+            done(Status::Aborted(resp.error));
+            return;
+          }
+          done(resp.view);
+        });
   }
 
   void GetView(GroupId group, ViewCallback done) {
@@ -184,40 +244,99 @@ class CoordClient {
     req->op = CoordOp::kGetView;
     req->group = group;
     req->session = session_;
-    host_.Call(coord_, req, rpc_timeout_,
-               [done = std::move(done)](Result<net::MessagePtr> r) {
-                 if (!r.ok()) {
-                   done(r.status());
-                   return;
-                 }
-                 done(net::Cast<CoordResponseMsg>(r.value()).view);
-               });
+    net::RpcCall::Start(
+        host_, coord_, std::move(req), policies_.rpc,
+        [done = std::move(done)](Result<net::MessagePtr> r) {
+          if (!r.ok()) {
+            done(r.status());
+            return;
+          }
+          done(net::Cast<CoordResponseMsg>(r.value()).view);
+        });
   }
 
-  /// Stops heartbeating (crash path or graceful shutdown).
+  /// Polls the group view until an active appears (the paper's client
+  /// reconnection stage). Pacing, jitter, and the poll budget come from
+  /// `policy`; `on_retry` fires before each re-poll (attempt number,
+  /// failure). Fails with Unavailable when the budget is spent first.
+  void WaitForActive(GroupId group, const net::RpcPolicy& policy,
+                     std::function<void(int, const Status&)> on_retry,
+                     ViewCallback done) {
+    auto req = std::make_shared<CoordRequestMsg>();
+    req->op = CoordOp::kGetView;
+    req->group = group;
+    req->session = session_;
+    net::RpcHooks hooks;
+    hooks.retry_response = [](const net::MessagePtr& msg) {
+      return net::Cast<CoordResponseMsg>(msg).view.FindActive() ==
+             kInvalidNode;
+    };
+    hooks.on_retry = std::move(on_retry);
+    net::RpcCall::Start(
+        host_, coord_, std::move(req), policy,
+        [done = std::move(done)](Result<net::MessagePtr> r) {
+          if (!r.ok()) {
+            done(Status::Unavailable("no active (failing over)"));
+            return;
+          }
+          const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+          if (resp.view.FindActive() == kInvalidNode) {
+            // Budget exhausted on a still-headless view.
+            done(Status::Unavailable("no active (failing over)"));
+            return;
+          }
+          done(resp.view);
+        },
+        std::move(hooks));
+  }
+
+  /// Stops heartbeating and cancels in-flight session registration (crash
+  /// path or graceful shutdown).
   void Stop() {
     if (heartbeat_) heartbeat_->Stop();
     heartbeat_.reset();
     session_ = 0;
+    ++epoch_;
   }
 
  private:
+  /// Shared TryLock/BidLoop response decoding.
+  net::Host::RpcCallback MapLock(LockCallback done) {
+    return [done = std::move(done)](Result<net::MessagePtr> r) {
+      if (!r.ok()) {
+        done(r.status());
+        return;
+      }
+      const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+      if (!resp.ok) {
+        done(Status::Unavailable(resp.error));
+        return;
+      }
+      LockResult lock;
+      lock.granted = resp.lock_granted;
+      lock.holder = resp.lock_holder;
+      lock.fence = resp.fence_token;
+      lock.view = resp.view;
+      done(lock);
+    };
+  }
+
   void StartHeartbeats() {
     heartbeat_ = std::make_unique<sim::PeriodicTimer>(
         host_.sim(), heartbeat_interval_, [this] {
           auto hb = std::make_shared<HeartbeatMsg>();
           hb->session = session_;
-          host_.Call(coord_, hb, heartbeat_interval_,
-                     [this](Result<net::MessagePtr> r) {
-                       // Timeouts are fine (transient partition); an
-                       // explicit "session expired" is terminal.
-                       if (!r.ok()) return;
-                       const auto& resp =
-                           net::Cast<CoordResponseMsg>(r.value());
-                       if (resp.ok || session_ == 0) return;
-                       Stop();
-                       if (session_lost_) session_lost_();
-                     });
+          net::RpcCall::Start(host_, coord_, hb, policies_.heartbeat,
+                              [this](Result<net::MessagePtr> r) {
+                                // Timeouts are fine (transient partition);
+                                // an explicit "session expired" is terminal.
+                                if (!r.ok()) return;
+                                const auto& resp =
+                                    net::Cast<CoordResponseMsg>(r.value());
+                                if (resp.ok || session_ == 0) return;
+                                Stop();
+                                if (session_lost_) session_lost_();
+                              });
         });
     heartbeat_->Start();
   }
@@ -225,8 +344,9 @@ class CoordClient {
   net::Host& host_;
   NodeId coord_;
   SimTime heartbeat_interval_;
-  SimTime rpc_timeout_;
+  Policies policies_;
   SessionId session_ = 0;
+  std::uint64_t epoch_ = 0;  ///< bumped by Stop(); cancels in-flight joins
   WatchHandler watch_handler_;
   std::function<void()> session_lost_;
   std::unique_ptr<sim::PeriodicTimer> heartbeat_;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <limits>
 
+#include "net/rpc.hpp"
+
 namespace mams::core {
 
 namespace {
@@ -140,12 +142,19 @@ void MdsServer::OnStart() {
   role_ = ServerState::kDown;
   JoinGroup(initial, [this, initial](Status s) {
     if (!s.ok()) {
-      MAMS_WARN("mds", "%s: join failed: %s", name().c_str(),
-                s.ToString().c_str());
-      // Retry joining until the coordination service responds.
-      AfterLocal(kSecond, [this, initial] { OnStartRetry(initial); });
+      // The coordination client retries the registration RPC itself, so a
+      // failure here means the join workflow was torn down mid-flight
+      // (watch re-arm failed, session stopped during join). Re-run the
+      // whole join, paced by the join_retry policy's backoff rather than
+      // a hardcoded interval.
+      const SimTime delay =
+          options_.join_retry.BackoffBeforeAttempt(++join_retries_ + 1, rng_);
+      MAMS_WARN("mds", "%s: join failed: %s (retrying in %s)", name().c_str(),
+                s.ToString().c_str(), FormatTime(delay).c_str());
+      AfterLocal(delay, [this, initial] { OnStartRetry(initial); });
       return;
     }
+    join_retries_ = 0;
     if (initial == ServerState::kActive) {
       // Deployment bootstrap: the configured active takes the group lock
       // before serving (it is the only bidder at cluster start).
@@ -185,7 +194,6 @@ void MdsServer::OnCrash() {
   obs_->tracer().End(checkpoint_span_, {{"ok", "crashed"}});
   obs_->tracer().Instant("mds", "crash", id(), options_.group);
   coord_client_->Stop();
-  election_retry_.Cancel();
   renew_scan_timer_.reset();
   checkpoint_timer_.reset();
   renew_progress_timer_.reset();
@@ -206,6 +214,7 @@ void MdsServer::OnCrash() {
   tx_queue_.clear();
   election_in_progress_ = false;
   upgrade_in_progress_ = false;
+  join_retries_ = 0;
   buffered_requests_.clear();
   renew_ = RenewCursor{};
   renew_target_ = kInvalidNode;
@@ -365,19 +374,26 @@ void MdsServer::MaybeStartElection(const coord::GroupView& view) {
 void MdsServer::BidForLock() {
   if (!election_in_progress_ || !alive()) return;
   if (trace_.election_started < 0) trace_.election_started = sim().Now();
-  const std::uint64_t draw =
-      role_ == ServerState::kStandby
-          ? static_cast<std::uint64_t>(rng_.Range(1, 1 << 30))
-          : 0;  // juniors lose to any standby; sn breaks junior-vs-junior
-  coord_client_->TryLock(
-      options_.group, draw, last_sn_,
+  // The bid loop re-bids with a fresh draw whenever the coordination RPC
+  // fails or a window closes without a grant while the lock is still free
+  // ("each standby tries to obtain a distributed lock periodically");
+  // pacing comes from options_.election_bid. It concludes only when the
+  // lock is decided — granted to us or observed held by a peer — or the
+  // election is abandoned (cancel hook).
+  coord_client_->BidLoop(
+      options_.group,
+      [this] {
+        // Juniors lose to any standby; sn breaks junior-vs-junior ties.
+        // Re-evaluated per bid so a mid-election demotion takes effect.
+        return role_ == ServerState::kStandby
+                   ? static_cast<std::uint64_t>(rng_.Range(1, 1 << 30))
+                   : 0;
+      },
+      [this] { return last_sn_; }, options_.election_bid,
+      [this] { return !election_in_progress_ || !alive(); },
       [this](Result<coord::CoordClient::LockResult> r) {
         if (!election_in_progress_) return;
-        if (!r.ok()) {
-          election_retry_ =
-              AfterLocal(options_.election_retry, [this] { BidForLock(); });
-          return;
-        }
+        if (!r.ok()) return;  // cancelled mid-flight
         if (r.value().granted) {
           fence_ = r.value().fence;
           trace_.lock_granted = sim().Now();
@@ -396,20 +412,12 @@ void MdsServer::BidForLock() {
           UpgradeStep1CheckState();
           return;
         }
+        // Someone else won; they will upgrade. Stop competing (the
+        // coordination events notify us of the outcome).
         ++counters_.elections_lost;
         m_.elections_lost->Add();
-        if (r.value().holder != kInvalidNode) {
-          // Someone else won; they will upgrade. Stop competing (the
-          // coordination events notify us of the outcome).
-          election_in_progress_ = false;
-          obs_->tracer().End(election_span_, {{"won", "false"}});
-          return;
-        }
-        // Window produced no grant for us and the lock is still free
-        // (e.g. our bid raced the window close); "each standby tries to
-        // obtain a distributed lock periodically".
-        election_retry_ =
-            AfterLocal(options_.election_retry, [this] { BidForLock(); });
+        election_in_progress_ = false;
+        obs_->tracer().End(election_span_, {{"won", "false"}});
       });
 }
 
@@ -507,12 +515,13 @@ void MdsServer::UpgradeStep5GatherRegistrations() {
   req->active_sn = last_sn_;
   for (NodeId peer : members_) {
     if (peer == id()) continue;
-    Call(peer, req, options_.register_rpc_timeout,
-         [this, peer, acks](Result<net::MessagePtr> r) {
-           if (!r.ok()) return;  // dead peer: stays Down in the view
-           const auto& ack = net::Cast<GroupRegisterAckMsg>(r.value());
-           (*acks)[peer] = ack.max_sn;
-         });
+    net::RpcCall::Start(
+        *this, peer, req, options_.register_rpc,
+        [this, peer, acks](Result<net::MessagePtr> r) {
+          if (!r.ok()) return;  // dead peer: stays Down in the view
+          const auto& ack = net::Cast<GroupRegisterAckMsg>(r.value());
+          (*acks)[peer] = ack.max_sn;
+        });
   }
   AfterLocal(options_.register_wait, [this, acks] {
     if (!upgrade_in_progress_) return;
@@ -735,20 +744,21 @@ void MdsServer::ProcessClientRequest(
       }
       auto leg = std::make_shared<ClientRequestMsg>(*req);
       leg->tx_participant = true;
-      Call(peer, leg, kSecond,
-           [this, req, wrapped](Result<net::MessagePtr> r) {
-             if (!r.ok()) {
-               ReplyStatus(wrapped,
-                           Status::Unavailable("participant unreachable"));
-               return;
-             }
-             const auto& resp = net::Cast<ClientResponseMsg>(r.value());
-             if (!resp.ok) {
-               ReplyStatus(wrapped, Status::Unavailable(resp.error));
-               return;
-             }
-             ExecuteMutation(req, wrapped, /*tx_commit=*/true);
-           });
+      net::RpcCall::Start(
+          *this, peer, leg, options_.fetch_rpc,
+          [this, req, wrapped](Result<net::MessagePtr> r) {
+            if (!r.ok()) {
+              ReplyStatus(wrapped,
+                          Status::Unavailable("participant unreachable"));
+              return;
+            }
+            const auto& resp = net::Cast<ClientResponseMsg>(r.value());
+            if (!resp.ok) {
+              ReplyStatus(wrapped, Status::Unavailable(resp.error));
+              return;
+            }
+            ExecuteMutation(req, wrapped, /*tx_commit=*/true);
+          });
       return;
     }
     ExecuteMutation(req, reply, /*tx_commit=*/false);
@@ -913,23 +923,24 @@ void MdsServer::OnBatchSealed(journal::Batch batch) {
   const SerialNumber sn = batch.sn;
   for (NodeId peer : ps.awaiting) {
     AfterLocal(ChargeCpu(per_target), [this, peer, sn, msg] {
-      Call(peer, msg, options_.sync_timeout,
-           [this, peer, sn](Result<net::MessagePtr> r) {
-             auto it = pending_sync_.find(sn);
-             if (it == pending_sync_.end()) return;
-             if (!r.ok()) {
-               DemoteUnresponsiveStandby(peer);
-             } else {
-               const auto& ack = net::Cast<JournalAckMsg>(r.value());
-               if (ack.stale_fence) {
-                 StepDownFromActive("standby reported stale fence");
-                 return;
-               }
-               ++it->second.acks;
-             }
-             it->second.awaiting.erase(peer);
-             MaybeCompleteSync(sn);
-           });
+      net::RpcCall::Start(
+          *this, peer, msg, options_.sync_rpc,
+          [this, peer, sn](Result<net::MessagePtr> r) {
+            auto it = pending_sync_.find(sn);
+            if (it == pending_sync_.end()) return;
+            if (!r.ok()) {
+              DemoteUnresponsiveStandby(peer);
+            } else {
+              const auto& ack = net::Cast<JournalAckMsg>(r.value());
+              if (ack.stale_fence) {
+                StepDownFromActive("standby reported stale fence");
+                return;
+              }
+              ++it->second.acks;
+            }
+            it->second.awaiting.erase(peer);
+            MaybeCompleteSync(sn);
+          });
     });
   }
 
@@ -1099,15 +1110,17 @@ void MdsServer::RequestBackfill(NodeId from) {
   auto req = std::make_shared<RenewJournalFetchMsg>();
   req->group = options_.group;
   req->after_sn = last_sn_;
-  Call(from, req, kSecond, [this](Result<net::MessagePtr> r) {
-    backfill_inflight_ = false;
-    if (!r.ok()) return;
-    const auto& resp = net::Cast<RenewJournalReplyMsg>(r.value());
-    for (const auto& b : resp.batches) {
-      if (b.sn > last_sn_) pending_batches_.emplace(b.sn, b);
-    }
-    ApplyReadyBatches();
-  });
+  net::RpcCall::Start(*this, from, req, options_.fetch_rpc,
+                      [this](Result<net::MessagePtr> r) {
+                        backfill_inflight_ = false;
+                        if (!r.ok()) return;
+                        const auto& resp =
+                            net::Cast<RenewJournalReplyMsg>(r.value());
+                        for (const auto& b : resp.batches) {
+                          if (b.sn > last_sn_) pending_batches_.emplace(b.sn, b);
+                        }
+                        ApplyReadyBatches();
+                      });
 }
 
 // --- renewing protocol: active side ---------------------------------------------
@@ -1367,32 +1380,38 @@ void MdsServer::RenewFinalSync() {
   auto req = std::make_shared<RenewJournalFetchMsg>();
   req->group = options_.group;
   req->after_sn = last_sn_;
-  Call(active, req, kSecond, [this](Result<net::MessagePtr> r) {
-    if (role_ != ServerState::kJunior || !renew_.running) return;
-    if (!r.ok()) {
-      AfterLocal(500 * kMillisecond, [this] { RenewFinalSync(); });
-      return;
-    }
-    const auto& resp = net::Cast<RenewJournalReplyMsg>(r.value());
-    for (const auto& b : resp.batches) {
-      if (b.sn == last_sn_ + 1) {
-        ApplyBatch(b);
-      } else if (b.sn > last_sn_) {
-        pending_batches_.emplace(b.sn, b);
-      }
-    }
-    ApplyReadyBatches();
-    renew_.target_sn = resp.active_sn;
-    if (resp.active_sn > last_sn_ + options_.final_sync_gap) {
-      RenewFinalSync();  // still chasing the live stream
-      return;
-    }
-    // Close enough: report; the active folds us into live replication and
-    // flips our state to standby.
-    renew_.running = false;
-    EndRenewSpan("caught_up");
-    SendRenewProgress();
-  });
+  // Retried under renew_fetch_rpc until the active answers or the renewal
+  // is abandoned (role change, abort); a crash forgets the call outright.
+  net::RpcHooks hooks;
+  hooks.cancelled = [this] {
+    return role_ != ServerState::kJunior || !renew_.running;
+  };
+  net::RpcCall::Start(
+      *this, active, req, options_.renew_fetch_rpc,
+      [this](Result<net::MessagePtr> r) {
+        if (role_ != ServerState::kJunior || !renew_.running) return;
+        if (!r.ok()) return;  // cancelled mid-retry
+        const auto& resp = net::Cast<RenewJournalReplyMsg>(r.value());
+        for (const auto& b : resp.batches) {
+          if (b.sn == last_sn_ + 1) {
+            ApplyBatch(b);
+          } else if (b.sn > last_sn_) {
+            pending_batches_.emplace(b.sn, b);
+          }
+        }
+        ApplyReadyBatches();
+        renew_.target_sn = resp.active_sn;
+        if (resp.active_sn > last_sn_ + options_.final_sync_gap) {
+          RenewFinalSync();  // still chasing the live stream
+          return;
+        }
+        // Close enough: report; the active folds us into live replication
+        // and flips our state to standby.
+        renew_.running = false;
+        EndRenewSpan("caught_up");
+        SendRenewProgress();
+      },
+      std::move(hooks));
 }
 
 // --- checkpoints ------------------------------------------------------------

@@ -235,7 +235,7 @@ class MdsServer : public net::Host {
   // --- election/upgrade state -------------------------------------------------
   bool election_in_progress_ = false;
   bool upgrade_in_progress_ = false;
-  sim::EventHandle election_retry_;
+  int join_retries_ = 0;  ///< feeds join_retry backoff; reset on success
   FailoverTrace trace_;
   std::deque<std::pair<std::shared_ptr<const ClientRequestMsg>, ReplyFn>>
       buffered_requests_;

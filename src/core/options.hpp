@@ -5,6 +5,7 @@
 
 #include "common/types.hpp"
 #include "journal/writer.hpp"
+#include "net/rpc.hpp"
 #include "storage/ssp.hpp"
 
 namespace mams::core {
@@ -40,11 +41,48 @@ struct MdsOptions {
   // Coordination (paper Section IV.B).
   SimTime heartbeat_interval = 2 * kSecond;
   SimTime session_timeout = 5 * kSecond;
-  SimTime election_retry = 200 * kMillisecond;
+
+  // --- RPC policies (net/rpc.hpp) ----------------------------------------
+  // One policy per call family; all retry behaviour is declared here
+  // instead of hand-rolled timers at the call sites.
+
+  /// Algorithm-1 election bids. Unlimited attempts paced like the paper's
+  /// periodic lock polling; not idempotent because every bid redraws its
+  /// random number and refreshes max_sn. The attempt timeout must ride out
+  /// the coordination service's election window (2 s) plus the RPC budget.
+  net::RpcPolicy election_bid{
+      .attempt_timeout = 4 * kSecond,
+      .max_attempts = 0,
+      .backoff_base = 200 * kMillisecond,
+      .backoff_multiplier = 1.0,
+      .jitter = 0.0,
+      .idempotent = false,
+  };
+
+  /// Pacing for re-running the whole join workflow (register + watch)
+  /// after it is torn down mid-flight. The coordination client already
+  /// retries the registration RPC itself, so this backoff only governs
+  /// the rare outer loop that used to be a hardcoded 1 s timer.
+  net::RpcPolicy join_retry{
+      .attempt_timeout = 2 * kSecond,
+      .max_attempts = 0,
+      .backoff_base = kSecond,
+      .backoff_multiplier = 2.0,
+      .backoff_cap = 8 * kSecond,
+      .jitter = 0.25,
+  };
 
   // Journal synchronization.
   journal::Writer::Options writer;
-  SimTime sync_timeout = 1500 * kMillisecond;
+
+  /// Journal 2PC prepare to each standby: a single bounded attempt — an
+  /// unresponsive standby is demoted and backfilled later, never waited
+  /// for (that is what keeps sync latency flat in Fig. 5).
+  net::RpcPolicy sync_rpc{
+      .attempt_timeout = 1500 * kMillisecond,
+      .max_attempts = 1,
+  };
+
   storage::SspOptions ssp;
   /// When true (MAMS as specified) a batch completes only after the SSP
   /// copy is durable; false writes the SSP copy asynchronously (the
@@ -53,13 +91,35 @@ struct MdsOptions {
 
   // Failover protocol.
   SimTime register_wait = 300 * kMillisecond;   ///< step-5 gather window
-  SimTime register_rpc_timeout = 250 * kMillisecond;
+  /// Step-5 re-registration round: one attempt per peer inside the gather
+  /// window — peers that miss it are picked up by the renewing scan.
+  net::RpcPolicy register_rpc{
+      .attempt_timeout = 250 * kMillisecond,
+      .max_attempts = 1,
+  };
+
+  /// One-shot fetches (journal backfill, cross-group tx legs): callers
+  /// have their own recovery story, so no retries here.
+  net::RpcPolicy fetch_rpc{
+      .attempt_timeout = kSecond,
+      .max_attempts = 1,
+  };
 
   // Renewing protocol (Section III.D).
   SimTime renew_scan_period = 1 * kSecond;
   SerialNumber image_gap_threshold = 512;  ///< batches behind -> image first
   SerialNumber final_sync_gap = 32;        ///< batches behind -> final stage
   SimTime renew_progress_interval = 200 * kMillisecond;
+
+  /// Junior-side final-sync pulls against the active during renewing:
+  /// retried until the junior catches up or the renew is abandoned.
+  net::RpcPolicy renew_fetch_rpc{
+      .attempt_timeout = kSecond,
+      .max_attempts = 0,
+      .backoff_base = 500 * kMillisecond,
+      .backoff_multiplier = 1.0,
+      .jitter = 0.0,
+  };
 
   // Checkpointing.
   SimTime checkpoint_interval = 30 * kSecond;

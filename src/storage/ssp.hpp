@@ -17,6 +17,7 @@
 
 #include "common/bytes.hpp"
 #include "net/host.hpp"
+#include "net/rpc.hpp"
 #include "obs/observability.hpp"
 #include "storage/ssp_messages.hpp"
 
@@ -122,7 +123,7 @@ class SspClient {
     msg->file = file;
     msg->after_sn = after_sn;
     msg->max_bytes = options_.read_chunk_bytes;
-    ReadWithFailover(file, std::move(msg), 0, std::move(done));
+    ReadWithFailover(file, std::move(msg), std::move(done));
   }
 
   void ReadIndex(const std::string& file, std::size_t from_index,
@@ -132,7 +133,7 @@ class SspClient {
     msg->use_index = true;
     msg->from_index = from_index;
     msg->max_bytes = options_.read_chunk_bytes;
-    ReadWithFailover(file, std::move(msg), 0, std::move(done));
+    ReadWithFailover(file, std::move(msg), std::move(done));
   }
 
   /// Lists files under a prefix (used to discover images/segments).
@@ -148,7 +149,7 @@ class SspClient {
     }
     auto msg = std::make_shared<SspListMsg>();
     msg->prefix = prefix;
-    ListWithFailover(std::move(msg), 0, std::move(done));
+    ListWithFailover(std::move(msg), std::move(done));
   }
 
  private:
@@ -158,54 +159,74 @@ class SspClient {
     std::function<void(Status)> done;
   };
 
+  /// One read attempt per replica in `targets` order, no backoff between
+  /// them — pool-node failover should be as fast as the timeout allows.
+  /// Each attempt goes to a *different* node, so server-side dedup would
+  /// never trigger; the policy marks the call non-idempotent to keep
+  /// replica caches out of the picture.
+  net::RpcPolicy FailoverPolicy(std::size_t targets) const {
+    net::RpcPolicy policy;
+    policy.attempt_timeout = options_.read_timeout;
+    policy.max_attempts = static_cast<int>(targets);
+    policy.backoff_base = 0;
+    policy.backoff_cap = 0;
+    policy.idempotent = false;
+    return policy;
+  }
+
   void ReadWithFailover(const std::string& file,
-                        std::shared_ptr<SspReadMsg> msg, std::size_t attempt,
-                        ReadCallback done) {
+                        std::shared_ptr<SspReadMsg> msg, ReadCallback done) {
     auto replicas = Placement(file);
-    if (attempt == 0) {
-      reads_->Add();
-    } else {
-      read_failovers_->Add();
-      obs_->tracer().Instant("ssp", "read_failover", host_.id(), 0,
-                             {{"file", file},
-                              {"attempt", static_cast<std::uint64_t>(attempt)}});
-    }
-    if (attempt >= replicas.size()) {
+    reads_->Add();
+    if (replicas.empty()) {
       done(Status::Unavailable("all ssp replicas failed for " + file));
       return;
     }
-    host_.Call(replicas[attempt], msg, options_.read_timeout,
-               [this, file, msg, attempt,
-                done = std::move(done)](Result<net::MessagePtr> result) mutable {
-                 if (!result.ok()) {
-                   ReadWithFailover(file, std::move(msg), attempt + 1,
-                                    std::move(done));
-                   return;
-                 }
-                 done(std::static_pointer_cast<const SspReadReplyMsg>(
-                     std::move(result).value()));
-               });
+    net::RpcHooks hooks;
+    hooks.target = [replicas](int attempt) {
+      return replicas[(static_cast<std::size_t>(attempt) - 1) %
+                      replicas.size()];
+    };
+    hooks.on_retry = [this, file](int attempt, const Status&) {
+      read_failovers_->Add();
+      obs_->tracer().Instant(
+          "ssp", "read_failover", host_.id(), 0,
+          {{"file", file},
+           {"attempt", static_cast<std::uint64_t>(attempt - 1)}});
+    };
+    net::RpcCall::Start(
+        host_, replicas.front(), std::move(msg),
+        FailoverPolicy(replicas.size()),
+        [file, done = std::move(done)](Result<net::MessagePtr> result) {
+          if (!result.ok()) {
+            done(Status::Unavailable("all ssp replicas failed for " + file));
+            return;
+          }
+          done(std::static_pointer_cast<const SspReadReplyMsg>(
+              std::move(result).value()));
+        },
+        std::move(hooks));
   }
 
   void ListWithFailover(
-      std::shared_ptr<SspListMsg> msg, std::size_t attempt,
+      std::shared_ptr<SspListMsg> msg,
       std::function<void(Result<std::shared_ptr<const SspListReplyMsg>>)>
           done) {
-    if (attempt >= pool_.size()) {
-      done(Status::Unavailable("all ssp pool nodes failed"));
-      return;
-    }
-    host_.Call(pool_[attempt], msg, options_.read_timeout,
-               [this, msg, attempt,
-                done = std::move(done)](Result<net::MessagePtr> result) mutable {
-                 if (!result.ok()) {
-                   ListWithFailover(std::move(msg), attempt + 1,
-                                    std::move(done));
-                   return;
-                 }
-                 done(std::static_pointer_cast<const SspListReplyMsg>(
-                     std::move(result).value()));
-               });
+    net::RpcHooks hooks;
+    hooks.target = [pool = pool_](int attempt) {
+      return pool[(static_cast<std::size_t>(attempt) - 1) % pool.size()];
+    };
+    net::RpcCall::Start(
+        host_, pool_.front(), std::move(msg), FailoverPolicy(pool_.size()),
+        [done = std::move(done)](Result<net::MessagePtr> result) {
+          if (!result.ok()) {
+            done(Status::Unavailable("all ssp pool nodes failed"));
+            return;
+          }
+          done(std::static_pointer_cast<const SspListReplyMsg>(
+              std::move(result).value()));
+        },
+        std::move(hooks));
   }
 
   net::Host& host_;

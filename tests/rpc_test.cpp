@@ -1,0 +1,391 @@
+// Tests for the unified RPC policy layer (net/rpc.hpp) and the server-side
+// idempotency dedup cache in Host: deadline expiry, deterministic backoff
+// schedules, retry-until-success across a healed partition, exactly-once
+// handler execution under retried delivery, and crash-forgets-pending
+// semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/message_types.hpp"
+#include "net/network.hpp"
+#include "net/rpc.hpp"
+#include "sim/simulator.hpp"
+
+namespace mams::net {
+namespace {
+
+struct PingMsg final : Message {
+  int value = 0;
+  MsgType type() const noexcept override { return kTestPing; }
+};
+
+struct PongMsg final : Message {
+  int value = 0;
+  MsgType type() const noexcept override { return kTestPong; }
+};
+
+/// Server with controllable behaviour: optional reply delay (models a slow
+/// handler), optional swallowing (handler runs but never replies), and a
+/// request log for arrival-time assertions.
+class LabHost : public Host {
+ public:
+  LabHost(Network& net, std::string name) : Host(net, std::move(name)) {
+    OnRequest(kTestPing, [this](const Envelope&, const MessagePtr& msg,
+                                const ReplyFn& reply) {
+      ++handled;
+      arrivals.push_back(sim().Now());
+      if (swallow) return;
+      auto pong = std::make_shared<PongMsg>();
+      pong->value = reply_value >= 0 ? reply_value++ : Cast<PingMsg>(msg).value;
+      if (reply_delay > 0) {
+        AfterLocal(reply_delay, [reply, pong] { reply(pong); });
+      } else {
+        reply(pong);
+      }
+    });
+  }
+
+  int handled = 0;
+  bool swallow = false;
+  SimTime reply_delay = 0;
+  int reply_value = -1;  ///< >= 0: reply this, then increment (readiness seq)
+  std::vector<SimTime> arrivals;
+};
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest()
+      : sim_(42),
+        net_(sim_, ZeroJitter()),
+        client_(net_, "client"),
+        server_(net_, "server") {
+    client_.Boot();
+    server_.Boot();
+  }
+
+  static LinkParams ZeroJitter() {
+    LinkParams p;
+    p.jitter = 0;  // exact arrival times for schedule assertions
+    return p;
+  }
+
+  std::uint64_t Metric(const char* name) {
+    return sim_.obs().metrics().counter(name)->value;
+  }
+
+  sim::Simulator sim_;
+  Network net_;
+  LabHost client_;
+  LabHost server_;
+};
+
+TEST_F(RpcTest, RetryUntilSuccessAcrossHealedPartition) {
+  net_.Partition(client_.id(), server_.id());
+  sim_.After(kSecond, [this] { net_.Heal(client_.id(), server_.id()); });
+
+  RpcPolicy policy;
+  policy.attempt_timeout = 200 * kMillisecond;
+  policy.max_attempts = 20;
+  policy.backoff_base = 100 * kMillisecond;
+  policy.backoff_multiplier = 1.0;
+
+  bool ok = false;
+  RpcCall::Start(client_, server_.id(), std::make_shared<PingMsg>(), policy,
+                 [&](Result<MessagePtr> r) { ok = r.ok(); });
+  sim_.RunAll();
+  EXPECT_TRUE(ok);
+  // Retries crossed the dead window; the handler ran exactly once (the
+  // attempts before the heal never arrived).
+  EXPECT_EQ(server_.handled, 1);
+  EXPECT_GT(Metric("net.rpc.retries"), 0u);
+  EXPECT_GT(Metric("net.rpc.timeouts"), 0u);
+}
+
+TEST_F(RpcTest, OverallDeadlineCapsTheLastAttempt) {
+  server_.swallow = true;
+
+  RpcPolicy policy;
+  policy.attempt_timeout = 300 * kMillisecond;
+  policy.max_attempts = 0;  // unlimited; the deadline is the budget
+  policy.overall_deadline = kSecond;
+  policy.backoff_base = 100 * kMillisecond;
+  policy.backoff_multiplier = 1.0;
+
+  Status status = Status::Ok();
+  SimTime completed = -1;
+  RpcCall::Start(client_, server_.id(), std::make_shared<PingMsg>(), policy,
+                 [&](Result<MessagePtr> r) {
+                   status = r.status();
+                   completed = sim_.Now();
+                 });
+  sim_.RunAll();
+  // Attempts at 0/400/800 ms; the third is clipped to the 200 ms left, so
+  // the call concludes exactly at its deadline.
+  EXPECT_EQ(status.code(), StatusCode::kTimedOut);
+  EXPECT_EQ(completed, kSecond);
+}
+
+TEST_F(RpcTest, BackoffScheduleIsDeterministic) {
+  server_.swallow = true;
+
+  RpcPolicy policy;
+  policy.attempt_timeout = 100 * kMillisecond;
+  policy.max_attempts = 5;
+  policy.backoff_base = 50 * kMillisecond;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_cap = 400 * kMillisecond;
+  policy.jitter = 0.0;
+  // Non-idempotent so the swallowing server logs every arrival instead of
+  // parking retries behind the in-flight first execution.
+  policy.idempotent = false;
+
+  RpcCall::Start(client_, server_.id(), std::make_shared<PingMsg>(), policy,
+                 [](Result<MessagePtr>) {});
+  sim_.RunAll();
+  ASSERT_EQ(server_.arrivals.size(), 5u);
+  // With zero link jitter, consecutive arrivals differ by exactly
+  // attempt_timeout + backoff: 50, 100, 200, 400 (the doubling schedule).
+  const SimTime t = policy.attempt_timeout;
+  EXPECT_EQ(server_.arrivals[1] - server_.arrivals[0], t + 50 * kMillisecond);
+  EXPECT_EQ(server_.arrivals[2] - server_.arrivals[1], t + 100 * kMillisecond);
+  EXPECT_EQ(server_.arrivals[3] - server_.arrivals[2], t + 200 * kMillisecond);
+  EXPECT_EQ(server_.arrivals[4] - server_.arrivals[3], t + 400 * kMillisecond);
+}
+
+TEST_F(RpcTest, JitterStaysWithinBound) {
+  server_.swallow = true;
+
+  RpcPolicy policy;
+  policy.attempt_timeout = 100 * kMillisecond;
+  policy.max_attempts = 8;
+  policy.backoff_base = 50 * kMillisecond;
+  policy.backoff_multiplier = 1.0;
+  policy.jitter = 1.0;  // delay in [50, 100) ms
+  policy.idempotent = false;  // log every arrival (see schedule test above)
+
+  RpcCall::Start(client_, server_.id(), std::make_shared<PingMsg>(), policy,
+                 [](Result<MessagePtr>) {});
+  sim_.RunAll();
+  ASSERT_EQ(server_.arrivals.size(), 8u);
+  for (std::size_t i = 1; i < server_.arrivals.size(); ++i) {
+    const SimTime gap = server_.arrivals[i] - server_.arrivals[i - 1];
+    EXPECT_GE(gap, policy.attempt_timeout + 50 * kMillisecond);
+    EXPECT_LT(gap, policy.attempt_timeout + 100 * kMillisecond);
+  }
+}
+
+TEST_F(RpcTest, SlowHandlerRunsOnceForRetriedDelivery) {
+  // The handler takes 300 ms but the client times out after 200 ms and
+  // retries immediately. The retry carries the same idempotency key, so
+  // the server parks it behind the in-flight execution and answers both
+  // attempts from the single run.
+  server_.reply_delay = 300 * kMillisecond;
+
+  RpcPolicy policy;
+  policy.attempt_timeout = 200 * kMillisecond;
+  policy.max_attempts = 5;
+  policy.backoff_base = 0;
+  policy.backoff_cap = 0;
+
+  bool ok = false;
+  RpcCall::Start(client_, server_.id(), std::make_shared<PingMsg>(), policy,
+                 [&](Result<MessagePtr> r) { ok = r.ok(); });
+  sim_.RunAll();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(server_.handled, 1);  // exactly-once despite retried delivery
+  EXPECT_GE(Metric("net.rpc.dedup_hits"), 1u);
+  // The first attempt's answer eventually arrives after its rpc timed
+  // out — dropped and counted at the client.
+  EXPECT_GE(Metric("net.rpc.late_responses"), 1u);
+}
+
+TEST_F(RpcTest, DedupCacheReplaysCompletedResponse) {
+  // Raw Host::Call with an explicit idempotency key: the second send of
+  // the same key must be answered from the cache, not re-executed.
+  const std::uint64_t key = client_.NextIdemKey();
+  int first = -1;
+  int second = -1;
+  client_.Call(server_.id(), std::make_shared<PingMsg>(), kSecond,
+               [&](Result<MessagePtr> r) {
+                 ASSERT_TRUE(r.ok());
+                 first = Cast<PongMsg>(r.value()).value;
+               },
+               key);
+  sim_.RunAll();
+  ASSERT_EQ(server_.handled, 1);
+  client_.Call(server_.id(), std::make_shared<PingMsg>(), kSecond,
+               [&](Result<MessagePtr> r) {
+                 ASSERT_TRUE(r.ok());
+                 second = Cast<PongMsg>(r.value()).value;
+               },
+               key);
+  sim_.RunAll();
+  EXPECT_EQ(server_.handled, 1);  // replayed, not re-executed
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(Metric("net.rpc.dedup_hits"), 1u);
+}
+
+TEST_F(RpcTest, DedupCacheIsBounded) {
+  server_.set_dedup_capacity(1);
+  const std::uint64_t key_a = client_.NextIdemKey();
+  const std::uint64_t key_b = client_.NextIdemKey();
+  auto call = [&](std::uint64_t key) {
+    client_.Call(server_.id(), std::make_shared<PingMsg>(), kSecond,
+                 [](Result<MessagePtr>) {}, key);
+    sim_.RunAll();
+  };
+  call(key_a);
+  call(key_a);  // cached -> replayed
+  EXPECT_EQ(server_.handled, 1);
+  call(key_b);  // evicts key_a (FIFO, capacity 1)
+  EXPECT_EQ(server_.handled, 2);
+  call(key_a);  // forgotten -> re-executed (and key_b evicted in turn)
+  EXPECT_EQ(server_.handled, 3);
+  call(key_a);  // freshly cached again -> replayed
+  EXPECT_EQ(server_.handled, 3);
+}
+
+TEST_F(RpcTest, CrashForgetsPendingRetries) {
+  server_.swallow = true;
+
+  RpcPolicy policy;
+  policy.attempt_timeout = 200 * kMillisecond;
+  policy.max_attempts = 0;  // would retry forever
+  policy.backoff_base = 100 * kMillisecond;
+  policy.backoff_multiplier = 1.0;
+
+  bool fired = false;
+  RpcCall::Start(client_, server_.id(), std::make_shared<PingMsg>(), policy,
+                 [&](Result<MessagePtr>) { fired = true; });
+  sim_.RunUntil(500 * kMillisecond);
+  const int seen_before_crash = server_.handled;
+  EXPECT_GT(seen_before_crash, 0);
+  client_.Crash();
+  sim_.RunUntil(10 * kSecond);
+  sim_.RunAll();
+  // The dead incarnation's callback never fires and its retry chain dies
+  // with it: no further requests reach the server.
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(server_.handled, seen_before_crash);
+}
+
+TEST_F(RpcTest, ServerCrashClearsDedupState) {
+  const std::uint64_t key = client_.NextIdemKey();
+  client_.Call(server_.id(), std::make_shared<PingMsg>(), kSecond,
+               [](Result<MessagePtr>) {}, key);
+  sim_.RunAll();
+  EXPECT_EQ(server_.handled, 1);
+  server_.Crash();
+  server_.Restart();
+  sim_.RunAll();
+  // The cache was volatile: a retry of the old key re-executes against
+  // the recovered state instead of replaying a reply from a past life.
+  client_.Call(server_.id(), std::make_shared<PingMsg>(), kSecond,
+               [](Result<MessagePtr>) {}, key);
+  sim_.RunAll();
+  EXPECT_EQ(server_.handled, 2);
+}
+
+TEST_F(RpcTest, RetryResponsePredicatePollsUntilReady) {
+  // The server answers with 0, 1, 2, ...; the caller treats < 3 as "not
+  // ready yet". Each poll is a genuine re-execution (the retry_response
+  // path builds fresh attempts, and the policy is non-idempotent).
+  server_.reply_value = 0;
+
+  RpcPolicy policy;
+  policy.attempt_timeout = kSecond;
+  policy.max_attempts = 10;
+  policy.backoff_base = 10 * kMillisecond;
+  policy.backoff_multiplier = 1.0;
+  policy.idempotent = false;
+
+  RpcHooks hooks;
+  hooks.retry_response = [](const MessagePtr& msg) {
+    return Cast<PongMsg>(msg).value < 3;
+  };
+  int final_value = -1;
+  RpcCall::Start(client_, server_.id(), std::make_shared<PingMsg>(), policy,
+                 [&](Result<MessagePtr> r) {
+                   ASSERT_TRUE(r.ok());
+                   final_value = Cast<PongMsg>(r.value()).value;
+                 },
+                 std::move(hooks));
+  sim_.RunAll();
+  EXPECT_EQ(final_value, 3);
+  EXPECT_EQ(server_.handled, 4);
+}
+
+TEST_F(RpcTest, ExhaustionDeliversLastRetryableResponse) {
+  server_.reply_value = 0;
+
+  RpcPolicy policy;
+  policy.attempt_timeout = kSecond;
+  policy.max_attempts = 2;
+  policy.backoff_base = 0;
+  policy.backoff_cap = 0;
+  policy.idempotent = false;
+
+  RpcHooks hooks;
+  hooks.retry_response = [](const MessagePtr&) { return true; };  // never ready
+  Result<MessagePtr> out = Status::Internal("callback never ran");
+  RpcCall::Start(client_, server_.id(), std::make_shared<PingMsg>(), policy,
+                 [&](Result<MessagePtr> r) { out = std::move(r); },
+                 std::move(hooks));
+  sim_.RunAll();
+  // The caller gets the final (retryable) response so its error detail
+  // survives, rather than a generic failure status.
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Cast<PongMsg>(out.value()).value, 1);
+}
+
+TEST_F(RpcTest, TargetHookFailsOverAcrossReplicas) {
+  LabHost backup(net_, "backup");
+  backup.Boot();
+  net_.SetLinkUp(server_.id(), false);  // primary unplugged
+
+  RpcPolicy policy;
+  policy.attempt_timeout = 100 * kMillisecond;
+  policy.max_attempts = 2;
+  policy.backoff_base = 0;
+  policy.backoff_cap = 0;
+  policy.idempotent = false;
+
+  RpcHooks hooks;
+  std::vector<NodeId> targets{server_.id(), backup.id()};
+  hooks.target = [targets](int attempt) { return targets[attempt - 1]; };
+  bool ok = false;
+  RpcCall::Start(client_, server_.id(), std::make_shared<PingMsg>(), policy,
+                 [&](Result<MessagePtr> r) { ok = r.ok(); },
+                 std::move(hooks));
+  sim_.RunAll();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(server_.handled, 0);
+  EXPECT_EQ(backup.handled, 1);
+}
+
+TEST_F(RpcTest, CancelHookAbortsBetweenAttempts) {
+  server_.swallow = true;
+
+  RpcPolicy policy;
+  policy.attempt_timeout = 100 * kMillisecond;
+  policy.max_attempts = 0;
+  policy.backoff_base = 50 * kMillisecond;
+  policy.backoff_multiplier = 1.0;
+
+  bool cancelled = false;
+  RpcHooks hooks;
+  hooks.cancelled = [&] { return cancelled; };
+  Status status = Status::Ok();
+  RpcCall::Start(client_, server_.id(), std::make_shared<PingMsg>(), policy,
+                 [&](Result<MessagePtr> r) { status = r.status(); },
+                 std::move(hooks));
+  sim_.After(kSecond, [&] { cancelled = true; });
+  sim_.RunAll();
+  EXPECT_EQ(status.code(), StatusCode::kAborted);
+}
+
+}  // namespace
+}  // namespace mams::net
