@@ -1,0 +1,372 @@
+#include "check/fuzzer.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "cluster/cfs.hpp"
+#include "common/rng.hpp"
+#include "net/fault.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mams::check {
+
+namespace {
+
+using workload::OpKind;
+
+workload::Mix DefaultMix() {
+  workload::Mix mix;
+  mix.create = 0.30;
+  mix.mkdir = 0.10;
+  mix.remove = 0.10;
+  mix.rename = 0.10;
+  mix.getfileinfo = 0.20;
+  mix.listdir = 0.08;
+  mix.add_block = 0.12;
+  return mix;
+}
+
+bool MixEmpty(const workload::Mix& m) {
+  return m.create + m.mkdir + m.remove + m.rename + m.getfileinfo +
+             m.listdir + m.add_block <=
+         0;
+}
+
+}  // namespace
+
+const char* MutationName(Mutation m) {
+  switch (m) {
+    case Mutation::kNone:
+      return "none";
+    case Mutation::kNoSnDedup:
+      return "sn_dedup";
+    case Mutation::kNoFencing:
+      return "fencing";
+  }
+  return "?";
+}
+
+bool ParseMutation(const std::string& name, Mutation* out) {
+  for (const Mutation m :
+       {Mutation::kNone, Mutation::kNoSnDedup, Mutation::kNoFencing}) {
+    if (name == MutationName(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* FaultKindName(FaultAction::Kind kind) {
+  switch (kind) {
+    case FaultAction::Kind::kCutMember:
+      return "cut";
+    case FaultAction::Kind::kCrashMember:
+      return "crash";
+    case FaultAction::Kind::kCrashActive:
+      return "crash_active";
+    case FaultAction::Kind::kCrashPool:
+      return "crash_pool";
+    case FaultAction::Kind::kJitterBurst:
+      return "jitter";
+  }
+  return "?";
+}
+
+bool ParseFaultKind(const std::string& name, FaultAction::Kind* out) {
+  for (const FaultAction::Kind k :
+       {FaultAction::Kind::kCutMember, FaultAction::Kind::kCrashMember,
+        FaultAction::Kind::kCrashActive, FaultAction::Kind::kCrashPool,
+        FaultAction::Kind::kJitterBurst}) {
+    if (name == FaultKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile) {
+  RunSpec spec;
+  spec.seed = seed;
+  spec.clients = profile.clients;
+  // Generation rng is decoupled from the execution seed so that replaying
+  // a spec never re-consults it.
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x66757a7aull);
+  const workload::Mix mix = MixEmpty(profile.mix) ? DefaultMix() : profile.mix;
+
+  // Per-client op schedules. Disjoint per-client roots keep the checker's
+  // cross-client interleavings tractable while the cluster still serializes
+  // everything through the single active. The last client (when slow) works
+  // on multi-second think times: it spans failover windows with a stale
+  // active cache, the access pattern that exposes fencing bugs.
+  std::vector<std::vector<OpEntry>> per_client(
+      static_cast<std::size_t>(spec.clients));
+  for (int c = 0; c < spec.clients; ++c) {
+    const bool slow =
+        profile.slow_client && spec.clients > 1 && c == spec.clients - 1;
+    workload::OpStream stream(
+        mix, seed ^ (0x517cc1b727220a95ull * static_cast<std::uint64_t>(c + 1)),
+        /*directories=*/6, "/fuzz/c" + std::to_string(c));
+    const int count =
+        slow ? std::max(4, profile.ops_per_client / 4) : profile.ops_per_client;
+    for (int i = 0; i < count; ++i) {
+      OpEntry entry;
+      entry.client = c;
+      entry.think =
+          slow ? static_cast<SimTime>(1500 + rng.Below(2500)) * kMillisecond
+               : static_cast<SimTime>(20 + rng.Below(380)) * kMillisecond;
+      entry.op = stream.Next();
+      per_client[static_cast<std::size_t>(c)].push_back(std::move(entry));
+    }
+  }
+  // Round-robin interleave: shrinker chunks then cut across clients evenly.
+  for (std::size_t i = 0;; ++i) {
+    bool any = false;
+    for (const auto& list : per_client) {
+      if (i < list.size()) {
+        spec.ops.push_back(list[i]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+
+  // Fault schedule, front-loaded into the op phase so the quiesce window
+  // sees only recovery. All faults self-heal well before the audit.
+  const SimTime window = spec.run_for - spec.run_for / 5;
+  for (int f = 0; f < profile.faults; ++f) {
+    FaultAction a;
+    a.at = spec.warmup +
+           static_cast<SimTime>(rng.Below(static_cast<std::uint64_t>(window)));
+    const double roll = rng.Uniform();
+    if (roll < 0.35) {
+      a.kind = FaultAction::Kind::kCutMember;
+      a.target = static_cast<int>(rng.Below(1 + spec.standbys));
+      a.duration =
+          static_cast<SimTime>(
+              2000 + rng.Below(static_cast<std::uint64_t>(std::max<SimTime>(
+                         1, profile.max_outage / kMillisecond - 2000)))) *
+          kMillisecond;
+    } else if (roll < 0.55) {
+      a.kind = FaultAction::Kind::kCrashMember;
+      a.target = static_cast<int>(rng.Below(1 + spec.standbys));
+      a.duration = static_cast<SimTime>(1000 + rng.Below(7000)) * kMillisecond;
+    } else if (roll < 0.75) {
+      a.kind = FaultAction::Kind::kCrashActive;
+      a.duration = static_cast<SimTime>(1000 + rng.Below(7000)) * kMillisecond;
+    } else if (roll < 0.90) {
+      a.kind = FaultAction::Kind::kCrashPool;
+      a.target = static_cast<int>(rng.Below(1 + spec.standbys));
+      a.duration = static_cast<SimTime>(2000 + rng.Below(8000)) * kMillisecond;
+    } else {
+      a.kind = FaultAction::Kind::kJitterBurst;
+      a.param = static_cast<SimTime>(500 + rng.Below(19500)) * kMicrosecond;
+      a.duration = static_cast<SimTime>(2000 + rng.Below(6000)) * kMillisecond;
+    }
+    spec.faults.push_back(a);
+  }
+  std::sort(spec.faults.begin(), spec.faults.end(),
+            [](const FaultAction& x, const FaultAction& y) {
+              return x.at < y.at;
+            });
+  return spec;
+}
+
+namespace {
+
+/// Drives one client's op list: each op starts `think` after the previous
+/// one completed (closed loop). Held by shared_ptr so the callback chain
+/// owns it.
+struct ClientScript : std::enable_shared_from_this<ClientScript> {
+  sim::Simulator* sim = nullptr;
+  RecordingClient* client = nullptr;
+  std::vector<OpEntry> ops;
+  std::size_t next = 0;
+  bool audit = false;
+  bool done = false;
+
+  void Step() {
+    if (next >= ops.size()) {
+      done = true;
+      return;
+    }
+    const OpEntry& entry = ops[next];
+    ++next;
+    auto self = shared_from_this();
+    sim->After(entry.think, [self, &entry] {
+      self->client->Issue(entry.op, [self] { self->Step(); }, self->audit);
+    });
+  }
+};
+
+}  // namespace
+
+RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
+  sim::Simulator sim(spec.seed);
+  net::Network net(sim);
+  net::FaultInjector inject(net);
+
+  cluster::CfsConfig cfg;
+  cfg.groups = 1;  // the single-active serialization point
+  cfg.standbys_per_group = spec.standbys;
+  cfg.juniors_per_group = 0;
+  cfg.data_servers = 1;
+  cfg.clients = spec.clients;
+  switch (spec.mutation) {
+    case Mutation::kNone:
+      break;
+    case Mutation::kNoSnDedup:
+      cfg.mds.test_hooks.disable_sn_dedup = true;
+      break;
+    case Mutation::kNoFencing:
+      cfg.mds.test_hooks.disable_fencing = true;
+      break;
+  }
+  // An op that cannot finish inside one failover should give up and show
+  // up as ambiguous rather than pin its client for the whole run.
+  cfg.client.max_attempts = 40;
+
+  cluster::CfsCluster cfs(net, cfg);
+  cfs.Start();
+
+  HistoryRecorder recorder(sim);
+  std::vector<std::unique_ptr<RecordingClient>> clients;
+  for (int c = 0; c < spec.clients; ++c) {
+    clients.push_back(
+        std::make_unique<RecordingClient>(recorder, cfs.client(c), c));
+  }
+
+  // Client scripts start at warmup.
+  std::vector<std::shared_ptr<ClientScript>> scripts;
+  for (int c = 0; c < spec.clients; ++c) {
+    auto script = std::make_shared<ClientScript>();
+    script->sim = &sim;
+    script->client = clients[static_cast<std::size_t>(c)].get();
+    for (const OpEntry& e : spec.ops) {
+      if (e.client == c) script->ops.push_back(e);
+    }
+    scripts.push_back(script);
+    sim.At(spec.warmup, [script] { script->Step(); });
+  }
+
+  // Fault schedule.
+  const int members = 1 + spec.standbys;
+  for (const FaultAction& f : spec.faults) {
+    sim.At(f.at, [&cfs, &inject, f, members] {
+      switch (f.kind) {
+        case FaultAction::Kind::kCutMember:
+          inject.CutLinkFor(cfs.mds(0, f.target % members).id(), f.duration);
+          break;
+        case FaultAction::Kind::kCrashMember:
+          net::FaultInjector::CrashFor(cfs.mds(0, f.target % members),
+                                       f.duration);
+          break;
+        case FaultAction::Kind::kCrashActive:
+          if (core::MdsServer* active = cfs.FindActive(0)) {
+            net::FaultInjector::CrashFor(*active, f.duration);
+          }
+          break;
+        case FaultAction::Kind::kCrashPool:
+          net::FaultInjector::CrashFor(cfs.pool_node(f.target % members),
+                                       f.duration);
+          break;
+        case FaultAction::Kind::kJitterBurst:
+          inject.JitterBurst(f.param, f.duration);
+          break;
+      }
+    });
+  }
+
+  // Heal everything after the op/fault phase and force any still-dead
+  // process back up, so the audit runs against a fully recovered cluster.
+  const SimTime heal_at = spec.warmup + spec.run_for;
+  sim.At(heal_at, [&cfs, &inject, members] {
+    inject.HealEverything();
+    for (int m = 0; m < members; ++m) {
+      if (!cfs.mds(0, m).alive()) cfs.mds(0, m).Restart(0);
+      if (!cfs.pool_node(m).alive()) cfs.pool_node(m).Restart(0);
+    }
+  });
+
+  // Audit reads: after the quiesce window, stat every path the workload
+  // ever touched. These are ordinary recorded history events — the
+  // checker treats them as reads that must be explained by some
+  // linearization, which is what turns a silently lost acknowledgement
+  // into a contradiction.
+  const SimTime audit_at = heal_at + spec.quiesce;
+  std::set<std::string> touched;
+  for (const OpEntry& e : spec.ops) {
+    touched.insert(e.op.path);
+    if (!e.op.path2.empty()) touched.insert(e.op.path2);
+  }
+  auto audit = std::make_shared<ClientScript>();
+  audit->sim = &sim;
+  audit->client = clients[0].get();
+  audit->audit = true;
+  for (const std::string& path : touched) {
+    OpEntry entry;
+    entry.client = 0;
+    entry.think = 0;
+    entry.op.kind = OpKind::kGetFileInfo;
+    entry.op.path = path;
+    audit->ops.push_back(std::move(entry));
+  }
+  sim.At(audit_at, [audit] { audit->Step(); });
+
+  RunResult result;
+
+  // Run the schedule out. The audit client is closed-loop, so give it a
+  // bounded window after audit_at; workload stragglers that still have
+  // not completed are sealed as ambiguous.
+  sim.RunUntil(audit_at);
+  const SimTime hard_deadline = audit_at + 120 * kSecond;
+  while (!audit->done && sim.Now() < hard_deadline) {
+    sim.RunUntil(sim.Now() + kSecond);
+  }
+  recorder.history().Seal();
+  result.virtual_end = sim.Now();
+  result.run_digest = sim.run_digest();
+
+  // Replica-divergence audit: at quiescence every standby must hold the
+  // active's exact namespace (same criterion the chaos tests use).
+  if (core::MdsServer* active = cfs.FindActive(0)) {
+    const std::uint64_t want = active->tree().Fingerprint();
+    for (int m = 0; m < members; ++m) {
+      core::MdsServer& mds = cfs.mds(0, m);
+      if (&mds == active || !mds.alive() ||
+          mds.role() != ServerState::kStandby) {
+        continue;
+      }
+      if (mds.tree().Fingerprint() != want) {
+        result.violations.push_back(
+            {Violation::Type::kReplicaDivergence,
+             mds.name() + " fingerprint differs from active " +
+                 active->name() + " after quiesce (sn " +
+                 std::to_string(mds.last_sn()) + " vs " +
+                 std::to_string(active->last_sn()) + ")",
+             {}});
+      }
+    }
+  }
+
+  // Invariant probes that fired during the run are violations too.
+  for (const auto& pv : sim.obs().probes().violations()) {
+    result.violations.push_back(
+        {Violation::Type::kInvariantProbe,
+         "probe '" + pv.probe + "' at t=" + std::to_string(pv.at) + ": " +
+             pv.detail,
+         {}});
+  }
+
+  result.history = recorder.history();
+  result.check = CheckHistory(result.history, check);
+  for (const Violation& v : result.check.violations) {
+    result.violations.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace mams::check

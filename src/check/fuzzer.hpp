@@ -1,0 +1,106 @@
+// ScheduleFuzzer — randomized op streams plus randomized fault schedules,
+// executed against a full CfsCluster in the deterministic simulator, with
+// every client observation recorded for the linearizability checker.
+//
+// A RunSpec is the complete, replayable description of one run: the seed,
+// the per-client operation schedule (with think times), and the fault
+// schedule at absolute virtual times. All randomness is consumed at
+// GENERATION time (MakeSpec), so executing a spec is deterministic and a
+// shrunk spec replays bit-for-bit — the property the .repro files and the
+// shrinker rely on.
+//
+// Fault palette (all self-healing, symmetric):
+//   * link flap of an MDS replica (cut + timed restore)
+//   * crash/restart of an MDS replica or the current active
+//   * storage-pool node loss (crash + restart)
+//   * delivery-jitter burst (clock-independent queueing noise)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/checker.hpp"
+#include "check/history.hpp"
+#include "common/types.hpp"
+#include "workload/opstream.hpp"
+
+namespace mams::check {
+
+/// Which deliberately-broken server configuration to run (the checker's
+/// mutation self-tests); kNone is the production configuration.
+enum class Mutation : std::uint8_t { kNone, kNoSnDedup, kNoFencing };
+
+const char* MutationName(Mutation m);
+bool ParseMutation(const std::string& name, Mutation* out);
+
+struct FaultAction {
+  enum class Kind : std::uint8_t {
+    kCutMember,    ///< link flap of MDS replica `target`
+    kCrashMember,  ///< crash/restart of MDS replica `target`
+    kCrashActive,  ///< crash/restart of whoever is active when it fires
+    kCrashPool,    ///< storage-pool node `target` loss
+    kJitterBurst,  ///< extra delivery jitter `param` for `duration`
+  };
+  Kind kind = Kind::kCutMember;
+  SimTime at = 0;        ///< absolute virtual time
+  int target = 0;        ///< member / pool-node index (kind-dependent)
+  SimTime duration = 0;  ///< outage length / restart delay / burst length
+  SimTime param = 0;     ///< jitter amount (kJitterBurst)
+};
+
+const char* FaultKindName(FaultAction::Kind kind);
+bool ParseFaultKind(const std::string& name, FaultAction::Kind* out);
+
+struct OpEntry {
+  int client = 0;
+  SimTime think = 0;  ///< delay after the client's previous completion
+  workload::Op op;
+};
+
+struct RunSpec {
+  std::uint64_t seed = 1;
+  int clients = 2;
+  int standbys = 2;
+  int pool_nodes = 3;
+  Mutation mutation = Mutation::kNone;
+  SimTime warmup = 2 * kSecond;     ///< boot -> first op
+  SimTime run_for = 30 * kSecond;   ///< op/fault phase -> heal
+  SimTime quiesce = 45 * kSecond;   ///< heal -> audit reads
+  std::vector<OpEntry> ops;
+  std::vector<FaultAction> faults;
+};
+
+/// Generation profile: how MakeSpec shapes a spec for a given seed.
+struct FuzzProfile {
+  int clients = 2;
+  int ops_per_client = 40;
+  int faults = 5;
+  workload::Mix mix;   ///< zero-initialized: MakeSpec fills a default mix
+  /// One client issues ops with multi-second think times — an
+  /// infrequently-writing client holds a stale active cache across
+  /// failovers, which is what exposes fencing bugs.
+  bool slow_client = true;
+  /// Longest link-flap outage; flaps longer than the 5 s session timeout
+  /// depose the active while it keeps serving its last lease.
+  SimTime max_outage = 12 * kSecond;
+};
+
+RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile = {});
+
+struct RunResult {
+  CheckResult check;
+  std::vector<Violation> violations;  ///< check violations + divergence
+  History history;
+  std::uint64_t run_digest = 0;
+  SimTime virtual_end = 0;
+
+  bool violated() const noexcept { return !violations.empty(); }
+};
+
+/// Executes one spec end to end: boot, op/fault phase, heal, quiesce,
+/// audit reads of every touched path, replica-divergence audit, history
+/// check.
+RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check = {});
+
+}  // namespace mams::check

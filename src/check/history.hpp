@@ -1,0 +1,274 @@
+// Operation histories for the cluster checker.
+//
+// A History is the complete client-side view of one simulated run: every
+// operation's invoke/complete virtual-times, arguments, and outcome. The
+// linearizability checker (check/checker.hpp) consumes it; the
+// HistoryRecorder produces it by wrapping cluster::FsClient calls.
+//
+// Outcome taxonomy (Jepsen's :ok / :fail / :info):
+//   * kOk        — the server acknowledged the operation (definite).
+//   * kError     — the server executed it and returned a semantic error
+//                  (NotFound, AlreadyExists, ...) — also definite: the
+//                  operation took effect as "no change + this error".
+//   * kAmbiguous — timeout / retries exhausted / still pending when the
+//                  run ended. The operation MAY have executed; the checker
+//                  must consider both possibilities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/client.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "workload/opstream.hpp"
+
+namespace mams::check {
+
+enum class Outcome : std::uint8_t { kPending, kOk, kError, kAmbiguous };
+
+inline const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kPending:
+      return "pending";
+    case Outcome::kOk:
+      return "ok";
+    case Outcome::kError:
+      return "error";
+    case Outcome::kAmbiguous:
+      return "ambiguous";
+  }
+  return "?";
+}
+
+/// Payload observed by a successful read (GetFileInfo / ListDir).
+struct ReadView {
+  bool is_dir = false;
+  std::uint32_t replication = 1;
+  std::uint64_t block_count = 0;
+  bool complete = true;
+  std::vector<std::string> listing;  ///< kListDir only; sorted names
+
+  bool operator==(const ReadView&) const = default;
+};
+
+struct Event {
+  std::uint32_t id = 0;  ///< index into History::events()
+  int client = 0;
+  workload::OpKind kind = workload::OpKind::kCreate;
+  std::string path;
+  std::string path2;  ///< rename destination
+  SimTime invoke = 0;
+  SimTime complete = -1;  ///< -1 while pending / never completed
+  Outcome outcome = Outcome::kPending;
+  StatusCode code = StatusCode::kOk;  ///< definite-error code
+  ReadView view;                      ///< valid when a read completed kOk
+  bool audit = false;  ///< post-quiesce verification read, not workload
+
+  bool is_read() const noexcept {
+    return kind == workload::OpKind::kGetFileInfo ||
+           kind == workload::OpKind::kListDir;
+  }
+  bool is_mutation() const noexcept { return !is_read(); }
+  bool definite() const noexcept {
+    return outcome == Outcome::kOk || outcome == Outcome::kError;
+  }
+};
+
+inline const char* OpKindName(workload::OpKind k) {
+  switch (k) {
+    case workload::OpKind::kCreate:
+      return "create";
+    case workload::OpKind::kMkdir:
+      return "mkdir";
+    case workload::OpKind::kDelete:
+      return "delete";
+    case workload::OpKind::kRename:
+      return "rename";
+    case workload::OpKind::kGetFileInfo:
+      return "stat";
+    case workload::OpKind::kListDir:
+      return "list";
+    case workload::OpKind::kAddBlock:
+      return "addblock";
+  }
+  return "?";
+}
+
+class History {
+ public:
+  const std::vector<Event>& events() const noexcept { return events_; }
+  std::vector<Event>& events() noexcept { return events_; }
+
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Marks every still-pending event ambiguous — called once when the run
+  /// ends: an operation that never completed may or may not have executed.
+  void Seal() {
+    for (Event& e : events_) {
+      if (e.outcome == Outcome::kPending) e.outcome = Outcome::kAmbiguous;
+    }
+  }
+
+  std::string Format(const Event& e) const {
+    std::string s = "[" + std::to_string(e.id) + "] c" +
+                    std::to_string(e.client) + " " + OpKindName(e.kind) +
+                    " " + e.path;
+    if (!e.path2.empty()) s += " -> " + e.path2;
+    s += " @" + std::to_string(e.invoke) + ".." +
+         (e.complete < 0 ? std::string("-") : std::to_string(e.complete));
+    s += std::string(" ") + OutcomeName(e.outcome);
+    if (e.outcome == Outcome::kError) {
+      s += "(" + std::string(StatusCodeName(e.code)) + ")";
+    }
+    if (e.outcome == Outcome::kOk && e.is_read()) {
+      s += e.view.is_dir ? " dir" : " file";
+      if (e.kind == workload::OpKind::kGetFileInfo && !e.view.is_dir) {
+        s += " blocks=" + std::to_string(e.view.block_count);
+      }
+      if (e.kind == workload::OpKind::kListDir) {
+        s += " entries=" + std::to_string(e.view.listing.size());
+      }
+    }
+    if (e.audit) s += " (audit)";
+    return s;
+  }
+
+ private:
+  friend class HistoryRecorder;
+  std::vector<Event> events_;
+};
+
+/// Records invocations/completions against a History. One recorder serves
+/// every client in a run; ids are global and stable.
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(sim::Simulator& sim) : sim_(sim) {}
+
+  History& history() noexcept { return history_; }
+  const History& history() const noexcept { return history_; }
+
+  std::uint32_t Invoke(int client, workload::OpKind kind, std::string path,
+                       std::string path2 = {}, bool audit = false) {
+    Event e;
+    e.id = static_cast<std::uint32_t>(history_.events_.size());
+    e.client = client;
+    e.kind = kind;
+    e.path = std::move(path);
+    e.path2 = std::move(path2);
+    e.invoke = sim_.Now();
+    e.audit = audit;
+    history_.events_.push_back(std::move(e));
+    return history_.events_.back().id;
+  }
+
+  void Complete(std::uint32_t id, const Status& s) {
+    Event& e = history_.events_[id];
+    e.complete = sim_.Now();
+    e.outcome = Classify(s);
+    if (e.outcome == Outcome::kError) e.code = s.code();
+  }
+
+  void CompleteRead(std::uint32_t id, const Status& s, ReadView view) {
+    Complete(id, s);
+    if (history_.events_[id].outcome == Outcome::kOk) {
+      history_.events_[id].view = std::move(view);
+    }
+  }
+
+  /// kUnavailable and kTimedOut mean "gave up, outcome unknown" in this
+  /// client library (retries exhausted / no active found): ambiguous.
+  static Outcome Classify(const Status& s) {
+    if (s.ok()) return Outcome::kOk;
+    if (s.code() == StatusCode::kUnavailable ||
+        s.code() == StatusCode::kTimedOut) {
+      return Outcome::kAmbiguous;
+    }
+    return Outcome::kError;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  History history_;
+};
+
+/// Issues FsClient operations on behalf of one logical client, recording
+/// each into the shared history. Completion callbacks carry no payload —
+/// the observation lands in the history; callers chain the next op.
+class RecordingClient {
+ public:
+  RecordingClient(HistoryRecorder& recorder, cluster::FsClient& client,
+                  int index)
+      : recorder_(recorder), client_(client), index_(index) {}
+
+  cluster::FsClient& fs() noexcept { return client_; }
+  int index() const noexcept { return index_; }
+
+  void Issue(const workload::Op& op, std::function<void()> done,
+             bool audit = false) {
+    using workload::OpKind;
+    const std::uint32_t id =
+        recorder_.Invoke(index_, op.kind, op.path, op.path2, audit);
+    // `done` is moved exactly once — into whichever branch runs.
+    auto finish = [this, id](std::function<void()>&& cont) {
+      return [this, id, cont = std::move(cont)](Status s) {
+        recorder_.Complete(id, s);
+        if (cont) cont();
+      };
+    };
+    switch (op.kind) {
+      case OpKind::kCreate:
+        client_.Create(op.path, finish(std::move(done)));
+        break;
+      case OpKind::kMkdir:
+        client_.Mkdir(op.path, finish(std::move(done)));
+        break;
+      case OpKind::kDelete:
+        client_.Delete(op.path, finish(std::move(done)));
+        break;
+      case OpKind::kRename:
+        client_.Rename(op.path, op.path2, finish(std::move(done)));
+        break;
+      case OpKind::kAddBlock:
+        client_.AddBlock(op.path, finish(std::move(done)));
+        break;
+      case OpKind::kGetFileInfo:
+        client_.GetFileInfo(
+            op.path, [this, id, done = std::move(done)](
+                         Result<fsns::FileInfo> r) {
+              ReadView view;
+              if (r.ok()) {
+                const fsns::FileInfo& info = r.value();
+                view.is_dir = info.is_dir;
+                view.replication = info.replication;
+                view.block_count = info.block_count;
+                view.complete = info.complete;
+              }
+              recorder_.CompleteRead(id, r.status(), std::move(view));
+              if (done) done();
+            });
+        break;
+      case OpKind::kListDir:
+        client_.ListDir(op.path,
+                        [this, id, done = std::move(done)](
+                            Result<std::vector<std::string>> r) {
+                          ReadView view;
+                          view.is_dir = true;
+                          if (r.ok()) view.listing = r.value();
+                          recorder_.CompleteRead(id, r.status(),
+                                                 std::move(view));
+                          if (done) done();
+                        });
+        break;
+    }
+  }
+
+ private:
+  HistoryRecorder& recorder_;
+  cluster::FsClient& client_;
+  int index_;
+};
+
+}  // namespace mams::check

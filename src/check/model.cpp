@@ -1,0 +1,227 @@
+#include "check/model.hpp"
+
+#include "fsns/path.hpp"
+
+namespace mams::check {
+
+namespace {
+
+// Prefix that children of `dir` start with ("/" for the root).
+std::string ChildPrefix(const std::string& dir) {
+  return dir == "/" ? dir : dir + "/";
+}
+
+}  // namespace
+
+Model::Model() { nodes_.emplace("/", ModelNode{.is_dir = true}); }
+
+void Model::Put(const std::string& path, ModelNode node, Undo* undo) {
+  auto it = nodes_.find(path);
+  if (undo != nullptr) {
+    undo->Note(path, it == nodes_.end() ? std::nullopt
+                                        : std::optional<ModelNode>(it->second));
+  }
+  if (it == nodes_.end()) {
+    nodes_.emplace(path, node);
+  } else {
+    it->second = node;
+  }
+}
+
+void Model::Erase(const std::string& path, Undo* undo) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return;
+  if (undo != nullptr) undo->Note(path, it->second);
+  nodes_.erase(it);
+}
+
+void Model::Revert(const Undo& undo) {
+  for (auto rit = undo.prev.rbegin(); rit != undo.prev.rend(); ++rit) {
+    if (rit->second.has_value()) {
+      nodes_[rit->first] = *rit->second;
+    } else {
+      nodes_.erase(rit->first);
+    }
+  }
+}
+
+StatusCode Model::EnsureAncestors(const std::string& path, Undo* undo) {
+  const fsns::PathComponents comps(path);
+  for (auto it = comps.begin(); it != comps.end(); ++it) {
+    const std::string prefix(
+        std::string_view(path).substr(0, it.prefix_length()));
+    if (prefix == path) break;  // only proper ancestors
+    auto found = nodes_.find(prefix);
+    if (found != nodes_.end()) {
+      if (!found->second.is_dir) return StatusCode::kFailedPrecondition;
+      continue;
+    }
+    Put(prefix, ModelNode{.is_dir = true}, undo);
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode Model::Create(const std::string& path, std::uint32_t replication,
+                         Undo* undo) {
+  if (!fsns::IsValidPath(path) || path == "/") {
+    return StatusCode::kInvalidArgument;
+  }
+  if (nodes_.contains(path)) return StatusCode::kAlreadyExists;
+  const StatusCode anc = EnsureAncestors(path, undo);
+  if (anc != StatusCode::kOk) return anc;
+  Put(path,
+      ModelNode{.is_dir = false,
+                .replication = replication,
+                .blocks = 0,
+                .complete = false},
+      undo);
+  return StatusCode::kOk;
+}
+
+StatusCode Model::Mkdir(const std::string& path, Undo* undo) {
+  if (!fsns::IsValidPath(path)) return StatusCode::kInvalidArgument;
+  if (path == "/") return StatusCode::kOk;
+  auto it = nodes_.find(path);
+  if (it != nodes_.end()) {
+    return it->second.is_dir ? StatusCode::kOk : StatusCode::kAlreadyExists;
+  }
+  const StatusCode anc = EnsureAncestors(path, undo);
+  if (anc != StatusCode::kOk) return anc;
+  Put(path, ModelNode{.is_dir = true}, undo);
+  return StatusCode::kOk;
+}
+
+StatusCode Model::Delete(const std::string& path, Undo* undo) {
+  if (!fsns::IsValidPath(path) || path == "/") {
+    return StatusCode::kInvalidArgument;
+  }
+  if (!nodes_.contains(path)) return StatusCode::kNotFound;
+  // Recursive delete: the subtree occupies a contiguous key range.
+  const std::string prefix = ChildPrefix(path);
+  std::vector<std::string> doomed{path};
+  for (auto it = nodes_.lower_bound(prefix);
+       it != nodes_.end() && it->first.starts_with(prefix); ++it) {
+    doomed.push_back(it->first);
+  }
+  for (const std::string& p : doomed) Erase(p, undo);
+  return StatusCode::kOk;
+}
+
+StatusCode Model::Rename(const std::string& src, const std::string& dst,
+                         Undo* undo) {
+  if (!fsns::IsValidPath(src) || !fsns::IsValidPath(dst) || src == "/") {
+    return StatusCode::kInvalidArgument;
+  }
+  if (src == dst) return StatusCode::kOk;
+  if (fsns::IsPrefixPath(src, dst)) return StatusCode::kFailedPrecondition;
+  if (!nodes_.contains(src)) return StatusCode::kNotFound;
+  if (nodes_.contains(dst)) return StatusCode::kAlreadyExists;
+  const std::string dst_parent(fsns::ParentDir(dst));
+  auto parent = nodes_.find(dst_parent);
+  if (parent == nodes_.end() || !parent->second.is_dir) {
+    return StatusCode::kNotFound;
+  }
+  // Move the whole subtree (contiguous key range rooted at src).
+  const std::string prefix = ChildPrefix(src);
+  std::vector<std::pair<std::string, ModelNode>> moved{{src, nodes_.at(src)}};
+  for (auto it = nodes_.lower_bound(prefix);
+       it != nodes_.end() && it->first.starts_with(prefix); ++it) {
+    moved.emplace_back(it->first, it->second);
+  }
+  for (const auto& [p, node] : moved) Erase(p, undo);
+  for (auto& [p, node] : moved) {
+    Put(dst + p.substr(src.size()), std::move(node), undo);
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode Model::AddBlock(const std::string& path, Undo* undo) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return StatusCode::kNotFound;
+  if (it->second.is_dir) return StatusCode::kFailedPrecondition;
+  ModelNode node = it->second;
+  ++node.blocks;
+  Put(path, node, undo);
+  return StatusCode::kOk;
+}
+
+StatusCode Model::CompleteFile(const std::string& path, Undo* undo) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return StatusCode::kNotFound;
+  if (it->second.is_dir) return StatusCode::kFailedPrecondition;
+  ModelNode node = it->second;
+  node.complete = true;
+  Put(path, node, undo);
+  return StatusCode::kOk;
+}
+
+StatusCode Model::GetFileInfo(const std::string& path, ReadView* view) const {
+  if (!fsns::IsValidPath(path)) return StatusCode::kInvalidArgument;
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return StatusCode::kNotFound;
+  if (view != nullptr) {
+    view->is_dir = it->second.is_dir;
+    view->replication = it->second.replication;
+    view->block_count = it->second.blocks;
+    view->complete = it->second.complete;
+    view->listing.clear();
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode Model::ListDir(const std::string& path, ReadView* view) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return StatusCode::kNotFound;
+  if (!it->second.is_dir) return StatusCode::kFailedPrecondition;
+  if (view != nullptr) {
+    view->is_dir = true;
+    view->listing.clear();
+    const std::string prefix = ChildPrefix(path);
+    for (auto child = nodes_.lower_bound(prefix);
+         child != nodes_.end() && child->first.starts_with(prefix); ++child) {
+      const std::string_view rest =
+          std::string_view(child->first).substr(prefix.size());
+      if (rest.find('/') == std::string_view::npos) {
+        view->listing.emplace_back(rest);  // map order == sorted names
+      }
+    }
+  }
+  return StatusCode::kOk;
+}
+
+StatusCode Model::Step(const Event& e, Undo* undo, ReadView* view) {
+  using workload::OpKind;
+  switch (e.kind) {
+    case OpKind::kCreate:
+      return Create(e.path, 3, undo);  // FsClient's default replication
+    case OpKind::kMkdir:
+      return Mkdir(e.path, undo);
+    case OpKind::kDelete:
+      return Delete(e.path, undo);
+    case OpKind::kRename:
+      return Rename(e.path, e.path2, undo);
+    case OpKind::kAddBlock:
+      return AddBlock(e.path, undo);
+    case OpKind::kGetFileInfo:
+      return GetFileInfo(e.path, view);
+    case OpKind::kListDir:
+      return ListDir(e.path, view);
+  }
+  return StatusCode::kInternal;
+}
+
+std::uint64_t Model::Fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto fold = [&h](std::uint64_t v) { h = (h ^ v) * 0x100000001b3ull; };
+  for (const auto& [path, node] : nodes_) {
+    for (const char c : path) fold(static_cast<unsigned char>(c));
+    fold(0x2f);  // separator
+    fold(node.is_dir ? 1 : 0);
+    fold(node.replication);
+    fold(node.blocks);
+    fold(node.complete ? 1 : 0);
+  }
+  return h;
+}
+
+}  // namespace mams::check

@@ -1,0 +1,83 @@
+// Sequential reference model of the MAMS namespace — fsns::Tree semantics
+// re-derived over a flat path map, with O(op) undo so the linearizability
+// search can backtrack cheaply.
+//
+// The model intentionally shares no code with fsns::Tree: it is the
+// independent specification the tree is checked against. Status codes and
+// effects mirror Tree::Do* exactly (same check order, same codes);
+// tests/check_test.cpp cross-validates the two on random op streams.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/history.hpp"
+#include "common/status.hpp"
+
+namespace mams::check {
+
+struct ModelNode {
+  bool is_dir = false;
+  std::uint32_t replication = 1;
+  std::uint64_t blocks = 0;
+  bool complete = true;
+
+  bool operator==(const ModelNode&) const = default;
+};
+
+class Model {
+ public:
+  /// Reverse log of one operation's map mutations; Revert restores them
+  /// last-to-first. Default-constructed = "nothing happened".
+  struct Undo {
+    std::vector<std::pair<std::string, std::optional<ModelNode>>> prev;
+    void Note(const std::string& path, std::optional<ModelNode> before) {
+      prev.emplace_back(path, std::move(before));
+    }
+  };
+
+  Model();
+
+  // Mutations (undo may be null when the caller never backtracks).
+  StatusCode Create(const std::string& path, std::uint32_t replication,
+                    Undo* undo);
+  StatusCode Mkdir(const std::string& path, Undo* undo);
+  StatusCode Delete(const std::string& path, Undo* undo);
+  StatusCode Rename(const std::string& src, const std::string& dst,
+                    Undo* undo);
+  StatusCode AddBlock(const std::string& path, Undo* undo);
+  StatusCode CompleteFile(const std::string& path, Undo* undo);
+
+  // Reads.
+  StatusCode GetFileInfo(const std::string& path, ReadView* view) const;
+  StatusCode ListDir(const std::string& path, ReadView* view) const;
+
+  /// Applies one history event's operation; for reads, fills `view`.
+  StatusCode Step(const Event& e, Undo* undo, ReadView* view);
+
+  void Revert(const Undo& undo);
+
+  /// Order-insensitive state digest for search memoization.
+  std::uint64_t Fingerprint() const;
+
+  bool Exists(const std::string& path) const {
+    return nodes_.contains(path);
+  }
+  std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  // Walks the proper ancestors of `path`, materializing missing ones as
+  // directories (HDFS mkdir -p); kFailedPrecondition when an ancestor is
+  // a file.
+  StatusCode EnsureAncestors(const std::string& path, Undo* undo);
+  void Put(const std::string& path, ModelNode node, Undo* undo);
+  void Erase(const std::string& path, Undo* undo);
+
+  std::map<std::string, ModelNode> nodes_;  ///< full path -> node; has "/"
+};
+
+}  // namespace mams::check

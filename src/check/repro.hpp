@@ -1,0 +1,35 @@
+// .repro files — replayable text serialization of a fuzzer RunSpec.
+//
+// Format (line-oriented, "mams-repro v1"):
+//
+//   mams-repro v1
+//   seed=42
+//   clients=2
+//   standbys=2
+//   mutation=none
+//   warmup_us=2000000
+//   run_us=30000000
+//   quiesce_us=45000000
+//   op <client> <think_us> <kind> <path> [<path2>]
+//   fault <kind> <at_us> <target> <duration_us> <param_us>
+//
+// Everything a run consumes is in the file; replaying it reproduces the
+// identical event schedule (verified via Simulator::run_digest), which is
+// what makes a shrunk reproducer from CI attachable to a bug report.
+#pragma once
+
+#include <string>
+
+#include "check/fuzzer.hpp"
+#include "common/status.hpp"
+
+namespace mams::check {
+
+std::string SerializeSpec(const RunSpec& spec);
+Result<RunSpec> ParseSpec(const std::string& text);
+
+/// Convenience wrappers over std::fstream.
+Status WriteSpecFile(const RunSpec& spec, const std::string& path);
+Result<RunSpec> ReadSpecFile(const std::string& path);
+
+}  // namespace mams::check

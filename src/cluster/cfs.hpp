@@ -239,12 +239,19 @@ class CfsCluster {
 
     // Applied serial numbers are monotone per node; the only legal decrease
     // is a reset to 0 (crash, or discarding provably uncommitted state).
+    // Juniors are exempt while renewing: an image restore legitimately
+    // rewinds them to the checkpoint before the journal replay catches up,
+    // and a probe tick can land mid-restore.
     probe_ids_.push_back(probes.Register(
         "sn_monotone_per_node", [this]() -> std::optional<std::string> {
           for (auto& group : groups_) {
             for (const auto& mds : group) {
               const SerialNumber cur = mds->last_sn();
               SerialNumber& prev = prev_sn_[mds->id()];
+              if (!mds->alive() || mds->role() == ServerState::kJunior) {
+                prev = cur;
+                continue;
+              }
               if (cur < prev && cur != 0) {
                 return "node " + std::to_string(mds->id()) +
                        " applied sn went backwards: " + std::to_string(prev) +

@@ -84,7 +84,14 @@ MdsServer::MdsServer(net::Network& network, std::string name,
     // if it holds uncommitted state); everyone rejoins as a junior and is
     // renewed back to standby by the current active.
     if (role_ == ServerState::kActive) {
-      StepDownFromActive("coordination session expired");
+      // Test hook: an active that ignores its own session expiry models
+      // the classic fencing scenario (GC pause / stuck clock) — it keeps
+      // serving while a successor is elected. Only the fence tokens stand
+      // between that and split-brain, which is exactly what the checker's
+      // fencing mutation has to demonstrate.
+      if (!options_.test_hooks.disable_fencing) {
+        StepDownFromActive("coordination session expired");
+      }
     } else if (alive()) {
       BecomeRole(ServerState::kJunior);
       JoinGroup(ServerState::kJunior);
@@ -301,9 +308,13 @@ void MdsServer::OnWatchEvent(const coord::GroupView& view) {
   }
 
   // A deposed active stops immediately (Test A: lock stolen via the global
-  // view; also covers fencing after a spurious session expiry).
+  // view; also covers fencing after a spurious session expiry). The
+  // fencing test hook keeps the oblivious active serving (see the session
+  // handler in the constructor).
   if (role_ == ServerState::kActive && view.lock_holder != id()) {
-    StepDownFromActive("lost the group lock");
+    if (!options_.test_hooks.disable_fencing) {
+      StepDownFromActive("lost the group lock");
+    }
     return;
   }
 
@@ -465,23 +476,54 @@ void MdsServer::UpgradeStep4ReflushJournals() {
   // Before re-flushing, drain any journal tail the previous active managed
   // to persist in the SSP but never replicated to us (e.g. while every
   // standby was transiently demoted). Acked operations must never be lost.
-  ssp_->ReadAfter(
-      JournalFile(), last_sn_,
-      [this](Result<std::shared_ptr<const storage::SspReadReplyMsg>> r) {
+  //
+  // The drain consults EVERY placement replica, not one read with
+  // failover: appends ack on the first replica, so a pool node that was
+  // down during a write serves a stale-but-successful reply after restart,
+  // which would end a single-read drain early and silently lose the tail
+  // the other replica still holds.
+  UpgradeStep4DrainReplica(0, /*progressed=*/false);
+}
+
+void MdsServer::UpgradeStep4DrainReplica(std::size_t replica,
+                                         bool progressed) {
+  if (!upgrade_in_progress_) return;
+  const std::vector<NodeId> replicas = ssp_->Placement(JournalFile());
+  if (replica >= replicas.size()) {
+    // A replica that advanced us may have exposed records another replica
+    // holds the successor of (holes interleave): re-scan until a full
+    // pass over the placement makes no progress.
+    if (progressed) {
+      UpgradeStep4DrainReplica(0, false);
+    } else {
+      UpgradeStep4DoReflush();
+    }
+    return;
+  }
+  ssp_->ReadAfterOn(
+      replicas[replica], JournalFile(), last_sn_,
+      [this, replica, progressed](
+          Result<std::shared_ptr<const storage::SspReadReplyMsg>> r) {
         if (!upgrade_in_progress_) return;
+        bool advanced = false;
+        bool more = false;
         if (r.ok() && r.value()->found) {
           for (const auto& rec : r.value()->records) {
             auto batch = journal::Batch::Deserialize(rec.bytes);
             if (batch.ok() && batch.value().sn == last_sn_ + 1) {
               ApplyBatch(batch.value());
+              advanced = true;
             }
           }
-          if (!r.value()->eof) {
-            UpgradeStep4ReflushJournals();  // keep draining
-            return;
-          }
+          more = !r.value()->eof;
         }
-        UpgradeStep4DoReflush();
+        if (advanced && more) {
+          UpgradeStep4DrainReplica(replica, true);  // keep draining this one
+        } else {
+          // Unreachable, stale, or a hole this replica cannot fill: move
+          // on; an unreadable replica behaves like an empty one.
+          UpgradeStep4DrainReplica(replica + 1, progressed || advanced);
+        }
       });
 }
 
@@ -506,13 +548,23 @@ void MdsServer::UpgradeStep4DoReflush() {
 
 void MdsServer::UpgradeStep5GatherRegistrations() {
   // Step 5: every group member registers with the elected standby, which
-  // confirms each one's state from its journal position.
+  // confirms each one's state from its journal position. The first round
+  // is a non-destructive probe: a registrant AHEAD of us may hold batches
+  // that committed on standby acks while the SSP copy failed — Algorithm 1
+  // draws randomly among standbys, so the election can pick a laggard.
+  // Those batches must be adopted, not destroyed; only after catching up
+  // does the final round ask still-ahead peers to discard.
+  UpgradeStep5Round(/*final_round=*/false);
+}
+
+void MdsServer::UpgradeStep5Round(bool final_round) {
   auto acks = std::make_shared<std::map<NodeId, SerialNumber>>();
   auto req = std::make_shared<GroupRegisterMsg>();
   req->group = options_.group;
   req->new_active = id();
   req->fence = fence_;
   req->active_sn = last_sn_;
+  req->discard_ahead = final_round;
   for (NodeId peer : members_) {
     if (peer == id()) continue;
     net::RpcCall::Start(
@@ -523,18 +575,69 @@ void MdsServer::UpgradeStep5GatherRegistrations() {
           (*acks)[peer] = ack.max_sn;
         });
   }
-  AfterLocal(options_.register_wait, [this, acks] {
+  AfterLocal(options_.register_wait, [this, acks, final_round] {
     if (!upgrade_in_progress_) return;
+    NodeId source = kInvalidNode;
+    SerialNumber target_sn = last_sn_;
     for (const auto& [peer, sn] : *acks) {
-      const ServerState target =
-          sn == last_sn_ ? ServerState::kStandby : ServerState::kJunior;
-      coord_client_->SetState(options_.group, peer, target, fence_,
-                              [](Result<coord::GroupView>) {});
-      if (target == ServerState::kStandby) sync_targets_.insert(peer);
+      if (sn > target_sn) {
+        target_sn = sn;
+        source = peer;
+      }
     }
-    StartStep("step6_become_active");
-    UpgradeStep6BecomeActive();
+    // Nobody ahead: settle now — the second round (and its extra RTT) only
+    // happens on the rare failover where committed state must be adopted.
+    if (final_round || source == kInvalidNode) {
+      UpgradeStep5Classify(*acks);
+      return;
+    }
+    UpgradeStep5CatchUp(source, target_sn);
   });
+}
+
+void MdsServer::UpgradeStep5CatchUp(NodeId source, SerialNumber target_sn) {
+  if (!upgrade_in_progress_) return;
+  if (last_sn_ >= target_sn) {
+    UpgradeStep5Round(/*final_round=*/true);
+    return;
+  }
+  auto req = std::make_shared<RenewJournalFetchMsg>();
+  req->group = options_.group;
+  req->after_sn = last_sn_;
+  net::RpcCall::Start(
+      *this, source, req, options_.fetch_rpc,
+      [this, source, target_sn,
+       before = last_sn_](Result<net::MessagePtr> r) {
+        if (!upgrade_in_progress_) return;
+        if (r.ok()) {
+          const auto& resp = net::Cast<RenewJournalReplyMsg>(r.value());
+          for (const auto& b : resp.batches) {
+            if (b.sn > last_sn_) pending_batches_.emplace(b.sn, b);
+          }
+          ApplyReadyBatches();
+        }
+        if (r.ok() && last_sn_ > before) {
+          UpgradeStep5CatchUp(source, target_sn);  // next chunk
+          return;
+        }
+        // Fetch failed or stalled (peer gone, or its recent-batch window
+        // no longer covers our gap): finalize with what we have — the
+        // peer classifies as a junior and renewal reconciles it.
+        UpgradeStep5Round(/*final_round=*/true);
+      });
+}
+
+void MdsServer::UpgradeStep5Classify(
+    const std::map<NodeId, SerialNumber>& acks) {
+  for (const auto& [peer, sn] : acks) {
+    const ServerState target =
+        sn == last_sn_ ? ServerState::kStandby : ServerState::kJunior;
+    coord_client_->SetState(options_.group, peer, target, fence_,
+                            [](Result<coord::GroupView>) {});
+    if (target == ServerState::kStandby) sync_targets_.insert(peer);
+  }
+  StartStep("step6_become_active");
+  UpgradeStep6BecomeActive();
 }
 
 void MdsServer::UpgradeStep6BecomeActive() {
@@ -983,6 +1086,12 @@ void MdsServer::MaybeCompleteSync(SerialNumber sn) {
   if (ps.acks > 0 || ps.ssp_ok) {
     committed_sn_ = std::max(committed_sn_, sn);
   }
+  if (ps.acks > 0 && !ps.ssp_ok) {
+    // Committed on standby acks alone — the pool missed it. The SSP is
+    // what a future failover drains, so keep re-appending until the copy
+    // is durable (or we are deposed and the new active reconciles).
+    AfterLocal(options_.ssp_append_retry, [this, sn] { RetrySspAppend(sn); });
+  }
   if (ps.acks == 0 && !ps.ssp_ok) {
     // The batch completed by timeouts alone: it exists only in this
     // process. Should we be deposed before it replicates, our namespace
@@ -1000,6 +1109,26 @@ void MdsServer::MaybeCompleteSync(SerialNumber sn) {
   if (pending_sync_.empty() && writer_ && writer_->pending_records() > 0) {
     writer_->Flush();
   }
+}
+
+void MdsServer::RetrySspAppend(SerialNumber sn) {
+  if (role_ != ServerState::kActive || !alive()) return;
+  const journal::Batch* batch = nullptr;
+  for (const auto& b : recent_batches_) {
+    if (b.sn == sn) {
+      batch = &b;
+      break;
+    }
+  }
+  if (batch == nullptr) return;  // evicted; peers cover the failover drain
+  storage::SspRecord record;
+  record.sn = sn;
+  record.fence = fence_;
+  record.bytes = batch->Serialize();
+  ssp_->Append(JournalFile(), std::move(record), [this, sn](Status s) {
+    if (s.ok() || role_ != ServerState::kActive || !alive()) return;
+    AfterLocal(options_.ssp_append_retry, [this, sn] { RetrySspAppend(sn); });
+  });
 }
 
 void MdsServer::DemoteUnresponsiveStandby(NodeId peer) {
@@ -1025,8 +1154,12 @@ void MdsServer::HandleJournalPrepare(const net::Envelope& env,
   auto ack = std::make_shared<JournalAckMsg>();
 
   // IO fencing: a sender with an older fence token than the view's is a
-  // deposed active; refuse it so it steps down.
-  if (req.fence < view_.fence_token) {
+  // deposed active; refuse it so it steps down. The disable_fencing test
+  // hook removes this whole layer (including the active-side collision
+  // arbitration below) so the checker's mutation self-test can demonstrate
+  // the split-brain/lost-ack anomalies fencing exists to prevent.
+  if (!options_.test_hooks.disable_fencing &&
+      req.fence < view_.fence_token) {
     ++counters_.fenced_rejections;
     m_.fenced_rejections->Add();
     obs_->tracer().Instant(
@@ -1038,7 +1171,8 @@ void MdsServer::HandleJournalPrepare(const net::Envelope& env,
     reply(ack);
     return;
   }
-  if (role_ == ServerState::kActive) {
+  if (role_ == ServerState::kActive &&
+      !options_.test_hooks.disable_fencing) {
     // Two actives cannot coexist; the one with the newer fence wins.
     if (req.fence > fence_) {
       StepDownFromActive("saw a newer fence in replication traffic");
@@ -1054,6 +1188,25 @@ void MdsServer::HandleJournalPrepare(const net::Envelope& env,
   if (batch.sn <= last_sn_) {
     // "Only if sn from the active is larger than the current maximum serial
     // number, the standby applies journals" — duplicate, already applied.
+    if (options_.test_hooks.disable_sn_dedup) {
+      // Mutation self-test: re-apply the replayed batch as a broken
+      // implementation without sn suppression would. The records carry
+      // txid 0 so the tree's transaction-id replay guard cannot save us —
+      // this is exactly the double-apply the paper's sn check prevents
+      // (re-added blocks, resurrected files), and the history checker
+      // must flag it.
+      fsns::Tree::BatchHint hint;
+      for (journal::LogRecord rec : batch.records) {
+        rec.txid = 0;
+        (void)tree_.Apply(rec, &hint);
+      }
+      ++counters_.duplicate_batches;
+      m_.duplicate_batches->Add();
+      ack->applied = true;
+      ack->max_sn = last_sn_;
+      reply(ack);
+      return;
+    }
     ++counters_.duplicate_batches;
     m_.duplicate_batches->Add();
     ack->applied = true;
@@ -1501,13 +1654,15 @@ void MdsServer::RegisterHandlers() {
               if (role_ == ServerState::kActive && req.fence > fence_) {
                 StepDownFromActive("registration round from newer active");
               }
-              // A registrant AHEAD of the new active holds batches that
-              // were never committed (a partial replication the election
-              // did not elect — Algorithm 1 draws randomly among
-              // standbys). Those phantom applications must be discarded,
-              // or the new active's re-execution of the same client
-              // retries would silently diverge from this replica.
-              if (req.active_sn < last_sn_ &&
+              // Final round only: a registrant still AHEAD of the new
+              // active after its catch-up fetch holds batches that were
+              // never committed (a partial replication nobody else has).
+              // Those phantom applications must be discarded, or the new
+              // active's re-execution of the same client retries would
+              // silently diverge from this replica. The probe round
+              // (`discard_ahead` false) leaves the tail intact so the new
+              // active can adopt committed batches from it first.
+              if (req.discard_ahead && req.active_sn < last_sn_ &&
                   role_ != ServerState::kActive) {
                 MAMS_INFO("mds",
                           "%s: ahead of new active (sn %llu > %llu); "

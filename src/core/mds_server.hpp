@@ -139,6 +139,7 @@ class MdsServer : public net::Host {
   void OnBatchSealed(journal::Batch batch);
   void MaybeCompleteSync(SerialNumber sn);
   void DemoteUnresponsiveStandby(NodeId peer);
+  void RetrySspAppend(SerialNumber sn);
 
   // --- standby/junior: replication intake ----------------------------------
   void HandleJournalPrepare(const net::Envelope& env,
@@ -153,8 +154,12 @@ class MdsServer : public net::Host {
   void UpgradeStep1CheckState();
   void UpgradeStep2FlipStates();
   void UpgradeStep4ReflushJournals();
+  void UpgradeStep4DrainReplica(std::size_t replica, bool progressed);
   void UpgradeStep4DoReflush();
   void UpgradeStep5GatherRegistrations();
+  void UpgradeStep5Round(bool final_round);
+  void UpgradeStep5CatchUp(NodeId source, SerialNumber target_sn);
+  void UpgradeStep5Classify(const std::map<NodeId, SerialNumber>& acks);
   void UpgradeStep6BecomeActive();
   void AbortUpgrade(const std::string& why);
   void StepDownFromActive(const char* why);

@@ -112,11 +112,19 @@ struct JournalAckMsg final : net::Message {
 /// The elected standby polls every configured group member: "register with
 /// me". Peers reply with their journal position; equal-sn peers become
 /// standbys, laggards become juniors.
+///
+/// Registration runs in two rounds. The first is a non-destructive probe
+/// (`discard_ahead` false): peers only report their position, so the
+/// elected standby can first catch up from any peer holding committed
+/// batches it never saw. The second round (`discard_ahead` true) is final:
+/// a peer still ahead of `active_sn` holds only uncommitted partial
+/// replications and must discard them before the group settles.
 struct GroupRegisterMsg final : net::Message {
   GroupId group = 0;
   NodeId new_active = kInvalidNode;
   FenceToken fence = 0;
   SerialNumber active_sn = 0;
+  bool discard_ahead = true;
 
   net::MsgType type() const noexcept override { return net::kGroupRegister; }
 };

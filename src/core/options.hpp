@@ -29,6 +29,20 @@ struct OpCosts {
   double sync_bytes_per_sec = 500.0e6;
 };
 
+/// Deliberate-fault switches for the checker's mutation self-tests
+/// (tests/check_test.cpp): each hook disables one safety mechanism so the
+/// history checker can prove it would catch that mechanism's absence.
+/// Production configurations never set these.
+struct TestHooks {
+  /// Skip the standby-side "sn must exceed current maximum" duplicate
+  /// check and re-apply replayed batches, as if the serial-number
+  /// suppression of Section III.C did not exist.
+  bool disable_sn_dedup = false;
+  /// Skip the fence-token comparison on journal intake, as if IO fencing
+  /// did not exist: a deposed active's replication traffic is accepted.
+  bool disable_fencing = false;
+};
+
 struct MdsOptions {
   GroupId group = 0;
 
@@ -88,6 +102,10 @@ struct MdsOptions {
   /// copy is durable; false writes the SSP copy asynchronously (the
   /// ablation_ssp_vs_direct variant).
   bool ssp_in_commit_path = true;
+  /// Retry cadence for re-appending a batch whose SSP copy failed while the
+  /// sync still committed on standby acks: the pool is the recovery source
+  /// for failovers, so committed batches must become durable there.
+  SimTime ssp_append_retry = 500 * kMillisecond;
 
   // Failover protocol.
   SimTime register_wait = 300 * kMillisecond;   ///< step-5 gather window
@@ -130,6 +148,9 @@ struct MdsOptions {
   double image_inflation = 1.0;
 
   OpCosts costs;
+
+  /// Deliberate-fault switches for checker self-tests; see TestHooks.
+  TestHooks test_hooks;
 };
 
 }  // namespace mams::core

@@ -105,6 +105,14 @@ class Network {
   void Heal(NodeId a, NodeId b) { partitioned_.erase(Key(a, b)); }
   void HealAll() { partitioned_.clear(); }
 
+  /// Additional queueing noise applied on top of LinkParams::jitter to
+  /// every non-loopback message until reset to 0 — a clock-independent
+  /// delivery-jitter fault (congested switch), injected by net::FaultInjector.
+  void set_extra_jitter(SimTime extra) noexcept {
+    extra_jitter_ = extra < 0 ? 0 : extra;
+  }
+  SimTime extra_jitter() const noexcept { return extra_jitter_; }
+
   bool Connected(NodeId a, NodeId b) const {
     if (a == b) return link_up_[a];
     return link_up_[a] && link_up_[b] && !partitioned_.contains(Key(a, b));
@@ -152,16 +160,18 @@ class Network {
     const double bytes = static_cast<double>(env.payload->ByteSize());
     const auto wire = static_cast<SimTime>(
         bytes / params_.bandwidth_bytes_per_sec * static_cast<double>(kSecond));
+    const SimTime jitter_bound = params_.jitter + extra_jitter_;
     const SimTime jitter =
-        params_.jitter > 0
+        jitter_bound > 0
             ? static_cast<SimTime>(rng_.Below(
-                  static_cast<std::uint64_t>(params_.jitter)))
+                  static_cast<std::uint64_t>(jitter_bound)))
             : 0;
     return params_.base_latency + wire + jitter;
   }
 
   sim::Simulator& sim_;
   LinkParams params_;
+  SimTime extra_jitter_ = 0;
   Rng rng_;
   std::vector<Endpoint*> endpoints_;
   std::vector<bool> link_up_;

@@ -41,6 +41,13 @@ class Simulator {
   SimTime Now() const noexcept { return now_; }
   Rng& rng() noexcept { return rng_; }
 
+  /// Order-sensitive digest of every event executed so far (an FNV-1a fold
+  /// of execution timestamps). Two runs of the same schedule produce the
+  /// same digest; any divergence in event order or timing changes it. The
+  /// replay tooling (tools/mams_check --replay) runs a captured schedule
+  /// twice and compares digests to prove the reproduction deterministic.
+  std::uint64_t run_digest() const noexcept { return digest_; }
+
   /// Tracing, metrics, and invariant probes scoped to this simulation.
   obs::Observability& obs() noexcept { return obs_; }
   const obs::Observability& obs() const noexcept { return obs_; }
@@ -62,6 +69,7 @@ class Simulator {
     while (!queue_.empty() && queue_.NextTime() <= deadline) {
       auto ev = queue_.Pop();
       now_ = ev.at;
+      Fold(ev.at);
       ev.fn();
       ++executed;
     }
@@ -76,6 +84,7 @@ class Simulator {
     while (!queue_.empty()) {
       auto ev = queue_.Pop();
       now_ = ev.at;
+      Fold(ev.at);
       ev.fn();
       ++executed;
     }
@@ -87,6 +96,7 @@ class Simulator {
     if (queue_.empty()) return false;
     auto ev = queue_.Pop();
     now_ = ev.at;
+    Fold(ev.at);
     ev.fn();
     return true;
   }
@@ -94,7 +104,12 @@ class Simulator {
   bool idle() { return queue_.empty(); }
 
  private:
+  void Fold(SimTime at) noexcept {
+    digest_ = (digest_ ^ static_cast<std::uint64_t>(at)) * 0x100000001b3ull;
+  }
+
   SimTime now_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ull;
   EventQueue queue_;
   Rng rng_;
   const SimTime* prev_log_clock_ = nullptr;

@@ -126,6 +126,30 @@ class SspClient {
     ReadWithFailover(file, std::move(msg), std::move(done));
   }
 
+  /// Reads records after `after_sn` from ONE specific replica, with no
+  /// failover. Appends ack on the first replica, so replicas may hold
+  /// different subsequences of a file (a pool node that was down during a
+  /// write has a hole after restart) — recovery paths that must not trust
+  /// a single, possibly stale replica use this to consult each member of
+  /// the placement in turn and merge.
+  void ReadAfterOn(NodeId replica, const std::string& file,
+                   SerialNumber after_sn, ReadCallback done) {
+    auto msg = std::make_shared<SspReadMsg>();
+    msg->file = file;
+    msg->after_sn = after_sn;
+    msg->max_bytes = options_.read_chunk_bytes;
+    reads_->Add();
+    host_.Call(replica, std::move(msg), options_.read_timeout,
+               [done = std::move(done)](Result<net::MessagePtr> result) {
+                 if (!result.ok()) {
+                   done(result.status());
+                   return;
+                 }
+                 done(std::static_pointer_cast<const SspReadReplyMsg>(
+                     std::move(result).value()));
+               });
+  }
+
   void ReadIndex(const std::string& file, std::size_t from_index,
                  ReadCallback done) {
     auto msg = std::make_shared<SspReadMsg>();

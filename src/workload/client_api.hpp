@@ -18,6 +18,10 @@ struct ClientApi {
   std::function<void(const std::string&, Cb)> remove;
   std::function<void(const std::string&, const std::string&, Cb)> rename;
   std::function<void(const std::string&, Cb)> getfileinfo;
+  // Optional (the baseline client does not expose them); drivers fall back
+  // to getfileinfo when unset so every Mix runs against every system.
+  std::function<void(const std::string&, Cb)> listdir;
+  std::function<void(const std::string&, Cb)> add_block;
 };
 
 inline ClientApi MakeApi(cluster::FsClient& client) {
@@ -39,6 +43,15 @@ inline ClientApi MakeApi(cluster::FsClient& client) {
     client.GetFileInfo(p, [cb = std::move(cb)](Result<fsns::FileInfo> r) {
       cb(r.ok() ? Status::Ok() : r.status());
     });
+  };
+  api.listdir = [&client](const std::string& p, ClientApi::Cb cb) {
+    client.ListDir(p,
+                   [cb = std::move(cb)](Result<std::vector<std::string>> r) {
+                     cb(r.ok() ? Status::Ok() : r.status());
+                   });
+  };
+  api.add_block = [&client](const std::string& p, ClientApi::Cb cb) {
+    client.AddBlock(p, std::move(cb));
   };
   return api;
 }

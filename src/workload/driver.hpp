@@ -110,6 +110,12 @@ class Driver {
       case OpKind::kGetFileInfo:
         api_.getfileinfo(op.path, done);
         break;
+      case OpKind::kListDir:
+        (api_.listdir ? api_.listdir : api_.getfileinfo)(op.path, done);
+        break;
+      case OpKind::kAddBlock:
+        (api_.add_block ? api_.add_block : api_.getfileinfo)(op.path, done);
+        break;
     }
   }
 

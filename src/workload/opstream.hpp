@@ -18,6 +18,8 @@ enum class OpKind : std::uint8_t {
   kDelete,
   kRename,
   kGetFileInfo,
+  kListDir,
+  kAddBlock,
 };
 
 struct Op {
@@ -28,7 +30,8 @@ struct Op {
 
 /// Weighted mix of operation kinds.
 struct Mix {
-  double create = 0, mkdir = 0, remove = 0, rename = 0, getfileinfo = 0;
+  double create = 0, mkdir = 0, remove = 0, rename = 0, getfileinfo = 0,
+         listdir = 0, add_block = 0;
 
   static Mix Only(OpKind kind) {
     Mix m;
@@ -47,6 +50,12 @@ struct Mix {
         break;
       case OpKind::kGetFileInfo:
         m.getfileinfo = 1;
+        break;
+      case OpKind::kListDir:
+        m.listdir = 1;
+        break;
+      case OpKind::kAddBlock:
+        m.add_block = 1;
         break;
     }
     return m;
@@ -81,6 +90,10 @@ class OpStream {
     if (roll < acc) return MakeDelete();
     acc += mix_.rename;
     if (roll < acc) return MakeRename();
+    acc += mix_.listdir;
+    if (roll < acc) return MakeListDir();
+    acc += mix_.add_block;
+    if (roll < acc) return MakeAddBlock();
     return MakeStat();
   }
 
@@ -134,6 +147,21 @@ class OpStream {
     // — the distributed-transaction case CFS pays for (Section IV.A).
     op.path2 = Dir() + "/r" + std::to_string(next_file_++);
     files_[i] = op.path2;
+    return op;
+  }
+
+  Op MakeListDir() {
+    Op op;
+    op.kind = OpKind::kListDir;
+    op.path = Dir();  // may not exist yet: a valid NotFound read
+    return op;
+  }
+
+  Op MakeAddBlock() {
+    if (files_.empty()) return MakeCreate();
+    Op op;
+    op.kind = OpKind::kAddBlock;
+    op.path = files_[rng_.Below(files_.size())];
     return op;
   }
 

@@ -13,6 +13,7 @@
 #include "cluster/cfs.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "test_util.hpp"
 
 namespace mams::cluster {
 namespace {
@@ -45,9 +46,7 @@ TEST_P(ChaosTest, LinkFlapStormConvergesWithoutLoss) {
         st = s;
         done = true;
       });
-      for (int k = 0; k < 900 && !done; ++k) {
-        sim.RunUntil(sim.Now() + 100 * kMillisecond);
-      }
+      testutil::WaitFor(sim, [&] { return done; }, 90 * kSecond);
       if (done && st.ok()) acked.push_back(path);
     }
   };
@@ -140,7 +139,8 @@ TEST_P(PoolChaosTest, PoolNodeFailuresDontBlockRenewal) {
     bool done = false;
     cfs.client(0).Create("/p/f" + std::to_string(i),
                          [&](Status) { done = true; });
-    while (!done) sim.RunUntil(sim.Now() + 50 * kMillisecond);
+    ASSERT_TRUE(testutil::WaitFor(sim, [&] { return done; }, 30 * kSecond,
+                                  50 * kMillisecond));
   }
   cfs.pool_node(static_cast<int>(seed % 3)).Crash();
 

@@ -13,6 +13,7 @@
 #include "core/failover_trace.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "test_util.hpp"
 
 namespace mams::cluster {
 namespace {
@@ -45,7 +46,7 @@ class ClusterTest : public ::testing::Test {
       out = s;
       done = true;
     });
-    for (int i = 0; i < 600 && !done; ++i) Run(100 * kMillisecond);
+    testutil::WaitFor(*sim_, [&] { return done; }, 60 * kSecond);
     return out;
   }
 
@@ -56,7 +57,7 @@ class ClusterTest : public ::testing::Test {
       out = s;
       done = true;
     });
-    for (int i = 0; i < 600 && !done; ++i) Run(100 * kMillisecond);
+    testutil::WaitFor(*sim_, [&] { return done; }, 60 * kSecond);
     return out;
   }
 
@@ -157,7 +158,7 @@ TEST_F(ClusterTest, ClientOpsSpanningTheFailureEventuallySucceed) {
     done = true;
   });
   active->Crash();
-  for (int i = 0; i < 300 && !done; ++i) Run(100 * kMillisecond);
+  testutil::WaitFor(*sim_, [&] { return done; }, 30 * kSecond);
   ASSERT_TRUE(done);
   EXPECT_TRUE(result.ok()) << result.ToString();
   core::MdsServer* new_active = cluster_->FindActive(0);
@@ -341,10 +342,7 @@ TEST_P(FailoverPropertyTest, SingleActivePerGroupAlwaysRestoredAndStateIntact) {
         st = s;
         done = true;
       });
-      for (int k = 0; k < 600 && !done; ++k) {
-        sim.RunUntil(sim.Now() + 100 * kMillisecond);
-      }
-      ASSERT_TRUE(done);
+      ASSERT_TRUE(testutil::WaitFor(sim, [&] { return done; }, 60 * kSecond));
       if (st.ok()) acked.push_back(path);
     }
     // Crash the active at a random offset; sometimes restart it later.

@@ -10,6 +10,7 @@
 #include "cluster/cfs.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "test_util.hpp"
 #include "storage/shared_file.hpp"
 
 namespace mams {
@@ -83,7 +84,7 @@ class FencingClusterTest : public ::testing::Test {
       out = s;
       done = true;
     });
-    for (int i = 0; i < 600 && !done; ++i) Run(100 * kMillisecond);
+    testutil::WaitFor(sim_, [&] { return done; }, 60 * kSecond);
     return out;
   }
 
@@ -170,7 +171,7 @@ TEST_F(FencingClusterTest, ClientRetryCommitsExactlyOnceAcrossFailover) {
     done = true;
   });
   old_active->Crash();
-  for (int i = 0; i < 600 && !done; ++i) Run(100 * kMillisecond);
+  testutil::WaitFor(sim_, [&] { return done; }, 60 * kSecond);
   ASSERT_TRUE(done);
   EXPECT_TRUE(st.ok()) << st.ToString();
   core::MdsServer* active = cfs_->FindActive(0);

@@ -10,6 +10,7 @@
 #include "core/recovery.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "test_util.hpp"
 
 namespace mams::core {
 namespace {
@@ -37,7 +38,7 @@ class RecoveryTest : public ::testing::Test {
       out = s;
       done = true;
     });
-    for (int i = 0; i < 600 && !done; ++i) Run(100 * kMillisecond);
+    testutil::WaitFor(sim_, [&] { return done; }, 60 * kSecond);
     ASSERT_TRUE(out.ok()) << path << ": " << out.ToString();
   }
 

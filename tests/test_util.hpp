@@ -1,0 +1,24 @@
+// Shared helpers for simulator-driven tests.
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace mams::testutil {
+
+/// Pumps the simulator in `step`-sized slices until `pred()` holds or
+/// `budget` of virtual time elapses. Returns whether the predicate held.
+/// Replaces the fixed-iteration polling loops tests used to hand-roll:
+/// the deadline is explicit virtual time, not an iteration count whose
+/// meaning silently changes with the step size.
+template <typename Pred>
+bool WaitFor(sim::Simulator& sim, Pred&& pred, SimTime budget,
+             SimTime step = 100 * kMillisecond) {
+  const SimTime deadline = sim.Now() + budget;
+  while (!pred()) {
+    if (sim.Now() >= deadline) return false;
+    sim.RunUntil(std::min(deadline, sim.Now() + step));
+  }
+  return true;
+}
+
+}  // namespace mams::testutil

@@ -1,0 +1,243 @@
+// mams_check — the cluster checker CLI.
+//
+// Sweep mode (default): runs a seed sweep of the schedule fuzzer, checks
+// every recorded history for linearizability against the namespace model,
+// and on violation shrinks the schedule and writes a replayable .repro
+// file. Exit status 1 when any seed violated.
+//
+//   mams_check --seeds 200                        # PR/nightly gate
+//   mams_check --seeds 60 --mutation fencing      # must find a violation
+//   mams_check --replay repro-seed42.repro        # re-run a reproducer
+//
+// Replay mode executes a .repro twice and compares the simulator run
+// digests, proving the reproduction deterministic before printing the
+// violations it reproduces.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.hpp"
+#include "check/repro.hpp"
+#include "check/shrink.hpp"
+
+namespace {
+
+using namespace mams;        // NOLINT
+using namespace mams::check;  // NOLINT
+
+struct Args {
+  int seeds = 50;
+  std::uint64_t seed_base = 1;
+  bool single_seed = false;
+  std::uint64_t seed = 0;
+  Mutation mutation = Mutation::kNone;
+  int clients = 2;
+  int ops = 40;
+  int faults = 5;
+  bool shrink = true;
+  int shrink_runs = 200;
+  std::string profile = "default";
+  std::string replay;
+  std::string out_dir = ".";
+  bool verbose = false;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mams_check [options]\n"
+      "  --seeds N          seeds to sweep (default 50)\n"
+      "  --seed-base B      first seed (default 1)\n"
+      "  --seed S           run exactly one seed\n"
+      "  --mutation M       none|sn_dedup|fencing (default none)\n"
+      "  --clients N        fuzz clients per run (default 2)\n"
+      "  --ops N            ops per client (default 40)\n"
+      "  --faults N         faults per run (default 5)\n"
+      "  --profile P        default|renames — renames is rename/delete-\n"
+      "                     heavy (resolve-cache invalidation pressure)\n"
+      "  --no-shrink        skip schedule shrinking on violation\n"
+      "  --shrink-runs N    shrink rerun budget (default 200)\n"
+      "  --out-dir DIR      where .repro files go (default .)\n"
+      "  --replay FILE      re-run a .repro file (twice; digests compared)\n"
+      "  --verbose          print per-seed progress and histories\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seeds") {
+      args->seeds = std::atoi(value());
+    } else if (arg == "--seed-base") {
+      args->seed_base = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      args->single_seed = true;
+      args->seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--mutation") {
+      if (!ParseMutation(value(), &args->mutation)) {
+        std::fprintf(stderr, "unknown mutation\n");
+        return false;
+      }
+    } else if (arg == "--clients") {
+      args->clients = std::atoi(value());
+    } else if (arg == "--ops") {
+      args->ops = std::atoi(value());
+    } else if (arg == "--faults") {
+      args->faults = std::atoi(value());
+    } else if (arg == "--profile") {
+      args->profile = value();
+      if (args->profile != "default" && args->profile != "renames") {
+        std::fprintf(stderr, "unknown profile %s\n", args->profile.c_str());
+        return false;
+      }
+    } else if (arg == "--no-shrink") {
+      args->shrink = false;
+    } else if (arg == "--shrink-runs") {
+      args->shrink_runs = std::atoi(value());
+    } else if (arg == "--out-dir") {
+      args->out_dir = value();
+    } else if (arg == "--replay") {
+      args->replay = value();
+    } else if (arg == "--verbose" || arg == "-v") {
+      args->verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintViolations(const RunResult& result) {
+  for (const Violation& v : result.violations) {
+    std::printf("  %s\n", FormatViolation(result.history, v).c_str());
+  }
+}
+
+int Replay(const Args& args) {
+  Result<RunSpec> spec = ReadSpecFile(args.replay);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 2;
+  }
+  RunResult first = RunSpecOnce(spec.value());
+  RunResult second = RunSpecOnce(spec.value());
+  const bool deterministic =
+      first.run_digest == second.run_digest &&
+      first.violations.size() == second.violations.size();
+  std::printf("replay %s: %zu ops, %zu faults, seed %llu\n",
+              args.replay.c_str(), spec.value().ops.size(),
+              spec.value().faults.size(),
+              static_cast<unsigned long long>(spec.value().seed));
+  std::printf("deterministic replay: %s (digest %016llx)\n",
+              deterministic ? "yes" : "NO",
+              static_cast<unsigned long long>(first.run_digest));
+  if (args.verbose) {
+    for (const auto& e : first.history.events()) {
+      std::printf("  %s\n", first.history.Format(e).c_str());
+    }
+  }
+  if (first.violated()) {
+    std::printf("violations (%zu):\n", first.violations.size());
+    PrintViolations(first);
+  } else {
+    std::printf("no violation reproduced\n");
+  }
+  if (!deterministic) return 3;
+  return first.violated() ? 1 : 0;
+}
+
+int Sweep(const Args& args) {
+  FuzzProfile profile;
+  profile.clients = args.clients;
+  profile.ops_per_client = args.ops;
+  profile.faults = args.faults;
+  if (args.profile == "renames") {
+    profile.mix.create = 0.30;
+    profile.mix.rename = 0.25;
+    profile.mix.remove = 0.20;
+    profile.mix.getfileinfo = 0.15;
+    profile.mix.listdir = 0.10;
+  }
+
+  const std::uint64_t base = args.single_seed ? args.seed : args.seed_base;
+  const int count = args.single_seed ? 1 : args.seeds;
+  int violated_seeds = 0;
+  std::uint64_t total_events = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t seed = base + static_cast<std::uint64_t>(i);
+    RunSpec spec = MakeSpec(seed, profile);
+    spec.mutation = args.mutation;
+    RunResult result = RunSpecOnce(spec);
+    total_events += result.history.size();
+    if (args.verbose) {
+      std::printf("seed %llu: %zu events, %llu states, %s\n",
+                  static_cast<unsigned long long>(seed),
+                  result.history.size(),
+                  static_cast<unsigned long long>(
+                      result.check.states_explored),
+                  result.violated() ? "VIOLATION" : "ok");
+    }
+    if (!result.violated()) continue;
+    ++violated_seeds;
+    std::printf("seed %llu VIOLATED (%zu violations):\n",
+                static_cast<unsigned long long>(seed),
+                result.violations.size());
+    PrintViolations(result);
+
+    RunSpec to_write = spec;
+    if (args.shrink) {
+      ShrinkOptions sopts;
+      sopts.max_runs = args.shrink_runs;
+      ShrinkResult shrunk = Shrink(spec, sopts);
+      if (shrunk.result.violated()) {
+        to_write = shrunk.spec;
+        std::printf(
+            "  shrunk %zu->%zu ops, %zu->%zu faults in %d reruns; now:\n",
+            spec.ops.size(), to_write.ops.size(), spec.faults.size(),
+            to_write.faults.size(), shrunk.runs);
+        PrintViolations(shrunk.result);
+      } else {
+        std::printf("  (violation did not reproduce under shrinking; "
+                    "writing the original schedule)\n");
+      }
+    }
+    const std::string file =
+        args.out_dir + "/repro-" + MutationName(args.mutation) + "-seed" +
+        std::to_string(seed) + ".repro";
+    const Status ws = WriteSpecFile(to_write, file);
+    if (ws.ok()) {
+      std::printf("  wrote %s\n", file.c_str());
+    } else {
+      std::fprintf(stderr, "  %s\n", ws.ToString().c_str());
+    }
+  }
+  std::printf(
+      "%d/%d seeds violated (mutation=%s, %llu history events total)\n",
+      violated_seeds, count, MutationName(args.mutation),
+      static_cast<unsigned long long>(total_events));
+  return violated_seeds > 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  if (!args.replay.empty()) return Replay(args);
+  return Sweep(args);
+}
