@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "check/model.hpp"
@@ -56,6 +58,15 @@ class Search {
     for (const Event& e : history_.events()) {
       // Ambiguous reads observed nothing and constrain nothing.
       if (!e.definite() && e.is_read()) continue;
+      // Standby-served reads are session-consistent, not linearizable:
+      // they may observe a slightly earlier prefix of the mutation order.
+      // Exempt them from the real-time core search and verify them
+      // separately (read-your-writes + monotonic reads) against the
+      // witness linearization the core search produces.
+      if (e.definite() && e.is_read() && e.via_standby) {
+        standby_reads_.push_back(&e);
+        continue;
+      }
       ops_.push_back(&e);
     }
     std::stable_sort(ops_.begin(), ops_.end(),
@@ -74,6 +85,10 @@ class Search {
     if (budget_exhausted_) result.linearizable = false;
     if (!result.linearizable && result.decided) {
       Classify(result.violations);
+    }
+    if (result.linearizable) {
+      CheckSessionReads(result.violations);
+      if (!result.violations.empty()) result.linearizable = false;
     }
     return result;
   }
@@ -142,9 +157,11 @@ class Search {
         Model::Undo undo;
         if (TryStep(e, &undo)) {
           SetTaken(i);
+          order_.push_back(&e);
           if (e.definite()) --definite_left_;
-          if (Dfs()) return true;
+          if (Dfs()) return true;  // order_ keeps the witness linearization
           if (e.definite()) ++definite_left_;
+          order_.pop_back();
           ClearTaken(i);
           if (budget_exhausted_) {
             model_.Revert(undo);
@@ -166,6 +183,107 @@ class Search {
       taken += static_cast<std::size_t>(__builtin_popcountll(w));
     }
     return n_ - taken;
+  }
+
+  // --- session-consistency verification (standby reads) ---------------------
+
+  /// Verifies every standby-served read against the witness linearization
+  /// the core search produced (order_). A standby read is legal iff some
+  /// prefix of the witness explains its observation, where the prefix
+  ///   * includes every definite op this client completed before the read
+  ///     was invoked (read-your-writes),
+  ///   * is at least as long as the prefix chosen for the client's
+  ///     previous standby read (monotonic reads), and
+  ///   * contains no op invoked after the read completed (a standby cannot
+  ///     have applied the future).
+  /// Greedy-smallest prefix selection is complete: if any non-decreasing
+  /// assignment of prefixes exists, the greedy one does too.
+  ///
+  /// The wire-level token contract is checked first: a responder that
+  /// stamped applied_sn below the read's min_sn served below the session
+  /// floor regardless of whether the value happened to match.
+  void CheckSessionReads(std::vector<Violation>& out) {
+    if (standby_reads_.empty()) return;
+    // Witness position of each linearized op, as a prefix length.
+    std::unordered_map<std::uint32_t, std::size_t> pos;
+    for (std::size_t i = 0; i < order_.size(); ++i) pos[order_[i]->id] = i + 1;
+    // prefix_invoke_max[p] = latest invoke among the first p witness ops;
+    // caps how much history a read completing at time t may have seen.
+    std::vector<SimTime> prefix_invoke_max(order_.size() + 1, 0);
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      prefix_invoke_max[i + 1] =
+          std::max(prefix_invoke_max[i], order_[i]->invoke);
+    }
+
+    std::map<int, std::vector<const Event*>> per_client;
+    for (const Event* r : standby_reads_) per_client[r->client].push_back(r);
+    for (auto& [client, reads] : per_client) {
+      std::sort(reads.begin(), reads.end(),
+                [](const Event* a, const Event* b) {
+                  return a->complete < b->complete;
+                });
+      std::size_t floor = 0;    // monotonic-reads cursor (prefix length)
+      Model model;
+      std::size_t applied = 0;  // witness ops already replayed into model
+      for (const Event* r : reads) {
+        if (r->observed_sn < r->min_sn) {
+          out.push_back({Violation::Type::kStaleRead,
+                         "standby answered " + r->path +
+                             " below the session floor (applied sn " +
+                             std::to_string(r->observed_sn) + " < min_sn " +
+                             std::to_string(r->min_sn) + ")",
+                         {r->id}});
+          continue;
+        }
+        // Read-your-writes: the prefix must cover every definite op this
+        // client had already completed when it invoked the read.
+        std::size_t lo = floor;
+        for (const Event* e : ops_) {
+          if (e->client != r->client || !e->definite()) continue;
+          if (e->complete > r->invoke) continue;
+          auto it = pos.find(e->id);
+          if (it != pos.end()) lo = std::max(lo, it->second);
+        }
+        std::size_t hi = order_.size();
+        while (hi > lo && prefix_invoke_max[hi] >= r->complete) --hi;
+        // Replay the witness up to lo, then extend one op at a time until
+        // some prefix reproduces the read's observation.
+        while (applied < lo) {
+          ReadView scratch;
+          model.Step(*order_[applied], nullptr, &scratch);
+          ++applied;
+        }
+        bool explained = false;
+        while (true) {
+          ReadView view;
+          const StatusCode code =
+              r->kind == OpKind::kGetFileInfo
+                  ? model.GetFileInfo(r->path, &view)
+                  : model.ListDir(r->path, &view);
+          if (r->outcome == Outcome::kOk
+                  ? (code == StatusCode::kOk && view == r->view)
+                  : code == r->code) {
+            explained = true;
+            break;
+          }
+          if (applied >= hi) break;
+          ReadView scratch;
+          model.Step(*order_[applied], nullptr, &scratch);
+          ++applied;
+        }
+        if (!explained) {
+          out.push_back(
+              {Violation::Type::kStaleRead,
+               "standby read of " + r->path +
+                   " matches no session-consistent prefix of the witness "
+                   "linearization (read-your-writes / monotonic reads)",
+               {r->id}});
+        }
+        // Keep applied == floor so the next read's candidate scan starts
+        // at its own lower bound (also after a violation).
+        floor = applied;
+      }
+    }
   }
 
   // --- classification -------------------------------------------------------
@@ -310,6 +428,8 @@ class Search {
   const History& history_;
   const CheckOptions& options_;
   std::vector<const Event*> ops_;
+  std::vector<const Event*> standby_reads_;  ///< session-checked, not core
+  std::vector<const Event*> order_;  ///< witness linearization on success
   std::size_t n_ = 0;
   std::vector<std::uint64_t> done_;
   std::size_t definite_left_ = 0;

@@ -44,13 +44,15 @@ const char* MutationName(Mutation m) {
       return "sn_dedup";
     case Mutation::kNoFencing:
       return "fencing";
+    case Mutation::kIgnoreMinSn:
+      return "min_sn";
   }
   return "?";
 }
 
 bool ParseMutation(const std::string& name, Mutation* out) {
-  for (const Mutation m :
-       {Mutation::kNone, Mutation::kNoSnDedup, Mutation::kNoFencing}) {
+  for (const Mutation m : {Mutation::kNone, Mutation::kNoSnDedup,
+                           Mutation::kNoFencing, Mutation::kIgnoreMinSn}) {
     if (name == MutationName(m)) {
       *out = m;
       return true;
@@ -92,6 +94,7 @@ RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile) {
   RunSpec spec;
   spec.seed = seed;
   spec.clients = profile.clients;
+  spec.standby_reads = profile.standby_reads;
   // Generation rng is decoupled from the execution seed so that replaying
   // a spec never re-consults it.
   Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x66757a7aull);
@@ -224,6 +227,16 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
     case Mutation::kNoFencing:
       cfg.mds.test_hooks.disable_fencing = true;
       break;
+    case Mutation::kIgnoreMinSn:
+      cfg.mds.test_hooks.ignore_min_sn = true;
+      break;
+  }
+  // The min_sn mutation is only observable when standbys answer reads, so
+  // it forces the offload on; .repro files then replay correctly even if
+  // they predate the standby_reads field.
+  if (spec.standby_reads || spec.mutation == Mutation::kIgnoreMinSn) {
+    cfg.mds.standby_reads.serve_reads = true;
+    cfg.client.read_routing = cluster::ReadRouting::kRoundRobinStandby;
   }
   // An op that cannot finish inside one failover should give up and show
   // up as ambiguous rather than pin its client for the whole run.

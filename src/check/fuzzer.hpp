@@ -29,7 +29,14 @@ namespace mams::check {
 
 /// Which deliberately-broken server configuration to run (the checker's
 /// mutation self-tests); kNone is the production configuration.
-enum class Mutation : std::uint8_t { kNone, kNoSnDedup, kNoFencing };
+/// kIgnoreMinSn makes standbys serve reads regardless of the session
+/// floor (it implies standby reads are enabled for the run).
+enum class Mutation : std::uint8_t {
+  kNone,
+  kNoSnDedup,
+  kNoFencing,
+  kIgnoreMinSn,
+};
 
 const char* MutationName(Mutation m);
 bool ParseMutation(const std::string& name, Mutation* out);
@@ -64,6 +71,10 @@ struct RunSpec {
   int standbys = 2;
   int pool_nodes = 3;
   Mutation mutation = Mutation::kNone;
+  /// Serve reads from standbys (session-consistent offload) and route the
+  /// fuzz clients' reads round-robin over them. Audit reads always go to
+  /// the active regardless.
+  bool standby_reads = false;
   SimTime warmup = 2 * kSecond;     ///< boot -> first op
   SimTime run_for = 30 * kSecond;   ///< op/fault phase -> heal
   SimTime quiesce = 45 * kSecond;   ///< heal -> audit reads
@@ -84,6 +95,8 @@ struct FuzzProfile {
   /// Longest link-flap outage; flaps longer than the 5 s session timeout
   /// depose the active while it keeps serving its last lease.
   SimTime max_outage = 12 * kSecond;
+  /// Copied into RunSpec::standby_reads by MakeSpec.
+  bool standby_reads = false;
 };
 
 RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile = {});

@@ -66,6 +66,12 @@ struct Event {
   StatusCode code = StatusCode::kOk;  ///< definite-error code
   ReadView view;                      ///< valid when a read completed kOk
   bool audit = false;  ///< post-quiesce verification read, not workload
+  // Session-consistency metadata (standby read offload). Reads answered by
+  // a standby are exempt from the real-time linearizability core and are
+  // instead verified for read-your-writes + monotonic reads; see checker.
+  SerialNumber min_sn = 0;       ///< session floor the read carried
+  SerialNumber observed_sn = 0;  ///< responder's applied sn at answer time
+  bool via_standby = false;      ///< answered by a standby, not the active
 
   bool is_read() const noexcept {
     return kind == workload::OpKind::kGetFileInfo ||
@@ -132,6 +138,10 @@ class History {
         s += " entries=" + std::to_string(e.view.listing.size());
       }
     }
+    if (e.via_standby) {
+      s += " standby(sn=" + std::to_string(e.observed_sn) +
+           ",floor=" + std::to_string(e.min_sn) + ")";
+    }
     if (e.audit) s += " (audit)";
     return s;
   }
@@ -176,6 +186,15 @@ class HistoryRecorder {
     if (history_.events_[id].outcome == Outcome::kOk) {
       history_.events_[id].view = std::move(view);
     }
+  }
+
+  /// Attaches the client library's session metadata to a completed read.
+  void StampRead(std::uint32_t id, SerialNumber min_sn,
+                 SerialNumber observed_sn, bool via_standby) {
+    Event& e = history_.events_[id];
+    e.min_sn = min_sn;
+    e.observed_sn = observed_sn;
+    e.via_standby = via_standby;
   }
 
   /// kUnavailable and kTimedOut mean "gave up, outcome unknown" in this
@@ -235,9 +254,11 @@ class RecordingClient {
         client_.AddBlock(op.path, finish(std::move(done)));
         break;
       case OpKind::kGetFileInfo:
+        // Audit reads must see the active's authoritative state — they are
+        // the post-quiesce ground truth, never a session-consistent view.
         client_.GetFileInfo(
-            op.path, [this, id, done = std::move(done)](
-                         Result<fsns::FileInfo> r) {
+            op.path,
+            [this, id, done = std::move(done)](Result<fsns::FileInfo> r) {
               ReadView view;
               if (r.ok()) {
                 const fsns::FileInfo& info = r.value();
@@ -247,25 +268,37 @@ class RecordingClient {
                 view.complete = info.complete;
               }
               recorder_.CompleteRead(id, r.status(), std::move(view));
+              StampRead(id);
               if (done) done();
-            });
+            },
+            cluster::ReadOptions{.require_active = audit});
         break;
       case OpKind::kListDir:
-        client_.ListDir(op.path,
-                        [this, id, done = std::move(done)](
-                            Result<std::vector<std::string>> r) {
-                          ReadView view;
-                          view.is_dir = true;
-                          if (r.ok()) view.listing = r.value();
-                          recorder_.CompleteRead(id, r.status(),
-                                                 std::move(view));
-                          if (done) done();
-                        });
+        client_.ListDir(
+            op.path,
+            [this, id, done = std::move(done)](
+                Result<std::vector<std::string>> r) {
+              ReadView view;
+              view.is_dir = true;
+              if (r.ok()) view.listing = r.value();
+              recorder_.CompleteRead(id, r.status(), std::move(view));
+              StampRead(id);
+              if (done) done();
+            },
+            cluster::ReadOptions{.require_active = audit});
         break;
     }
   }
 
  private:
+  /// Copies the client library's last-op session stamp onto the event.
+  /// Safe because RecordingClient issues are closed-loop per FsClient: the
+  /// stamp observed in a completion callback belongs to that completion.
+  void StampRead(std::uint32_t id) {
+    const cluster::OpStamp& st = client_.last_stamp();
+    recorder_.StampRead(id, st.min_sn, st.applied_sn, st.via_standby);
+  }
+
   HistoryRecorder& recorder_;
   cluster::FsClient& client_;
   int index_;

@@ -37,6 +37,7 @@ std::string SerializeSpec(const RunSpec& spec) {
   out << "clients=" << spec.clients << "\n";
   out << "standbys=" << spec.standbys << "\n";
   out << "mutation=" << MutationName(spec.mutation) << "\n";
+  out << "standby_reads=" << (spec.standby_reads ? 1 : 0) << "\n";
   out << "warmup_us=" << spec.warmup << "\n";
   out << "run_us=" << spec.run_for << "\n";
   out << "quiesce_us=" << spec.quiesce << "\n";
@@ -110,6 +111,8 @@ Result<RunSpec> ParseSpec(const std::string& text) {
           if (!ParseMutation(value, &spec.mutation)) {
             return Malformed(line_no, "unknown mutation '" + value + "'");
           }
+        } else if (key == "standby_reads") {
+          spec.standby_reads = std::stoi(value) != 0;
         } else if (key == "warmup_us") {
           spec.warmup = std::stoll(value);
         } else if (key == "run_us") {

@@ -1,21 +1,35 @@
 // FsClient — the file-system client library.
 //
 // Routing: the hash partitioner maps each path to its owner group; the
-// client caches each group's active server and talks to it directly.
-// Failover handling reproduces the paper's "client reconnection" stage
-// (Figure 7): on an RPC timeout or a "not active" rejection the client
-// invalidates its cache, polls the coordination service until the group
-// view exposes a (new) active, pays a reconnection charge (TCP + session
-// setup), and resends the request with the SAME ClientOpId — the server's
-// duplicate suppression makes the retry idempotent, so an operation that
-// committed just before the crash is acknowledged, not re-executed.
+// client caches each group's active server (and standby list) and talks to
+// them directly. Failover handling reproduces the paper's "client
+// reconnection" stage (Figure 7): on an RPC timeout or a "not active"
+// rejection the client invalidates its cache, polls the coordination
+// service until the group view exposes a (new) active, pays a reconnection
+// charge (TCP + session setup), and resends the request with the SAME
+// ClientOpId — the server's duplicate suppression makes the retry
+// idempotent, so an operation that committed just before the crash is
+// acknowledged, not re-executed.
+//
+// Read offload: with ReadRouting::kRoundRobinStandby the client spreads
+// GetFileInfo/ListDir round-robin over the group's live standbys. Session
+// consistency rides the sn machinery: every response carries the
+// responder's applied_sn, the client folds it into a per-group high-water
+// token, and each read is stamped with that token as min_sn. A standby
+// answers only once caught up to min_sn (parking briefly for small gaps),
+// else it bounces the read and the client falls back to the active. A
+// reply whose view epoch is older than the client's knowledge of the group
+// comes from a deposed/renewing replica and is likewise retried at the
+// active.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "coord/client.hpp"
 #include "core/messages.hpp"
@@ -25,11 +39,24 @@
 
 namespace mams::cluster {
 
+/// Where reads are routed. Mutations always go to the active.
+enum class ReadRouting : std::uint8_t {
+  kActiveOnly = 0,       ///< paper baseline: the active serves everything
+  kRoundRobinStandby,    ///< reads round-robin over live standbys
+};
+
 struct FsClientOptions {
   SimTime rpc_timeout = 2 * kSecond;
   SimTime resolve_poll = 200 * kMillisecond;  ///< view polling backoff
   SimTime reconnect_cost = 1500 * kMicrosecond;  ///< TCP + session setup
   int max_attempts = 120;  ///< per op; ~ rpc_timeout * attempts budget
+  ReadRouting read_routing = ReadRouting::kActiveOnly;
+};
+
+/// Per-read routing override (e.g. audit reads that must see the active's
+/// authoritative state rather than a session-consistent standby view).
+struct ReadOptions {
+  bool require_active = false;
 };
 
 /// Per-operation observation for MTTR and throughput measurement.
@@ -41,10 +68,25 @@ struct OpOutcome {
   int attempts = 1;
 };
 
+/// Session-consistency metadata of the most recently completed op (set
+/// just before its callback runs). Closed-loop harnesses — the history
+/// recorder, benches — read this to tag the op they just observed.
+struct OpStamp {
+  SerialNumber applied_sn = 0;  ///< responder's applied sn (0: no response)
+  SerialNumber min_sn = 0;      ///< session floor the request carried
+  bool via_standby = false;     ///< final answer came from a standby
+  NodeId server = kInvalidNode; ///< responder
+};
+
+/// Unit payload for acknowledged mutations: Result<Ack> is "committed" or
+/// an error, with no further data to decode.
+struct Ack {};
+
 class FsClient : public net::Host {
  public:
   using OpCallback = std::function<void(Status)>;
   using InfoCallback = std::function<void(Result<fsns::FileInfo>)>;
+  using ListCallback = std::function<void(Result<std::vector<std::string>>)>;
   using Observer = std::function<void(const OpOutcome&)>;
 
   FsClient(net::Network& network, std::string name, NodeId coord,
@@ -61,24 +103,32 @@ class FsClient : public net::Host {
     return partitioner_;
   }
 
+  /// Session metadata of the last completed op; see OpStamp.
+  const OpStamp& last_stamp() const noexcept { return last_stamp_; }
+  /// This client's high-water applied sn for `group` (its session token).
+  SerialNumber session_sn(GroupId group) const {
+    auto it = session_sn_.find(group);
+    return it == session_sn_.end() ? 0 : it->second;
+  }
+
   // --- metadata operations ---------------------------------------------------
   void Create(const std::string& path, OpCallback done,
               std::uint32_t replication = 3) {
     auto req = NewRequest(core::ClientOp::kCreate, path);
     req->replication = replication;
-    Issue(std::move(req), WrapStatus(std::move(done)));
+    Issue<Ack>(std::move(req), Acked(std::move(done)));
   }
 
   void Mkdir(const std::string& path, OpCallback done) {
     auto req = NewRequest(core::ClientOp::kMkdir, path);
     req->participant_group = partitioner_.OwnerOfDir(path);
-    Issue(std::move(req), WrapStatus(std::move(done)));
+    Issue<Ack>(std::move(req), Acked(std::move(done)));
   }
 
   void Delete(const std::string& path, OpCallback done) {
     auto req = NewRequest(core::ClientOp::kDelete, path);
     req->participant_group = partitioner_.OwnerOfDir(path);
-    Issue(std::move(req), WrapStatus(std::move(done)));
+    Issue<Ack>(std::move(req), Acked(std::move(done)));
   }
 
   void Rename(const std::string& src, const std::string& dst,
@@ -86,79 +136,55 @@ class FsClient : public net::Host {
     auto req = NewRequest(core::ClientOp::kRename, src);
     req->path2 = dst;
     req->participant_group = partitioner_.OwnerOf(dst);
-    Issue(std::move(req), WrapStatus(std::move(done)));
+    Issue<Ack>(std::move(req), Acked(std::move(done)));
   }
 
-  void GetFileInfo(const std::string& path, InfoCallback done) {
-    auto req = NewRequest(core::ClientOp::kGetFileInfo, path);
-    Issue(std::move(req),
-          [done = std::move(done)](
-              Result<std::shared_ptr<const core::ClientResponseMsg>> r) {
-            if (!r.ok()) {
-              done(r.status());
-              return;
-            }
-            const auto& resp = *r.value();
-            if (!resp.ok) {
-              done(Status(resp.code, resp.error));
-              return;
-            }
-            done(resp.info);
-          });
+  void GetFileInfo(const std::string& path, InfoCallback done,
+                   ReadOptions ro = {}) {
+    Issue<fsns::FileInfo>(NewRequest(core::ClientOp::kGetFileInfo, path),
+                          std::move(done), ro);
   }
 
-  void ListDir(const std::string& path,
-               std::function<void(Result<std::vector<std::string>>)> done) {
-    Issue(NewRequest(core::ClientOp::kListDir, path),
-          [done = std::move(done)](
-              Result<std::shared_ptr<const core::ClientResponseMsg>> r) {
-            if (!r.ok()) {
-              done(r.status());
-              return;
-            }
-            const auto& resp = *r.value();
-            if (!resp.ok) {
-              done(Status(resp.code, resp.error));
-              return;
-            }
-            done(resp.listing);
-          });
+  void ListDir(const std::string& path, ListCallback done,
+               ReadOptions ro = {}) {
+    Issue<std::vector<std::string>>(NewRequest(core::ClientOp::kListDir, path),
+                                    std::move(done), ro);
   }
 
   void AddBlock(const std::string& path, OpCallback done) {
-    Issue(NewRequest(core::ClientOp::kAddBlock, path),
-          WrapStatus(std::move(done)));
+    Issue<Ack>(NewRequest(core::ClientOp::kAddBlock, path),
+               Acked(std::move(done)));
   }
 
   void SetReplication(const std::string& path, std::uint32_t replication,
                       OpCallback done) {
     auto req = NewRequest(core::ClientOp::kSetReplication, path);
     req->replication = replication;
-    Issue(std::move(req), WrapStatus(std::move(done)));
+    Issue<Ack>(std::move(req), Acked(std::move(done)));
   }
 
   void SetOwner(const std::string& path, const std::string& owner,
                 OpCallback done) {
     auto req = NewRequest(core::ClientOp::kSetOwner, path);
-    req->path2 = owner;
-    Issue(std::move(req), WrapStatus(std::move(done)));
+    req->owner = owner;
+    Issue<Ack>(std::move(req), Acked(std::move(done)));
   }
 
   void SetPermission(const std::string& path, std::uint16_t permission,
                      OpCallback done) {
     auto req = NewRequest(core::ClientOp::kSetPermission, path);
-    req->replication = permission;
-    Issue(std::move(req), WrapStatus(std::move(done)));
+    req->permission = permission;
+    Issue<Ack>(std::move(req), Acked(std::move(done)));
   }
 
   void SetTimes(const std::string& path, OpCallback done) {
-    Issue(NewRequest(core::ClientOp::kSetTimes, path),
-          WrapStatus(std::move(done)));
+    Issue<Ack>(NewRequest(core::ClientOp::kSetTimes, path),
+               Acked(std::move(done)));
   }
 
   void CompleteFile(const std::string& path, OpCallback done) {
-    Issue(NewRequest(core::ClientOp::kCompleteFile, path),
-          WrapStatus(std::move(done)));
+    Issue<Ack>(NewRequest(core::ClientOp::kCompleteFile, path),
+               Acked(std::move(done)));
   }
 
   struct Counters {
@@ -166,6 +192,10 @@ class FsClient : public net::Host {
     std::uint64_t ops_failed = 0;
     std::uint64_t retries = 0;
     std::uint64_t reconnects = 0;
+    std::uint64_t reads_offloaded = 0;   ///< read attempts sent to a standby
+    std::uint64_t read_bounces = 0;      ///< standby declined (behind floor)
+    std::uint64_t read_fallbacks = 0;    ///< standby unresponsive/unavailable
+    std::uint64_t stale_epoch_rejections = 0;  ///< deposed-replica replies
   };
   const Counters& counters() const noexcept { return counters_; }
 
@@ -173,12 +203,24 @@ class FsClient : public net::Host {
   void OnCrash() override {
     net::Host::OnCrash();
     coord_client_->Stop();
-    active_cache_.clear();
+    targets_.clear();
+    // The session dies with the process: a restarted client starts a new
+    // session with an empty read floor.
+    session_sn_.clear();
+    last_stamp_ = OpStamp{};
   }
 
  private:
-  using RawCallback = std::function<void(
-      Result<std::shared_ptr<const core::ClientResponseMsg>>)>;
+  using RespPtr = std::shared_ptr<const core::ClientResponseMsg>;
+  using RawCallback = std::function<void(Result<RespPtr>)>;
+
+  /// Per-group routing targets learned from the last view resolution,
+  /// refreshed whenever an exchange fails and the view is re-polled.
+  struct GroupTargets {
+    NodeId active = kInvalidNode;
+    std::vector<NodeId> standbys;
+    FenceToken epoch = 0;  ///< highest view epoch observed for the group
+  };
 
   std::shared_ptr<core::ClientRequestMsg> NewRequest(core::ClientOp op,
                                                      const std::string& path) {
@@ -190,16 +232,26 @@ class FsClient : public net::Host {
     return req;
   }
 
-  RawCallback WrapStatus(OpCallback done) {
-    return [done = std::move(done)](
-               Result<std::shared_ptr<const core::ClientResponseMsg>> r) {
-      if (!r.ok()) {
-        done(r.status());
-        return;
-      }
-      const auto& resp = *r.value();
-      done(resp.ok ? Status::Ok() : Status(resp.code, resp.error));
-    };
+  /// The one response-decode point: every op's wire payload becomes a
+  /// typed Result<T> here (Ack for plain mutations, FileInfo / listings
+  /// for the reads), so no caller unwraps resp.ok/resp.code by hand.
+  template <typename T>
+  static Result<T> Decode(const core::ClientResponseMsg& resp) {
+    if (!resp.ok) return Status(resp.code, resp.error);
+    if constexpr (std::is_same_v<T, Ack>) {
+      return Ack{};
+    } else if constexpr (std::is_same_v<T, fsns::FileInfo>) {
+      return resp.info;
+    } else if constexpr (std::is_same_v<T, std::vector<std::string>>) {
+      return resp.listing;
+    } else {
+      static_assert(!sizeof(T), "no decoder for this payload type");
+    }
+  }
+
+  /// Adapts a Status-only completion to the typed pipeline.
+  static std::function<void(Result<Ack>)> Acked(OpCallback done) {
+    return [done = std::move(done)](Result<Ack> r) { done(r.status()); };
   }
 
   struct OpState {
@@ -207,16 +259,41 @@ class FsClient : public net::Host {
     RawCallback done;
     GroupId group = 0;
     OpOutcome outcome;
+    bool require_active = false;  ///< never offload this read
+    bool force_active = false;    ///< offload failed once; stay on active
+    bool via_standby = false;     ///< current attempt targets a standby
+    NodeId target = kInvalidNode;
   };
 
-  void Issue(std::shared_ptr<core::ClientRequestMsg> req, RawCallback done) {
+  template <typename T>
+  void Issue(std::shared_ptr<core::ClientRequestMsg> req,
+             std::function<void(Result<T>)> done, ReadOptions ro = {}) {
     auto state = std::make_shared<OpState>();
     state->group = partitioner_.OwnerOf(req->path);
     state->request = std::move(req);
-    state->done = std::move(done);
+    state->require_active = ro.require_active;
+    if (!core::IsMutation(state->request->op)) {
+      // Session floor fixed at issue time (the shared request must not
+      // mutate between resends): the standby may answer once it has
+      // applied everything this client has already been acked.
+      state->request->min_sn = session_sn(state->group);
+    }
+    state->done = [done = std::move(done)](Result<RespPtr> r) {
+      if (!r.ok()) {
+        done(r.status());
+        return;
+      }
+      done(Decode<T>(*r.value()));
+    };
     state->outcome.op = state->request->op;
     state->outcome.issued = sim().Now();
     Attempt(state);
+  }
+
+  bool Offloadable(const OpState& state) const {
+    return options_.read_routing == ReadRouting::kRoundRobinStandby &&
+           !core::IsMutation(state.request->op) && !state.require_active &&
+           !state.force_active;
   }
 
   void Attempt(const std::shared_ptr<OpState>& state) {
@@ -224,11 +301,19 @@ class FsClient : public net::Host {
       Finish(state, Status::Unavailable("retries exhausted"));
       return;
     }
-    const NodeId active = CachedActive(state->group);
-    if (active == kInvalidNode) {
+    const GroupTargets* targets = FindTargets(state->group);
+    if (targets == nullptr || targets->active == kInvalidNode) {
       Resolve(state);
       return;
     }
+    NodeId target = targets->active;
+    state->via_standby = false;
+    if (Offloadable(*state) && !targets->standbys.empty()) {
+      target = targets->standbys[rr_++ % targets->standbys.size()];
+      state->via_standby = true;
+      ++counters_.reads_offloaded;
+    }
+    state->target = target;
     // One bounded send per cached target: a failed exchange re-resolves
     // the active through the coordination service before resending, so
     // the retry loop lives in Resolve's view-poll policy, not here. The
@@ -238,22 +323,25 @@ class FsClient : public net::Host {
     policy.attempt_timeout = options_.rpc_timeout;
     policy.max_attempts = 1;
     net::RpcCall::Start(
-        *this, active, state->request, policy,
-        [this, state, active](Result<net::MessagePtr> r) {
+        *this, target, state->request, policy,
+        [this, state, target](Result<net::MessagePtr> r) {
+          if (state->via_standby) {
+            OnStandbyReadResult(state, target, std::move(r));
+            return;
+          }
           if (!r.ok()) {
             // Timeout: the active may be gone. Re-resolve and resend.
-            InvalidateActive(state->group, active);
+            InvalidateActive(state->group, target);
             ++counters_.retries;
             ++state->outcome.attempts;
             Resolve(state);
             return;
           }
-          auto resp =
-              std::static_pointer_cast<const core::ClientResponseMsg>(
-                  std::move(r).value());
+          auto resp = std::static_pointer_cast<const core::ClientResponseMsg>(
+              std::move(r).value());
           if (!resp->ok && resp->code == StatusCode::kUnavailable) {
             // "not active" — the group is failing over.
-            InvalidateActive(state->group, active);
+            InvalidateActive(state->group, target);
             ++counters_.retries;
             ++state->outcome.attempts;
             Resolve(state);
@@ -261,6 +349,46 @@ class FsClient : public net::Host {
           }
           Finish(state, std::move(resp));
         });
+  }
+
+  /// A standby exchange never invalidates the cached active: whatever went
+  /// wrong (lagging standby, deposed replica, dead node) the recovery is
+  /// the same — retry this read against the active.
+  void OnStandbyReadResult(const std::shared_ptr<OpState>& state,
+                           NodeId target, Result<net::MessagePtr> r) {
+    auto fall_back = [this, state] {
+      state->force_active = true;
+      ++counters_.retries;
+      ++state->outcome.attempts;
+      Attempt(state);
+    };
+    if (!r.ok()) {
+      ++counters_.read_fallbacks;
+      fall_back();
+      return;
+    }
+    auto resp = std::static_pointer_cast<const core::ClientResponseMsg>(
+        std::move(r).value());
+    auto it = targets_.find(state->group);
+    const FenceToken known_epoch = it == targets_.end() ? 0 : it->second.epoch;
+    if (resp->group_epoch < known_epoch) {
+      // Deposed or renewing replica: its view predates what this client
+      // already learned from the coordination service. Its answer may be
+      // arbitrarily stale; drop it.
+      ++counters_.stale_epoch_rejections;
+      fall_back();
+      return;
+    }
+    if (it != targets_.end() && resp->group_epoch > it->second.epoch) {
+      it->second.epoch = resp->group_epoch;
+    }
+    if (resp->bounced || (!resp->ok && resp->code == StatusCode::kUnavailable)) {
+      // Behind the session floor, overloaded, or no longer a standby.
+      ++counters_.read_bounces;
+      fall_back();
+      return;
+    }
+    Finish(state, std::move(resp));
   }
 
   /// Polls the coordination service until the group exposes an active,
@@ -287,9 +415,13 @@ class FsClient : public net::Host {
             Finish(state, Status::Unavailable("no active (failing over)"));
             return;
           }
-          const NodeId active = r.value().FindActive();
-          const bool fresh = CachedActive(state->group) != active;
-          active_cache_[state->group] = active;
+          const coord::GroupView& view = r.value();
+          GroupTargets& targets = targets_[state->group];
+          const NodeId active = view.FindActive();
+          const bool fresh = targets.active != active;
+          targets.active = active;
+          targets.standbys = view.Standbys();
+          targets.epoch = std::max(targets.epoch, view.fence_token);
           if (fresh) {
             ++counters_.reconnects;
             // Latency-model charge for TCP + session setup on a fresh
@@ -302,8 +434,7 @@ class FsClient : public net::Host {
         });
   }
 
-  void Finish(const std::shared_ptr<OpState>& state,
-              Result<std::shared_ptr<const core::ClientResponseMsg>> result) {
+  void Finish(const std::shared_ptr<OpState>& state, Result<RespPtr> result) {
     state->outcome.completed = sim().Now();
     state->outcome.ok = result.ok() && result.value()->ok;
     if (state->outcome.ok) {
@@ -311,19 +442,31 @@ class FsClient : public net::Host {
     } else {
       ++counters_.ops_failed;
     }
+    last_stamp_ = OpStamp{};
+    last_stamp_.min_sn = state->request->min_sn;
+    if (result.ok()) {
+      const core::ClientResponseMsg& resp = *result.value();
+      // Fold the responder's applied sn into the session token: later
+      // reads must observe at least this much of the journal.
+      SerialNumber& token = session_sn_[state->group];
+      token = std::max(token, resp.applied_sn);
+      last_stamp_.applied_sn = resp.applied_sn;
+      last_stamp_.via_standby = state->via_standby;
+      last_stamp_.server = state->target;
+    }
     if (observer_) observer_(state->outcome);
     state->done(std::move(result));
   }
 
-  NodeId CachedActive(GroupId group) const {
-    auto it = active_cache_.find(group);
-    return it == active_cache_.end() ? kInvalidNode : it->second;
+  const GroupTargets* FindTargets(GroupId group) const {
+    auto it = targets_.find(group);
+    return it == targets_.end() ? nullptr : &it->second;
   }
 
   void InvalidateActive(GroupId group, NodeId stale) {
-    auto it = active_cache_.find(group);
-    if (it != active_cache_.end() && it->second == stale) {
-      active_cache_.erase(it);
+    auto it = targets_.find(group);
+    if (it != targets_.end() && it->second.active == stale) {
+      it->second.active = kInvalidNode;
     }
   }
 
@@ -331,9 +474,12 @@ class FsClient : public net::Host {
   FsClientOptions options_;
   Rng rng_;
   std::unique_ptr<coord::CoordClient> coord_client_;
-  std::map<GroupId, NodeId> active_cache_;
+  std::map<GroupId, GroupTargets> targets_;
+  std::map<GroupId, SerialNumber> session_sn_;
+  std::uint64_t rr_ = 0;  ///< round-robin cursor over standbys
   std::uint64_t op_seq_ = 0;
   Observer observer_;
+  OpStamp last_stamp_;
   Counters counters_;
 };
 

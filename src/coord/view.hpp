@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
@@ -36,6 +37,17 @@ struct GroupView {
     int n = 0;
     for (const auto& [node, state] : states) n += (state == s);
     return n;
+  }
+
+  /// Members currently advertised as hot standbys, in node order. The
+  /// client's read-routing policy round-robins over this list; juniors and
+  /// down members never serve reads.
+  std::vector<NodeId> Standbys() const {
+    std::vector<NodeId> out;
+    for (const auto& [node, state] : states) {
+      if (state == ServerState::kStandby) out.push_back(node);
+    }
+    return out;
   }
 
   ServerState StateOf(NodeId node) const {

@@ -69,9 +69,14 @@ MdsServer::MdsServer(net::Network& network, std::string name,
   m_.resolve_cache_misses = metrics.counter("mds.resolve_cache_misses");
   m_.resolve_cache_invalidations =
       metrics.counter("mds.resolve_cache_invalidations");
+  m_.standby_reads_served = metrics.counter("mds.standby_reads_served");
+  m_.standby_reads_parked = metrics.counter("mds.standby_reads_parked");
+  m_.standby_reads_bounced = metrics.counter("mds.standby_reads_bounced");
   m_.sync_batch_ns = metrics.histogram("mds.sync_batch_ns");
   m_.batch_records = metrics.histogram("mds.batch_records");
   m_.resolve_ns = metrics.histogram("mds.resolve_ns");
+  m_.standby_read_staleness_sn =
+      metrics.histogram("mds.standby_read_staleness_sn");
   m_.last_sn = metrics.gauge("mds.last_sn." + this->name());
   tree_.SetResolveCacheCapacity(options_.resolve_cache_capacity);
   coord_client_ = std::make_unique<coord::CoordClient>(
@@ -217,6 +222,9 @@ void MdsServer::OnCrash() {
   recent_batches_.clear();
   pending_batches_.clear();
   backfill_inflight_ = false;
+  // Parked reads die with the process; the clients' RPC layer times the
+  // requests out and falls back to the active.
+  parked_reads_.clear();
   inflight_tx_ = 0;
   tx_queue_.clear();
   election_in_progress_ = false;
@@ -249,6 +257,9 @@ void MdsServer::BecomeRole(ServerState role) {
   // Role flips are the node-local analogue of a view flip: re-check every
   // registered invariant (e.g. "at most one active per group").
   obs_->probes().Evaluate();
+  // A replica that stops being a standby can no longer promise
+  // session-consistent reads; bounce whatever is parked.
+  if (role != ServerState::kStandby) FlushParkedReads("role change");
   if (role == ServerState::kActive) {
     if (directory_ != nullptr) {
       directory_->active_of[options_.group] = id();
@@ -726,11 +737,18 @@ SimTime MdsServer::ChargeCpu(SimTime cost) {
   return cpu_free_at_ - sim().Now();
 }
 
+void MdsServer::StampReply(ClientResponseMsg& out,
+                           SerialNumber applied_sn) const {
+  out.applied_sn = applied_sn;
+  out.group_epoch = view_.fence_token;
+}
+
 void MdsServer::ReplyStatus(const ReplyFn& reply, const Status& status) {
   auto out = std::make_shared<ClientResponseMsg>();
   out->ok = status.ok();
   out->code = status.code();
   out->error = status.message();
+  StampReply(*out, last_sn_);
   reply(out);
 }
 
@@ -764,10 +782,97 @@ void MdsServer::HandleClientRequest(const net::Envelope&,
   }
 
   if (role_ != ServerState::kActive) {
+    // Session-consistent read offload: a standby answers reads itself once
+    // its applied sn has caught up to the client's session floor.
+    if (role_ == ServerState::kStandby && options_.standby_reads.serve_reads &&
+        !IsMutation(req->op)) {
+      HandleStandbyRead(req, reply);
+      return;
+    }
     ReplyStatus(reply, Status::Unavailable("not active"));
     return;
   }
   ProcessClientRequest(req, reply);
+}
+
+// --- standby read offload ----------------------------------------------------
+
+void MdsServer::HandleStandbyRead(
+    const std::shared_ptr<const ClientRequestMsg>& req, const ReplyFn& reply) {
+  const StandbyReadOptions& sr = options_.standby_reads;
+  const SerialNumber min_sn =
+      options_.test_hooks.ignore_min_sn ? 0 : req->min_sn;
+  // Staleness as seen at arrival: how far this standby's applied journal
+  // trails the client's session floor (0 when already caught up).
+  m_.standby_read_staleness_sn->Record(
+      req->min_sn > last_sn_ ? req->min_sn - last_sn_ : 0);
+  if (last_sn_ >= min_sn) {
+    ServeStandbyRead(req, reply);
+    return;
+  }
+  const SerialNumber gap = min_sn - last_sn_;
+  if (gap > sr.max_park_gap || parked_reads_.size() >= sr.max_parked) {
+    BounceRead(reply, "standby behind session floor");
+    return;
+  }
+  // Small gap: park until the journal intake applies up to min_sn, with a
+  // deadline so a read never waits out a genuinely lagging replica.
+  ++counters_.standby_reads_parked;
+  m_.standby_reads_parked->Add();
+  const std::uint64_t token = ++parked_token_seq_;
+  parked_reads_.emplace(min_sn, ParkedRead{req, reply, token});
+  AfterLocal(sr.max_park_wait, [this, token] {
+    for (auto it = parked_reads_.begin(); it != parked_reads_.end(); ++it) {
+      if (it->second.token != token) continue;
+      ReplyFn reply = std::move(it->second.reply);
+      parked_reads_.erase(it);
+      BounceRead(reply, "parked read timed out");
+      return;
+    }
+  });
+}
+
+void MdsServer::ServeStandbyRead(
+    const std::shared_ptr<const ClientRequestMsg>& req, const ReplyFn& reply) {
+  const SimTime cost = req->op == ClientOp::kListDir
+                           ? options_.costs.listdir
+                           : options_.costs.getfileinfo;
+  AfterLocal(ChargeCpu(cost), [this, req, reply] {
+    // Re-check: the role may have flipped while the read queued on the CPU.
+    if (role_ != ServerState::kStandby) {
+      BounceRead(reply, "no longer standby");
+      return;
+    }
+    ++counters_.standby_reads_served;
+    m_.standby_reads_served->Add();
+    ExecuteRead(*req, reply);
+  });
+}
+
+void MdsServer::BounceRead(const ReplyFn& reply, const char* why) {
+  ++counters_.standby_reads_bounced;
+  m_.standby_reads_bounced->Add();
+  auto out = std::make_shared<ClientResponseMsg>();
+  out->ok = false;
+  out->code = StatusCode::kUnavailable;
+  out->error = why;
+  out->bounced = true;
+  StampReply(*out, last_sn_);
+  reply(out);
+}
+
+void MdsServer::DrainParkedReads() {
+  while (!parked_reads_.empty() && parked_reads_.begin()->first <= last_sn_) {
+    auto node = parked_reads_.extract(parked_reads_.begin());
+    ServeStandbyRead(node.mapped().req, node.mapped().reply);
+  }
+}
+
+void MdsServer::FlushParkedReads(const char* why) {
+  while (!parked_reads_.empty()) {
+    auto node = parked_reads_.extract(parked_reads_.begin());
+    BounceRead(node.mapped().reply, why);
+  }
 }
 
 void MdsServer::ProcessClientRequest(
@@ -914,6 +1019,7 @@ void MdsServer::ExecuteRead(const ClientRequestMsg& req, const ReplyFn& reply) {
                             std::chrono::steady_clock::now() - resolve_begin)
                             .count());
   PublishCacheStats();
+  StampReply(*out, last_sn_);
   reply(out);
 }
 
@@ -945,12 +1051,10 @@ void MdsServer::ExecuteMutation(
       rec = tree_.CompleteFile(req->path, now, req->client);
       break;
     case ClientOp::kSetOwner:
-      rec = tree_.SetOwner(req->path, req->path2, now, req->client);
+      rec = tree_.SetOwner(req->path, req->owner, now, req->client);
       break;
     case ClientOp::kSetPermission:
-      rec = tree_.SetPermission(
-          req->path, static_cast<std::uint16_t>(req->replication), now,
-          req->client);
+      rec = tree_.SetPermission(req->path, req->permission, now, req->client);
       break;
     case ClientOp::kSetTimes:
       rec = tree_.SetTimes(req->path, now, req->client);
@@ -1255,6 +1359,8 @@ void MdsServer::ApplyBatch(const journal::Batch& batch) {
   m_.last_sn->Set(static_cast<std::int64_t>(last_sn_));
   recent_batches_.push_back(batch);
   if (recent_batches_.size() > kRecentBatchCap) recent_batches_.pop_front();
+  // Reads parked on this sn (or earlier) can be answered now.
+  DrainParkedReads();
 }
 
 void MdsServer::RequestBackfill(NodeId from) {
@@ -1373,8 +1479,18 @@ void MdsServer::FinishRenewTarget(NodeId junior, SerialNumber reported_sn) {
 // --- renewing protocol: junior side ----------------------------------------------
 
 void MdsServer::HandleRenewCommand(const net::MessagePtr& msg) {
-  if (role_ != ServerState::kJunior) return;
   const auto& cmd = net::Cast<RenewCommandMsg>(msg);
+  if (role_ == ServerState::kStandby && cmd.fence >= view_.fence_token) {
+    // The active only renews nodes the view classifies as juniors. If we
+    // still think we are a standby, our demotion watch event was lost in
+    // a partition (watch pushes are fire-and-forget) — re-fetch the view
+    // and reconcile instead of ignoring the command forever.
+    coord_client_->GetView(options_.group, [this](Result<coord::GroupView> r) {
+      if (r.ok()) OnWatchEvent(r.value());
+    });
+    return;
+  }
+  if (role_ != ServerState::kJunior) return;
   renew_.target_sn = cmd.active_sn;
   if (renew_.running) return;  // resume in place; new target noted
   renew_.running = true;

@@ -101,6 +101,9 @@ class MdsServer : public net::Host {
     std::uint64_t renews_completed = 0;
     std::uint64_t fenced_rejections = 0;
     std::uint64_t buffered_during_upgrade = 0;
+    std::uint64_t standby_reads_served = 0;
+    std::uint64_t standby_reads_parked = 0;
+    std::uint64_t standby_reads_bounced = 0;
   };
   const Counters& counters() const noexcept { return counters_; }
 
@@ -134,6 +137,19 @@ class MdsServer : public net::Host {
   void ExecuteRead(const ClientRequestMsg& req, const ReplyFn& reply);
   SimTime ChargeCpu(SimTime cost);
   void ReplyStatus(const ReplyFn& reply, const Status& status);
+  /// Stamps every client-visible reply with this server's applied sn and
+  /// view epoch (the session-consistency metadata of the standby read
+  /// path). Write acks may pass an explicit sn the mutation committed at.
+  void StampReply(ClientResponseMsg& out, SerialNumber applied_sn) const;
+
+  // --- standby: session-consistent read offload -----------------------------
+  void HandleStandbyRead(const std::shared_ptr<const ClientRequestMsg>& req,
+                         const ReplyFn& reply);
+  void ServeStandbyRead(const std::shared_ptr<const ClientRequestMsg>& req,
+                        const ReplyFn& reply);
+  void BounceRead(const ReplyFn& reply, const char* why);
+  void DrainParkedReads();
+  void FlushParkedReads(const char* why);
 
   // --- active: journal sync (modified 2PC) ---------------------------------
   void OnBatchSealed(journal::Batch batch);
@@ -237,6 +253,18 @@ class MdsServer : public net::Host {
   std::map<SerialNumber, journal::Batch> pending_batches_;
   bool backfill_inflight_ = false;
 
+  // --- standby-side parked reads ---------------------------------------------
+  /// Reads whose min_sn is slightly ahead of last_sn_, keyed by the sn they
+  /// are waiting for; drained as batches apply, bounced on timeout or role
+  /// change. Volatile: cleared on crash like every queue here.
+  struct ParkedRead {
+    std::shared_ptr<const ClientRequestMsg> req;
+    ReplyFn reply;
+    std::uint64_t token = 0;  ///< identifies the entry to its timeout timer
+  };
+  std::multimap<SerialNumber, ParkedRead> parked_reads_;
+  std::uint64_t parked_token_seq_ = 0;
+
   // --- election/upgrade state -------------------------------------------------
   bool election_in_progress_ = false;
   bool upgrade_in_progress_ = false;
@@ -292,9 +320,13 @@ class MdsServer : public net::Host {
     obs::Counter* resolve_cache_hits;
     obs::Counter* resolve_cache_misses;
     obs::Counter* resolve_cache_invalidations;
+    obs::Counter* standby_reads_served;
+    obs::Counter* standby_reads_parked;
+    obs::Counter* standby_reads_bounced;
     obs::Histogram* sync_batch_ns;
     obs::Histogram* batch_records;
     obs::Histogram* resolve_ns;
+    obs::Histogram* standby_read_staleness_sn;
     obs::Gauge* last_sn;
   } m_{};
   /// Publishes the tree's cumulative resolve-cache stats into the metrics

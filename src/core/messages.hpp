@@ -51,8 +51,14 @@ constexpr bool IsDistributedTx(ClientOp op) noexcept {
 struct ClientRequestMsg final : net::Message {
   ClientOp op = ClientOp::kGetFileInfo;
   std::string path;
-  std::string path2;          ///< rename dst; owner for kSetOwner
-  std::uint32_t replication = 1;  ///< also permission bits for kSetPermission
+  std::string path2;              ///< rename destination
+  std::uint32_t replication = 1;  ///< kSetReplication / kCreate
+  std::uint16_t permission = 0;   ///< kSetPermission
+  std::string owner;              ///< kSetOwner
+  /// Session-consistency floor for reads: the client's high-water applied
+  /// sn for this group. A standby may answer only once its applied sn has
+  /// reached this value; the active ignores it (it is always current).
+  SerialNumber min_sn = 0;
   ClientOpId client;
   /// Set on cross-group coordination legs (participant side of a tx);
   /// participants only validate/charge, they do not mutate.
@@ -64,7 +70,7 @@ struct ClientRequestMsg final : net::Message {
 
   net::MsgType type() const noexcept override { return net::kClientRequest; }
   std::size_t ByteSize() const noexcept override {
-    return 96 + path.size() + path2.size();
+    return 96 + path.size() + path2.size() + owner.size();
   }
 };
 
@@ -74,6 +80,17 @@ struct ClientResponseMsg final : net::Message {
   std::string error;
   fsns::FileInfo info;                 ///< kGetFileInfo
   std::vector<std::string> listing;    ///< kListDir
+  /// Serial number of the responder's last applied batch. Write acks carry
+  /// the sn the mutation committed at (or later); the client folds it into
+  /// its per-group session token.
+  SerialNumber applied_sn = 0;
+  /// Responder's view epoch (the group's fence token as the responder knows
+  /// it). A reply stamped with an epoch older than the client's view of the
+  /// group comes from a deposed/renewing replica and is rejected.
+  FenceToken group_epoch = 0;
+  /// Standby could not serve the read at the requested min_sn and the
+  /// client should retry against the active.
+  bool bounced = false;
 
   net::MsgType type() const noexcept override { return net::kClientResponse; }
   std::size_t ByteSize() const noexcept override {

@@ -41,6 +41,26 @@ struct TestHooks {
   /// Skip the fence-token comparison on journal intake, as if IO fencing
   /// did not exist: a deposed active's replication traffic is accepted.
   bool disable_fencing = false;
+  /// Standby serves reads regardless of the request's min_sn session floor,
+  /// as if the session-consistency token did not exist: a lagging standby
+  /// hands out stale state the client already wrote past.
+  bool ignore_min_sn = false;
+};
+
+/// Standby read offload (session-consistent reads against hot standbys).
+struct StandbyReadOptions {
+  /// Master switch: standbys answer GetFileInfo/ListDir instead of
+  /// bouncing every client request to the active.
+  bool serve_reads = false;
+  /// A read whose min_sn is at most this many batches ahead of the
+  /// standby's applied sn parks in a wait-queue until the gap closes;
+  /// larger gaps bounce to the active immediately.
+  SerialNumber max_park_gap = 64;
+  /// Bound on the parked-read queue; overflow bounces.
+  std::size_t max_parked = 64;
+  /// A parked read that has not been satisfied after this long bounces to
+  /// the active (the standby is lagging, not merely behind by one sync).
+  SimTime max_park_wait = 500 * kMillisecond;
 };
 
 struct MdsOptions {
@@ -148,6 +168,10 @@ struct MdsOptions {
   double image_inflation = 1.0;
 
   OpCosts costs;
+
+  /// Session-consistent read offload to standbys (off by default; the
+  /// paper's active serves all client traffic).
+  StandbyReadOptions standby_reads;
 
   /// Deliberate-fault switches for checker self-tests; see TestHooks.
   TestHooks test_hooks;

@@ -1,10 +1,18 @@
 // A uniform facade over the two client types (CFS FsClient and the
 // baseline client) so workload drivers and the MapReduce simulator run
 // unchanged against every system in the comparison figures.
+//
+// The getters are typed: getfileinfo completes with Result<FileInfo> and
+// listdir with Result<vector<string>>, exactly as the underlying FsClient
+// reports them — drivers that only need a Status adapt at the call site
+// instead of the facade downcasting for everyone. Ops a backend does not
+// implement are declared by capability flag (has_listdir/has_add_block),
+// never by probing whether a std::function happens to be set.
 #pragma once
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "baselines/client.hpp"
 #include "cluster/client.hpp"
@@ -13,15 +21,22 @@ namespace mams::workload {
 
 struct ClientApi {
   using Cb = std::function<void(Status)>;
+  using InfoCb = std::function<void(Result<fsns::FileInfo>)>;
+  using ListCb = std::function<void(Result<std::vector<std::string>>)>;
+
   std::function<void(const std::string&, Cb)> create;
   std::function<void(const std::string&, Cb)> mkdir;
   std::function<void(const std::string&, Cb)> remove;
   std::function<void(const std::string&, const std::string&, Cb)> rename;
-  std::function<void(const std::string&, Cb)> getfileinfo;
-  // Optional (the baseline client does not expose them); drivers fall back
-  // to getfileinfo when unset so every Mix runs against every system.
-  std::function<void(const std::string&, Cb)> listdir;
+  std::function<void(const std::string&, InfoCb)> getfileinfo;
+  std::function<void(const std::string&, ListCb)> listdir;
   std::function<void(const std::string&, Cb)> add_block;
+
+  // Capability flags: which optional ops this backend implements. Drivers
+  // consult these (and fall back to getfileinfo, the universal read) so
+  // every Mix runs against every system.
+  bool has_listdir = false;
+  bool has_add_block = false;
 };
 
 inline ClientApi MakeApi(cluster::FsClient& client) {
@@ -39,20 +54,17 @@ inline ClientApi MakeApi(cluster::FsClient& client) {
                          ClientApi::Cb cb) {
     client.Rename(s, d, std::move(cb));
   };
-  api.getfileinfo = [&client](const std::string& p, ClientApi::Cb cb) {
-    client.GetFileInfo(p, [cb = std::move(cb)](Result<fsns::FileInfo> r) {
-      cb(r.ok() ? Status::Ok() : r.status());
-    });
+  api.getfileinfo = [&client](const std::string& p, ClientApi::InfoCb cb) {
+    client.GetFileInfo(p, std::move(cb));
   };
-  api.listdir = [&client](const std::string& p, ClientApi::Cb cb) {
-    client.ListDir(p,
-                   [cb = std::move(cb)](Result<std::vector<std::string>> r) {
-                     cb(r.ok() ? Status::Ok() : r.status());
-                   });
+  api.listdir = [&client](const std::string& p, ClientApi::ListCb cb) {
+    client.ListDir(p, std::move(cb));
   };
   api.add_block = [&client](const std::string& p, ClientApi::Cb cb) {
     client.AddBlock(p, std::move(cb));
   };
+  api.has_listdir = true;
+  api.has_add_block = true;
   return api;
 }
 
@@ -71,9 +83,19 @@ inline ClientApi MakeApi(baselines::BaselineClient& client) {
                          ClientApi::Cb cb) {
     client.Rename(s, d, std::move(cb));
   };
-  api.getfileinfo = [&client](const std::string& p, ClientApi::Cb cb) {
-    client.GetFileInfo(p, std::move(cb));
+  // The baseline client is a timing model: its getfileinfo acknowledges
+  // without metadata, so success maps to an empty FileInfo.
+  api.getfileinfo = [&client](const std::string& p, ClientApi::InfoCb cb) {
+    client.GetFileInfo(p, [cb = std::move(cb)](Status s) {
+      if (s.ok()) {
+        cb(fsns::FileInfo{});
+      } else {
+        cb(std::move(s));
+      }
+    });
   };
+  // has_listdir/has_add_block stay false: drivers fall back to
+  // getfileinfo for those ops.
   return api;
 }
 

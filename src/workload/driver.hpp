@@ -87,6 +87,14 @@ class Driver {
   void ResetMttrProbe() { probe_ = MttrProbe{}; }
 
  private:
+  /// The driver measures service outcomes, not payloads: a typed read
+  /// result collapses to its Status here.
+  static ClientApi::InfoCb InfoDone(std::function<void(Status)> done) {
+    return [done = std::move(done)](Result<fsns::FileInfo> r) {
+      done(r.status());
+    };
+  }
+
   void IssueNext(int session) {
     if (!running_) return;
     const Op op = streams_[session]->Next();
@@ -108,13 +116,23 @@ class Driver {
         api_.rename(op.path, op.path2, done);
         break;
       case OpKind::kGetFileInfo:
-        api_.getfileinfo(op.path, done);
+        api_.getfileinfo(op.path, InfoDone(done));
         break;
       case OpKind::kListDir:
-        (api_.listdir ? api_.listdir : api_.getfileinfo)(op.path, done);
+        if (api_.has_listdir) {
+          api_.listdir(op.path, [done](Result<std::vector<std::string>> r) {
+            done(r.status());
+          });
+        } else {
+          api_.getfileinfo(op.path, InfoDone(done));
+        }
         break;
       case OpKind::kAddBlock:
-        (api_.add_block ? api_.add_block : api_.getfileinfo)(op.path, done);
+        if (api_.has_add_block) {
+          api_.add_block(op.path, done);
+        } else {
+          api_.getfileinfo(op.path, InfoDone(done));
+        }
         break;
     }
   }

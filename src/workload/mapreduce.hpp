@@ -88,8 +88,8 @@ class MapReduceJob {
   void StartMap(int task) {
     // Task start: resolve the split's metadata. A failover mid-job parks
     // the task right here until the client reconnects.
-    api_.getfileinfo(SplitPath(task), [this, task](Status s) {
-      if (!s.ok()) {
+    api_.getfileinfo(SplitPath(task), [this, task](Result<fsns::FileInfo> r) {
+      if (!r.ok()) {
         // The client library exhausted retries (long outage): back off and
         // retry the task, like the JobTracker re-scheduling an attempt.
         sim_.After(2 * kSecond, [this, task] { StartMap(task); });

@@ -289,6 +289,95 @@ TEST(CheckerTest, AmbiguousReadConstrainsNothing) {
   EXPECT_TRUE(r.linearizable);
 }
 
+// --- standby-read session-consistency checks --------------------------------
+
+/// Marks an already-built event as a standby-served read with its session
+/// token metadata.
+void MarkStandby(HistoryBuilder& b, std::uint32_t id, SerialNumber min_sn,
+                 SerialNumber observed_sn) {
+  Event& e = b.history.events()[id];
+  e.via_standby = true;
+  e.min_sn = min_sn;
+  e.observed_sn = observed_sn;
+}
+
+TEST(CheckerTest, StandbyReadBelowSessionFloorIsFlagged) {
+  // The token check alone: a standby answered from an applied sn below
+  // the floor the read carried — stale even if the value happens to
+  // match (the min_sn-ignoring mutation produces exactly this).
+  HistoryBuilder b;
+  b.Op(0, OpKind::kCreate, "/a/f", 0, 10, Outcome::kOk);
+  const std::uint32_t r1 =
+      b.Op(0, OpKind::kGetFileInfo, "/a/f", 20, 30, Outcome::kOk,
+           StatusCode::kOk, FreshFileView());
+  MarkStandby(b, r1, /*min_sn=*/3, /*observed_sn=*/1);
+  const CheckResult r = CheckHistory(b.history);
+  ASSERT_TRUE(r.decided);
+  EXPECT_FALSE(r.linearizable);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].type, Violation::Type::kStaleRead);
+}
+
+TEST(CheckerTest, StandbyReadMissingOwnWriteIsFlagged) {
+  // Tokens look fine but the value breaks read-your-writes: the client
+  // deleted the file, yet a standby still shows it.
+  HistoryBuilder b;
+  b.Op(0, OpKind::kCreate, "/a/f", 0, 10, Outcome::kOk);
+  b.Op(0, OpKind::kDelete, "/a/f", 20, 30, Outcome::kOk);
+  const std::uint32_t r1 =
+      b.Op(0, OpKind::kGetFileInfo, "/a/f", 40, 50, Outcome::kOk,
+           StatusCode::kOk, FreshFileView());
+  MarkStandby(b, r1, /*min_sn=*/2, /*observed_sn=*/2);
+  const CheckResult r = CheckHistory(b.history);
+  ASSERT_TRUE(r.decided);
+  EXPECT_FALSE(r.linearizable);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].type, Violation::Type::kStaleRead);
+}
+
+TEST(CheckerTest, StaleStandbyReadFromAnotherSessionIsLegal) {
+  // A standby read that lags ANOTHER client's completed write is allowed
+  // — session consistency only promises read-your-writes per session.
+  // The same shape served by the active (via_standby unset) is a stale
+  // read (see StaleReadIsFlagged above).
+  HistoryBuilder b;
+  b.Op(0, OpKind::kCreate, "/a/f", 0, 10, Outcome::kOk);
+  b.Op(0, OpKind::kDelete, "/a/f", 20, 30, Outcome::kOk);
+  const std::uint32_t r1 =
+      b.Op(1, OpKind::kGetFileInfo, "/a/f", 40, 50, Outcome::kOk,
+           StatusCode::kOk, FreshFileView());
+  MarkStandby(b, r1, /*min_sn=*/0, /*observed_sn=*/1);
+  const CheckResult r = CheckHistory(b.history);
+  EXPECT_TRUE(r.decided);
+  EXPECT_TRUE(r.linearizable) << FormatViolation(
+      b.history, r.violations.empty() ? Violation{} : r.violations[0]);
+}
+
+TEST(CheckerTest, StandbyReadsGoingBackwardsAreFlagged) {
+  // Monotonic reads within one session: once a read observed the block
+  // append, a later read in the same session cannot observe the
+  // pre-append state again. Block counts pin each read to a unique
+  // prefix of the witness, so no session-consistent assignment exists.
+  HistoryBuilder b;
+  b.Op(0, OpKind::kCreate, "/a/f", 0, 10, Outcome::kOk);
+  b.Op(0, OpKind::kAddBlock, "/a/f", 20, 30, Outcome::kOk);
+  ReadView appended = FreshFileView();
+  appended.block_count = 1;
+  const std::uint32_t r1 =
+      b.Op(1, OpKind::kGetFileInfo, "/a/f", 40, 50, Outcome::kOk,
+           StatusCode::kOk, appended);
+  MarkStandby(b, r1, /*min_sn=*/0, /*observed_sn=*/2);
+  const std::uint32_t r2 =
+      b.Op(1, OpKind::kGetFileInfo, "/a/f", 60, 70, Outcome::kOk,
+           StatusCode::kOk, FreshFileView());
+  MarkStandby(b, r2, /*min_sn=*/0, /*observed_sn=*/2);
+  const CheckResult r = CheckHistory(b.history);
+  ASSERT_TRUE(r.decided);
+  EXPECT_FALSE(r.linearizable);
+  ASSERT_FALSE(r.violations.empty());
+  EXPECT_EQ(r.violations[0].type, Violation::Type::kStaleRead);
+}
+
 // --- fuzzer determinism and .repro round-trips ------------------------------
 
 TEST(FuzzerTest, ReplayIsDeterministic) {
@@ -304,6 +393,7 @@ TEST(FuzzerTest, ReplayIsDeterministic) {
 TEST(ReproTest, SerializeParseRoundTrip) {
   RunSpec spec = MakeSpec(5);
   spec.mutation = Mutation::kNoSnDedup;
+  spec.standby_reads = true;
   const std::string text = SerializeSpec(spec);
   const Result<RunSpec> parsed = ParseSpec(text);
   ASSERT_TRUE(parsed.ok()) << parsed.status().message();
@@ -374,6 +464,40 @@ TEST(MutationSelfTest, MissingFencingIsCaught) {
   // Split-brain needs a partitioned-but-serving active plus a stale-cache
   // client; a few percent of seeds hit it, 60 covers the known hits.
   MutationSelfTest(Mutation::kNoFencing, 60);
+}
+
+TEST(MutationSelfTest, IgnoredMinSnIsCaught) {
+  // A standby that answers below the session floor needs a read to land
+  // on it while it lags the reader's own acked writes; ~10% of seeds hit
+  // it (kIgnoreMinSn forces standby-read offload on in RunSpecOnce).
+  MutationSelfTest(Mutation::kIgnoreMinSn, 40);
+}
+
+// --- standby read offload under faults ---------------------------------------
+
+TEST(StandbyReadSweepTest, SessionConsistentOffloadYieldsNoViolations) {
+  // Read-heavy traffic routed round-robin over the standbys, with faults:
+  // every standby-served read must match a session-consistent prefix of
+  // the witness linearization, and write acks through failover must keep
+  // the session floor intact.
+  FuzzProfile profile;
+  profile.standby_reads = true;
+  profile.ops_per_client = 30;
+  profile.mix.create = 0.30;
+  profile.mix.rename = 0.08;
+  profile.mix.remove = 0.07;
+  profile.mix.getfileinfo = 0.35;
+  profile.mix.listdir = 0.15;
+  profile.mix.add_block = 0.05;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const RunSpec spec = MakeSpec(seed, profile);
+    ASSERT_TRUE(spec.standby_reads);
+    const RunResult result = RunSpecOnce(spec);
+    EXPECT_TRUE(result.check.decided) << "seed " << seed;
+    ASSERT_FALSE(result.violated())
+        << "seed " << seed << ": "
+        << FormatViolation(result.history, result.violations[0]);
+  }
 }
 
 // --- rename/delete storms across failover -----------------------------------

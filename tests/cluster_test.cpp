@@ -5,6 +5,7 @@
 // transparent retry, and multi-failure scenarios (Table II).
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,7 +22,8 @@ namespace {
 class ClusterTest : public ::testing::Test {
  protected:
   void Build(GroupId groups, int standbys, std::uint64_t seed = 7,
-             int juniors = 0) {
+             int juniors = 0,
+             const std::function<void(CfsConfig&)>& tweak = {}) {
     sim_ = std::make_unique<sim::Simulator>(seed);
     net_ = std::make_unique<net::Network>(*sim_);
     CfsConfig cfg;
@@ -30,6 +32,7 @@ class ClusterTest : public ::testing::Test {
     cfg.juniors_per_group = juniors;
     cfg.data_servers = 2;
     cfg.clients = 2;
+    if (tweak) tweak(cfg);
     cluster_ = std::make_unique<CfsCluster>(*net_, cfg);
     cluster_->Start();
     // Let the deployment settle (registrations, lock grant, watches).
@@ -59,6 +62,36 @@ class ClusterTest : public ::testing::Test {
     });
     testutil::WaitFor(*sim_, [&] { return done; }, 60 * kSecond);
     return out;
+  }
+
+  Result<fsns::FileInfo> StatSync(const std::string& path, int client = 0) {
+    Result<fsns::FileInfo> out = Status::TimedOut("no reply");
+    bool done = false;
+    cluster_->client(client).GetFileInfo(path, [&](Result<fsns::FileInfo> r) {
+      out = std::move(r);
+      done = true;
+    });
+    testutil::WaitFor(*sim_, [&] { return done; }, 60 * kSecond);
+    return out;
+  }
+
+  Result<std::vector<std::string>> ListSync(const std::string& path,
+                                            int client = 0) {
+    Result<std::vector<std::string>> out = Status::TimedOut("no reply");
+    bool done = false;
+    cluster_->client(client).ListDir(path,
+                                     [&](Result<std::vector<std::string>> r) {
+                                       out = std::move(r);
+                                       done = true;
+                                     });
+    testutil::WaitFor(*sim_, [&] { return done; }, 60 * kSecond);
+    return out;
+  }
+
+  /// Enables session-consistent standby read offload cluster-wide.
+  static void EnableStandbyReads(CfsConfig& cfg) {
+    cfg.mds.standby_reads.serve_reads = true;
+    cfg.client.read_routing = ReadRouting::kRoundRobinStandby;
   }
 
   std::unique_ptr<sim::Simulator> sim_;
@@ -372,6 +405,60 @@ TEST_P(FailoverPropertyTest, SingleActivePerGroupAlwaysRestoredAndStateIntact) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FailoverPropertyTest,
                          ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// --- session-consistent standby read offload --------------------------------
+
+TEST_F(ClusterTest, StandbyReadsServeSessionConsistentResults) {
+  Build(1, 2, 7, 0, EnableStandbyReads);
+  ASSERT_TRUE(MkdirSync("/d").ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(CreateFile("/d/f" + std::to_string(i)).ok());
+  }
+  // Write acks raised the session floor above zero.
+  EXPECT_GT(cluster_->client(0).session_sn(0), 0u);
+
+  // Every read carries that floor, so wherever it is routed it must
+  // observe all of this session's writes.
+  for (int i = 0; i < 8; ++i) {
+    const Result<fsns::FileInfo> r = StatSync("/d/f" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_FALSE(r.value().is_dir);
+  }
+  const Result<std::vector<std::string>> listing = ListSync("/d");
+  ASSERT_TRUE(listing.ok()) << listing.status().ToString();
+  EXPECT_EQ(listing.value().size(), 8u);
+
+  // The reads were actually offloaded and actually served by standbys.
+  EXPECT_GT(cluster_->client(0).counters().reads_offloaded, 0u);
+  std::uint64_t served = 0;
+  for (std::size_t m = 0; m < cluster_->group_size(0); ++m) {
+    served +=
+        cluster_->mds(0, static_cast<int>(m)).counters().standby_reads_served;
+  }
+  EXPECT_GT(served, 0u);
+}
+
+TEST_F(ClusterTest, SessionFloorHoldsAcrossFailover) {
+  Build(1, 3, 7, 0, EnableStandbyReads);
+  ASSERT_TRUE(MkdirSync("/s").ok());
+  ASSERT_TRUE(CreateFile("/s/before").ok());
+
+  cluster_->FindActive(0)->Crash();
+  Run(10 * kSecond);  // session timeout + election + switch
+  ASSERT_NE(cluster_->FindActive(0), nullptr);
+
+  // A write acked by the new active raises the floor past the failover;
+  // subsequent reads (standby-routed or bounced) must observe it and
+  // everything acked before the crash — read-your-writes across epochs.
+  ASSERT_TRUE(CreateFile("/s/after").ok());
+  const Result<fsns::FileInfo> after = StatSync("/s/after");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  const Result<fsns::FileInfo> before = StatSync("/s/before");
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  const Result<std::vector<std::string>> listing = ListSync("/s");
+  ASSERT_TRUE(listing.ok()) << listing.status().ToString();
+  EXPECT_EQ(listing.value().size(), 2u);
+}
 
 }  // namespace
 }  // namespace mams::cluster

@@ -33,6 +33,7 @@ struct Args {
   bool single_seed = false;
   std::uint64_t seed = 0;
   Mutation mutation = Mutation::kNone;
+  bool standby_reads = false;
   int clients = 2;
   int ops = 40;
   int faults = 5;
@@ -51,7 +52,9 @@ void Usage() {
       "  --seeds N          seeds to sweep (default 50)\n"
       "  --seed-base B      first seed (default 1)\n"
       "  --seed S           run exactly one seed\n"
-      "  --mutation M       none|sn_dedup|fencing (default none)\n"
+      "  --mutation M       none|sn_dedup|fencing|min_sn (default none)\n"
+      "  --standby-reads    serve reads from standbys (session-consistent\n"
+      "                     offload; min_sn mutation implies this)\n"
       "  --clients N        fuzz clients per run (default 2)\n"
       "  --ops N            ops per client (default 40)\n"
       "  --faults N         faults per run (default 5)\n"
@@ -86,6 +89,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         std::fprintf(stderr, "unknown mutation\n");
         return false;
       }
+    } else if (arg == "--standby-reads") {
+      args->standby_reads = true;
     } else if (arg == "--clients") {
       args->clients = std::atoi(value());
     } else if (arg == "--ops") {
@@ -163,6 +168,7 @@ int Sweep(const Args& args) {
   profile.clients = args.clients;
   profile.ops_per_client = args.ops;
   profile.faults = args.faults;
+  profile.standby_reads = args.standby_reads;
   if (args.profile == "renames") {
     profile.mix.create = 0.30;
     profile.mix.rename = 0.25;
