@@ -117,7 +117,15 @@ class Search {
       case Outcome::kOk:
         return code == StatusCode::kOk && (!e.is_read() || view == e.view);
       case Outcome::kError:
-        return code == e.code;
+        if (code == e.code) return true;
+        // A directory that only ever materialized implicitly (mkdir -p
+        // under a deeper create) exists solely at the group that executed
+        // the create; the entry-owner group a stat routes to may never
+        // have heard of it. NotFound is an admissible answer for such a
+        // directory — see docs/SHARDING.md, "Implicit directories".
+        return e.kind == OpKind::kGetFileInfo &&
+               e.code == StatusCode::kNotFound && code == StatusCode::kOk &&
+               model_.IsImplicitDir(e.path);
       case Outcome::kAmbiguous:
         // Only an executed-with-effect branch is distinct from "never
         // executed" (a semantic error mutates nothing).
@@ -260,9 +268,18 @@ class Search {
               r->kind == OpKind::kGetFileInfo
                   ? model.GetFileInfo(r->path, &view)
                   : model.ListDir(r->path, &view);
-          if (r->outcome == Outcome::kOk
-                  ? (code == StatusCode::kOk && view == r->view)
-                  : code == r->code) {
+          bool match = r->outcome == Outcome::kOk
+                           ? (code == StatusCode::kOk && view == r->view)
+                           : code == r->code;
+          // Same implicit-directory allowance as the core search: a stat
+          // of a dir that only materialized implicitly may answer NotFound.
+          if (!match && r->kind == OpKind::kGetFileInfo &&
+              r->outcome == Outcome::kError &&
+              r->code == StatusCode::kNotFound && code == StatusCode::kOk &&
+              model.IsImplicitDir(r->path)) {
+            match = true;
+          }
+          if (match) {
             explained = true;
             break;
           }

@@ -6,8 +6,10 @@
 
 #include "cluster/cfs.hpp"
 #include "common/rng.hpp"
+#include "fsns/path.hpp"
 #include "net/fault.hpp"
 #include "net/network.hpp"
+#include "shard/partition_map.hpp"
 #include "sim/simulator.hpp"
 
 namespace mams::check {
@@ -46,13 +48,16 @@ const char* MutationName(Mutation m) {
       return "fencing";
     case Mutation::kIgnoreMinSn:
       return "min_sn";
+    case Mutation::kSkipCutoverFence:
+      return "cutover_fence";
   }
   return "?";
 }
 
 bool ParseMutation(const std::string& name, Mutation* out) {
   for (const Mutation m : {Mutation::kNone, Mutation::kNoSnDedup,
-                           Mutation::kNoFencing, Mutation::kIgnoreMinSn}) {
+                           Mutation::kNoFencing, Mutation::kIgnoreMinSn,
+                           Mutation::kSkipCutoverFence}) {
     if (name == MutationName(m)) {
       *out = m;
       return true;
@@ -73,6 +78,8 @@ const char* FaultKindName(FaultAction::Kind kind) {
       return "crash_pool";
     case FaultAction::Kind::kJitterBurst:
       return "jitter";
+    case FaultAction::Kind::kMigrateSlot:
+      return "migrate";
   }
   return "?";
 }
@@ -81,7 +88,7 @@ bool ParseFaultKind(const std::string& name, FaultAction::Kind* out) {
   for (const FaultAction::Kind k :
        {FaultAction::Kind::kCutMember, FaultAction::Kind::kCrashMember,
         FaultAction::Kind::kCrashActive, FaultAction::Kind::kCrashPool,
-        FaultAction::Kind::kJitterBurst}) {
+        FaultAction::Kind::kJitterBurst, FaultAction::Kind::kMigrateSlot}) {
     if (name == FaultKindName(k)) {
       *out = k;
       return true;
@@ -94,6 +101,7 @@ RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile) {
   RunSpec spec;
   spec.seed = seed;
   spec.clients = profile.clients;
+  spec.groups = std::max(1, profile.groups);
   spec.standby_reads = profile.standby_reads;
   // Generation rng is decoupled from the execution seed so that replaying
   // a spec never re-consults it.
@@ -144,10 +152,15 @@ RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile) {
     FaultAction a;
     a.at = spec.warmup +
            static_cast<SimTime>(rng.Below(static_cast<std::uint64_t>(window)));
+    // Member-fault targets span every group's replicas: the dispatch in
+    // RunSpecOnce decodes group = (target / members) % groups. With one
+    // group the range (and the rng consumption) is unchanged.
+    const std::uint64_t member_targets = static_cast<std::uint64_t>(
+        (1 + spec.standbys) * spec.groups);
     const double roll = rng.Uniform();
     if (roll < 0.35) {
       a.kind = FaultAction::Kind::kCutMember;
-      a.target = static_cast<int>(rng.Below(1 + spec.standbys));
+      a.target = static_cast<int>(rng.Below(member_targets));
       a.duration =
           static_cast<SimTime>(
               2000 + rng.Below(static_cast<std::uint64_t>(std::max<SimTime>(
@@ -155,10 +168,14 @@ RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile) {
           kMillisecond;
     } else if (roll < 0.55) {
       a.kind = FaultAction::Kind::kCrashMember;
-      a.target = static_cast<int>(rng.Below(1 + spec.standbys));
+      a.target = static_cast<int>(rng.Below(member_targets));
       a.duration = static_cast<SimTime>(1000 + rng.Below(7000)) * kMillisecond;
     } else if (roll < 0.75) {
       a.kind = FaultAction::Kind::kCrashActive;
+      if (spec.groups > 1) {
+        a.target = static_cast<int>(
+            rng.Below(static_cast<std::uint64_t>(spec.groups)));
+      }
       a.duration = static_cast<SimTime>(1000 + rng.Below(7000)) * kMillisecond;
     } else if (roll < 0.90) {
       a.kind = FaultAction::Kind::kCrashPool;
@@ -170,6 +187,27 @@ RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile) {
       a.duration = static_cast<SimTime>(2000 + rng.Below(6000)) * kMillisecond;
     }
     spec.faults.push_back(a);
+  }
+  // Shard migrations: a deterministic count so every multi-group seed
+  // actually moves shards. Half target the slot of a path the workload
+  // touches (migrating live data under traffic), half a uniform slot.
+  if (spec.groups > 1) {
+    for (int m = 0; m < profile.migrations; ++m) {
+      FaultAction a;
+      a.kind = FaultAction::Kind::kMigrateSlot;
+      a.at = spec.warmup +
+             static_cast<SimTime>(rng.Below(static_cast<std::uint64_t>(window)));
+      if (!spec.ops.empty() && rng.Uniform() < 0.5) {
+        const workload::Op& pick =
+            spec.ops[static_cast<std::size_t>(rng.Below(spec.ops.size()))].op;
+        a.target = static_cast<int>(
+            fsns::PathSlot(pick.path, shard::PartitionMap::kDefaultSlots));
+      } else {
+        a.target =
+            static_cast<int>(rng.Below(shard::PartitionMap::kDefaultSlots));
+      }
+      spec.faults.push_back(a);
+    }
   }
   std::sort(spec.faults.begin(), spec.faults.end(),
             [](const FaultAction& x, const FaultAction& y) {
@@ -213,7 +251,14 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
   net::FaultInjector inject(net);
 
   cluster::CfsConfig cfg;
-  cfg.groups = 1;  // the single-active serialization point
+  const int groups = std::max(1, spec.groups);
+  // One group is the single-active serialization point; more than one
+  // boots a seeded partition map so clients route (and re-route) by slot.
+  cfg.groups = static_cast<GroupId>(groups);
+  if (groups > 1) {
+    cfg.mds.partition_map =
+        shard::PartitionMap::Seed(static_cast<GroupId>(groups));
+  }
   cfg.standbys_per_group = spec.standbys;
   cfg.juniors_per_group = 0;
   cfg.data_servers = 1;
@@ -229,6 +274,9 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
       break;
     case Mutation::kIgnoreMinSn:
       cfg.mds.test_hooks.ignore_min_sn = true;
+      break;
+    case Mutation::kSkipCutoverFence:
+      cfg.mds.test_hooks.skip_cutover_fence = true;
       break;
   }
   // The min_sn mutation is only observable when standbys answer reads, so
@@ -268,17 +316,19 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
   // Fault schedule.
   const int members = 1 + spec.standbys;
   for (const FaultAction& f : spec.faults) {
-    sim.At(f.at, [&cfs, &inject, f, members] {
+    sim.At(f.at, [&cfs, &inject, f, members, groups] {
+      const GroupId fg = static_cast<GroupId>((f.target / members) % groups);
       switch (f.kind) {
         case FaultAction::Kind::kCutMember:
-          inject.CutLinkFor(cfs.mds(0, f.target % members).id(), f.duration);
+          inject.CutLinkFor(cfs.mds(fg, f.target % members).id(), f.duration);
           break;
         case FaultAction::Kind::kCrashMember:
-          net::FaultInjector::CrashFor(cfs.mds(0, f.target % members),
+          net::FaultInjector::CrashFor(cfs.mds(fg, f.target % members),
                                        f.duration);
           break;
         case FaultAction::Kind::kCrashActive:
-          if (core::MdsServer* active = cfs.FindActive(0)) {
+          if (core::MdsServer* active =
+                  cfs.FindActive(static_cast<GroupId>(f.target % groups))) {
             net::FaultInjector::CrashFor(*active, f.duration);
           }
           break;
@@ -289,6 +339,13 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
         case FaultAction::Kind::kJitterBurst:
           inject.JitterBurst(f.param, f.duration);
           break;
+        case FaultAction::Kind::kMigrateSlot:
+          // Best effort: the owning active may be down or mid-failover
+          // right now — a refused kick is part of the schedule, not an
+          // error (the checker only judges what clients observed).
+          (void)cfs.StartShardMigration(static_cast<std::uint32_t>(
+              f.target % static_cast<int>(shard::PartitionMap::kDefaultSlots)));
+          break;
       }
     });
   }
@@ -296,10 +353,15 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
   // Heal everything after the op/fault phase and force any still-dead
   // process back up, so the audit runs against a fully recovered cluster.
   const SimTime heal_at = spec.warmup + spec.run_for;
-  sim.At(heal_at, [&cfs, &inject, members] {
+  sim.At(heal_at, [&cfs, &inject, members, groups] {
     inject.HealEverything();
+    for (int g = 0; g < groups; ++g) {
+      for (int m = 0; m < members; ++m) {
+        core::MdsServer& mds = cfs.mds(static_cast<GroupId>(g), m);
+        if (!mds.alive()) mds.Restart(0);
+      }
+    }
     for (int m = 0; m < members; ++m) {
-      if (!cfs.mds(0, m).alive()) cfs.mds(0, m).Restart(0);
       if (!cfs.pool_node(m).alive()) cfs.pool_node(m).Restart(0);
     }
   });
@@ -343,12 +405,14 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
   result.virtual_end = sim.Now();
   result.run_digest = sim.run_digest();
 
-  // Replica-divergence audit: at quiescence every standby must hold the
-  // active's exact namespace (same criterion the chaos tests use).
-  if (core::MdsServer* active = cfs.FindActive(0)) {
+  // Replica-divergence audit: at quiescence every standby must hold its
+  // group active's exact namespace (same criterion the chaos tests use).
+  for (int g = 0; g < groups; ++g) {
+    core::MdsServer* active = cfs.FindActive(static_cast<GroupId>(g));
+    if (active == nullptr) continue;
     const std::uint64_t want = active->tree().Fingerprint();
     for (int m = 0; m < members; ++m) {
-      core::MdsServer& mds = cfs.mds(0, m);
+      core::MdsServer& mds = cfs.mds(static_cast<GroupId>(g), m);
       if (&mds == active || !mds.alive() ||
           mds.role() != ServerState::kStandby) {
         continue;

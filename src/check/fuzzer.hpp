@@ -31,11 +31,17 @@ namespace mams::check {
 /// mutation self-tests); kNone is the production configuration.
 /// kIgnoreMinSn makes standbys serve reads regardless of the session
 /// floor (it implies standby reads are enabled for the run).
+/// kSkipCutoverFence knocks out the snapshot-delta guarantee the cutover
+/// fence exists to close: the source never captures post-snapshot deltas
+/// and keeps admitting writes through the cutover, so any mutation
+/// accepted after the snapshot is acknowledged but vanishes when the
+/// shard is erased — a lost-write the checker must catch.
 enum class Mutation : std::uint8_t {
   kNone,
   kNoSnDedup,
   kNoFencing,
   kIgnoreMinSn,
+  kSkipCutoverFence,
 };
 
 const char* MutationName(Mutation m);
@@ -48,10 +54,14 @@ struct FaultAction {
     kCrashActive,  ///< crash/restart of whoever is active when it fires
     kCrashPool,    ///< storage-pool node `target` loss
     kJitterBurst,  ///< extra delivery jitter `param` for `duration`
+    kMigrateSlot,  ///< kick off a shard migration of slot `target`
   };
   Kind kind = Kind::kCutMember;
   SimTime at = 0;        ///< absolute virtual time
-  int target = 0;        ///< member / pool-node index (kind-dependent)
+  /// Member / pool-node / slot index (kind-dependent). With multiple
+  /// groups, member faults decode as group = (target / members) % groups,
+  /// member = target % members; kCrashActive decodes target % groups.
+  int target = 0;
   SimTime duration = 0;  ///< outage length / restart delay / burst length
   SimTime param = 0;     ///< jitter amount (kJitterBurst)
 };
@@ -68,6 +78,10 @@ struct OpEntry {
 struct RunSpec {
   std::uint64_t seed = 1;
   int clients = 2;
+  /// Replica groups. With more than one, the cluster boots with a seeded
+  /// partition map (shard::PartitionMap::Seed) and clients route by slot;
+  /// kMigrateSlot faults then move live shards between groups mid-run.
+  int groups = 1;
   int standbys = 2;
   int pool_nodes = 3;
   Mutation mutation = Mutation::kNone;
@@ -97,6 +111,13 @@ struct FuzzProfile {
   SimTime max_outage = 12 * kSecond;
   /// Copied into RunSpec::standby_reads by MakeSpec.
   bool standby_reads = false;
+  /// Copied into RunSpec::groups by MakeSpec.
+  int groups = 1;
+  /// Shard migrations to schedule as kMigrateSlot faults (in addition to
+  /// `faults`); ignored when groups == 1. A deterministic count — rather
+  /// than a roll in the fault palette — guarantees every seed actually
+  /// exercises migrations.
+  int migrations = 0;
 };
 
 RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile = {});

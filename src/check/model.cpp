@@ -56,7 +56,7 @@ StatusCode Model::EnsureAncestors(const std::string& path, Undo* undo) {
       if (!found->second.is_dir) return StatusCode::kFailedPrecondition;
       continue;
     }
-    Put(prefix, ModelNode{.is_dir = true}, undo);
+    Put(prefix, ModelNode{.is_dir = true, .implicit = true}, undo);
   }
   return StatusCode::kOk;
 }
@@ -83,7 +83,15 @@ StatusCode Model::Mkdir(const std::string& path, Undo* undo) {
   if (path == "/") return StatusCode::kOk;
   auto it = nodes_.find(path);
   if (it != nodes_.end()) {
-    return it->second.is_dir ? StatusCode::kOk : StatusCode::kAlreadyExists;
+    if (!it->second.is_dir) return StatusCode::kAlreadyExists;
+    if (it->second.implicit) {
+      // Explicit mkdir of a previously implicit directory installs its
+      // entry at the owning group; from here on it is globally visible.
+      ModelNode node = it->second;
+      node.implicit = false;
+      Put(path, node, undo);
+    }
+    return StatusCode::kOk;
   }
   const StatusCode anc = EnsureAncestors(path, undo);
   if (anc != StatusCode::kOk) return anc;
@@ -220,6 +228,7 @@ std::uint64_t Model::Fingerprint() const {
     fold(node.replication);
     fold(node.blocks);
     fold(node.complete ? 1 : 0);
+    fold(node.implicit ? 1 : 0);
   }
   return h;
 }

@@ -25,6 +25,12 @@ struct ModelNode {
   std::uint32_t replication = 1;
   std::uint64_t blocks = 0;
   bool complete = true;
+  /// Directory materialized only as a side effect of a deeper create
+  /// (mkdir -p). Under hash partitioning such a directory exists only in
+  /// the group that executed the create, not at the group owning its own
+  /// entry slot, so a stat routed by entry may legally answer NotFound.
+  /// An explicit mkdir installs the entry at its owner and clears this.
+  bool implicit = false;
 
   bool operator==(const ModelNode&) const = default;
 };
@@ -66,6 +72,13 @@ class Model {
 
   bool Exists(const std::string& path) const {
     return nodes_.contains(path);
+  }
+  /// Whether `path` is a directory that only ever materialized implicitly
+  /// (no explicit mkdir) — the case where NotFound is an admissible stat
+  /// answer under hash partitioning.
+  bool IsImplicitDir(const std::string& path) const {
+    auto it = nodes_.find(path);
+    return it != nodes_.end() && it->second.is_dir && it->second.implicit;
   }
   std::size_t size() const noexcept { return nodes_.size(); }
 

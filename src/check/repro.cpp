@@ -35,6 +35,7 @@ std::string SerializeSpec(const RunSpec& spec) {
   out << "mams-repro v1\n";
   out << "seed=" << spec.seed << "\n";
   out << "clients=" << spec.clients << "\n";
+  out << "groups=" << spec.groups << "\n";
   out << "standbys=" << spec.standbys << "\n";
   out << "mutation=" << MutationName(spec.mutation) << "\n";
   out << "standby_reads=" << (spec.standby_reads ? 1 : 0) << "\n";
@@ -105,6 +106,8 @@ Result<RunSpec> ParseSpec(const std::string& text) {
           spec.seed = std::stoull(value);
         } else if (key == "clients") {
           spec.clients = std::stoi(value);
+        } else if (key == "groups") {
+          spec.groups = std::stoi(value);
         } else if (key == "standbys") {
           spec.standbys = std::stoi(value);
         } else if (key == "mutation") {
@@ -128,6 +131,7 @@ Result<RunSpec> ParseSpec(const std::string& text) {
     }
   }
   if (spec.clients < 1) return Status::InvalidArgument("clients < 1");
+  if (spec.groups < 1) return Status::InvalidArgument("groups < 1");
   for (const OpEntry& e : spec.ops) {
     if (e.client < 0 || e.client >= spec.clients) {
       return Status::InvalidArgument("op client out of range");

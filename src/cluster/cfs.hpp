@@ -91,6 +91,12 @@ class CfsCluster {
       clients_.push_back(std::make_unique<FsClient>(
           network, "client" + std::to_string(c), coord_.frontend_id(),
           partitioner_, config_.client));
+      // Shard subsystem opt-in: when the deployment carries a seed
+      // partition map, clients route by it (and adopt newer epochs from
+      // shard bounces) instead of the static hash partitioner.
+      if (!config_.mds.partition_map.empty()) {
+        clients_.back()->SetPartitionMap(config_.mds.partition_map);
+      }
     }
 
     InstallProbes();
@@ -189,6 +195,27 @@ class CfsCluster {
 
   /// Per-failover stage timestamps (fig7); owned here, not a singleton.
   core::FailoverTraceLog& failover_log() noexcept { return failover_log_; }
+
+  /// Kicks off an online migration of `slot` away from its current owner
+  /// (to `dst`, or round-robin to the next group). Returns the status of
+  /// the source active's StartShardMigration, or Unavailable when the
+  /// owner group has no settled active to drive it.
+  Status StartShardMigration(std::uint32_t slot,
+                             GroupId dst = kNoGroup) {
+    for (GroupId g = 0; g < static_cast<GroupId>(groups_.size()); ++g) {
+      core::MdsServer* active = FindActive(g);
+      if (active == nullptr) continue;
+      const shard::PartitionMap& map = active->partition_map();
+      if (map.empty() || map.OwnerOfSlot(slot) != g) continue;
+      const GroupId to =
+          dst != kNoGroup ? dst
+                          : (g + 1) % static_cast<GroupId>(groups_.size());
+      return active->StartShardMigration(slot, to);
+    }
+    return Status::Unavailable("no settled active owns the slot");
+  }
+
+  static constexpr GroupId kNoGroup = 0xffffffffu;
 
  private:
   /// Registers the MAMS safety invariants with the simulator's probe

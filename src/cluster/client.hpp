@@ -36,6 +36,7 @@
 #include "fsns/partition.hpp"
 #include "net/host.hpp"
 #include "net/rpc.hpp"
+#include "shard/partition_map.hpp"
 
 namespace mams::cluster {
 
@@ -103,6 +104,13 @@ class FsClient : public net::Host {
     return partitioner_;
   }
 
+  /// Installs the versioned partition map as routing truth (the legacy hash
+  /// partitioner only backstops an empty map). Servers bounce requests
+  /// routed by a stale epoch and attach their newer map; the client adopts
+  /// it and re-routes — no coordination-service round trip on the fast path.
+  void SetPartitionMap(shard::PartitionMap map) { map_ = std::move(map); }
+  const shard::PartitionMap& partition_map() const noexcept { return map_; }
+
   /// Session metadata of the last completed op; see OpStamp.
   const OpStamp& last_stamp() const noexcept { return last_stamp_; }
   /// This client's high-water applied sn for `group` (its session token).
@@ -121,13 +129,13 @@ class FsClient : public net::Host {
 
   void Mkdir(const std::string& path, OpCallback done) {
     auto req = NewRequest(core::ClientOp::kMkdir, path);
-    req->participant_group = partitioner_.OwnerOfDir(path);
+    req->participant_group = OwnerGroupDir(path);
     Issue<Ack>(std::move(req), Acked(std::move(done)));
   }
 
   void Delete(const std::string& path, OpCallback done) {
     auto req = NewRequest(core::ClientOp::kDelete, path);
-    req->participant_group = partitioner_.OwnerOfDir(path);
+    req->participant_group = OwnerGroupDir(path);
     Issue<Ack>(std::move(req), Acked(std::move(done)));
   }
 
@@ -135,7 +143,7 @@ class FsClient : public net::Host {
               OpCallback done) {
     auto req = NewRequest(core::ClientOp::kRename, src);
     req->path2 = dst;
-    req->participant_group = partitioner_.OwnerOf(dst);
+    req->participant_group = OwnerGroup(dst);
     Issue<Ack>(std::move(req), Acked(std::move(done)));
   }
 
@@ -196,6 +204,7 @@ class FsClient : public net::Host {
     std::uint64_t read_bounces = 0;      ///< standby declined (behind floor)
     std::uint64_t read_fallbacks = 0;    ///< standby unresponsive/unavailable
     std::uint64_t stale_epoch_rejections = 0;  ///< deposed-replica replies
+    std::uint64_t shard_bounces = 0;     ///< re-routed after a map update
   };
   const Counters& counters() const noexcept { return counters_; }
 
@@ -269,7 +278,7 @@ class FsClient : public net::Host {
   void Issue(std::shared_ptr<core::ClientRequestMsg> req,
              std::function<void(Result<T>)> done, ReadOptions ro = {}) {
     auto state = std::make_shared<OpState>();
-    state->group = partitioner_.OwnerOf(req->path);
+    state->group = OwnerGroup(req->path);
     state->request = std::move(req);
     state->require_active = ro.require_active;
     if (!core::IsMutation(state->request->op)) {
@@ -339,6 +348,13 @@ class FsClient : public net::Host {
           }
           auto resp = std::static_pointer_cast<const core::ClientResponseMsg>(
               std::move(r).value());
+          if (!resp->ok && resp->shard_bounce) {
+            // The slot moved to another group: adopt the responder's map
+            // and re-route. The active itself is healthy — do not
+            // invalidate it.
+            OnShardBounce(state, *resp);
+            return;
+          }
           if (!resp->ok && resp->code == StatusCode::kUnavailable) {
             // "not active" — the group is failing over.
             InvalidateActive(state->group, target);
@@ -382,6 +398,10 @@ class FsClient : public net::Host {
     if (it != targets_.end() && resp->group_epoch > it->second.epoch) {
       it->second.epoch = resp->group_epoch;
     }
+    if (!resp->ok && resp->shard_bounce) {
+      OnShardBounce(state, *resp);
+      return;
+    }
     if (resp->bounced || (!resp->ok && resp->code == StatusCode::kUnavailable)) {
       // Behind the session floor, overloaded, or no longer a standby.
       ++counters_.read_bounces;
@@ -389,6 +409,47 @@ class FsClient : public net::Host {
       return;
     }
     Finish(state, std::move(resp));
+  }
+
+  /// The request hit a group that no longer owns its path's shard. Adopt
+  /// the responder's (newer) map, re-route, and resend with the SAME
+  /// ClientOpId. A bounce with no newer map means the migration is mid
+  /// hand-off (cut over but not yet published everywhere) — back off one
+  /// poll interval instead of spinning on the old owner.
+  void OnShardBounce(const std::shared_ptr<OpState>& state,
+                     const core::ClientResponseMsg& resp) {
+    ++counters_.shard_bounces;
+    ++counters_.retries;
+    ++state->outcome.attempts;
+    bool newer = false;
+    if (resp.map_epoch > map_.epoch()) {
+      auto m = shard::PartitionMap::Deserialize(resp.map_bytes);
+      if (m.ok()) {
+        map_ = std::move(m).value();
+        newer = true;
+      }
+    }
+    const GroupId group = OwnerGroup(state->request->path);
+    if (group != state->group) {
+      state->group = group;
+      if (!core::IsMutation(state->request->op)) {
+        // New responder group, new session floor. Safe to restamp: only
+        // one attempt is ever in flight.
+        state->request->min_sn = session_sn(group);
+      }
+    }
+    if (newer) {
+      Attempt(state);
+    } else {
+      AfterLocal(options_.resolve_poll, [this, state] { Attempt(state); });
+    }
+  }
+
+  GroupId OwnerGroup(const std::string& path) const {
+    return map_.empty() ? partitioner_.OwnerOf(path) : map_.OwnerOf(path);
+  }
+  GroupId OwnerGroupDir(const std::string& path) const {
+    return map_.empty() ? partitioner_.OwnerOfDir(path) : map_.OwnerOfDir(path);
   }
 
   /// Polls the coordination service until the group exposes an active,
@@ -471,6 +532,10 @@ class FsClient : public net::Host {
   }
 
   fsns::HashPartitioner partitioner_;
+  /// Versioned routing truth when non-empty; updated from shard bounces.
+  /// Survives crashes (it is config-like: any staleness is corrected by
+  /// the next bounce).
+  shard::PartitionMap map_;
   FsClientOptions options_;
   Rng rng_;
   std::unique_ptr<coord::CoordClient> coord_client_;

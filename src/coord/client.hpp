@@ -36,6 +36,11 @@ class CoordClient {
   using ViewCallback = std::function<void(Result<GroupView>)>;
   using LockCallback = std::function<void(Result<LockResult>)>;
   using WatchHandler = std::function<void(const GroupView&)>;
+  /// (epoch, serialized map); epoch 0 means none published yet.
+  using MapHandler =
+      std::function<void(std::uint64_t, const std::vector<char>&)>;
+  using MapCallback = std::function<void(Status, std::uint64_t,
+                                         const std::vector<char>&)>;
 
   /// Per-call-family retry policies, derived from the ctor's timeouts and
   /// overridable before the first call.
@@ -95,13 +100,14 @@ class CoordClient {
   /// Register; installs the Host request handler for kCoordWatchEvent.
   void SetWatchHandler(WatchHandler handler) {
     watch_handler_ = std::move(handler);
-    host_.OnRequest(net::kCoordWatchEvent,
-                    [this](const net::Envelope&, const net::MessagePtr& msg,
-                           const net::Host::ReplyFn&) {
-                      if (watch_handler_) {
-                        watch_handler_(net::Cast<WatchEventMsg>(msg).view);
-                      }
-                    });
+    InstallWatchHook();
+  }
+
+  /// Routes the partition map piggybacked on watch events to `handler`
+  /// (fired only when a map has been published, i.e. epoch > 0).
+  void SetMapHandler(MapHandler handler) {
+    map_handler_ = std::move(handler);
+    InstallWatchHook();
   }
 
   /// Opens a session (joining `group` in `initial` state) and starts
@@ -239,6 +245,44 @@ class CoordClient {
         });
   }
 
+  /// Publishes a partition map (one bounded attempt; callers retry — the
+  /// service treats stale epochs as idempotent success).
+  void PublishMap(std::uint64_t epoch, std::vector<char> bytes,
+                  std::function<void(Status)> done) {
+    auto req = std::make_shared<CoordRequestMsg>();
+    req->op = CoordOp::kPublishMap;
+    req->session = session_;
+    req->map_epoch = epoch;
+    req->map_bytes = std::move(bytes);
+    net::RpcCall::Start(
+        host_, coord_, std::move(req), policies_.rpc,
+        [done = std::move(done)](Result<net::MessagePtr> r) {
+          if (!r.ok()) {
+            done(r.status());
+            return;
+          }
+          const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+          done(resp.ok ? Status::Ok() : Status::Unavailable(resp.error));
+        });
+  }
+
+  /// Fetches the currently published partition map (epoch 0: none yet).
+  void GetMap(MapCallback done) {
+    auto req = std::make_shared<CoordRequestMsg>();
+    req->op = CoordOp::kGetMap;
+    req->session = session_;
+    net::RpcCall::Start(
+        host_, coord_, std::move(req), policies_.rpc,
+        [done = std::move(done)](Result<net::MessagePtr> r) {
+          if (!r.ok()) {
+            done(r.status(), 0, {});
+            return;
+          }
+          const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+          done(Status::Ok(), resp.map_epoch, resp.map_bytes);
+        });
+  }
+
   void GetView(GroupId group, ViewCallback done) {
     auto req = std::make_shared<CoordRequestMsg>();
     req->op = CoordOp::kGetView;
@@ -300,6 +344,20 @@ class CoordClient {
   }
 
  private:
+  void InstallWatchHook() {
+    if (watch_hook_installed_) return;
+    watch_hook_installed_ = true;
+    host_.OnRequest(net::kCoordWatchEvent,
+                    [this](const net::Envelope&, const net::MessagePtr& msg,
+                           const net::Host::ReplyFn&) {
+                      const auto& event = net::Cast<WatchEventMsg>(msg);
+                      if (map_handler_ && event.map_epoch > 0) {
+                        map_handler_(event.map_epoch, event.map_bytes);
+                      }
+                      if (watch_handler_) watch_handler_(event.view);
+                    });
+  }
+
   /// Shared TryLock/BidLoop response decoding.
   net::Host::RpcCallback MapLock(LockCallback done) {
     return [done = std::move(done)](Result<net::MessagePtr> r) {
@@ -348,6 +406,8 @@ class CoordClient {
   SessionId session_ = 0;
   std::uint64_t epoch_ = 0;  ///< bumped by Stop(); cancels in-flight joins
   WatchHandler watch_handler_;
+  MapHandler map_handler_;
+  bool watch_hook_installed_ = false;
   std::function<void()> session_lost_;
   std::unique_ptr<sim::PeriodicTimer> heartbeat_;
 };

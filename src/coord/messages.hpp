@@ -4,6 +4,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "coord/view.hpp"
 #include "net/message.hpp"
@@ -21,6 +22,8 @@ enum class CoordOp : std::uint8_t {
   kGetView,        ///< read-only snapshot
   kWatch,          ///< subscribe to group-view changes
   kCloseSession,   ///< graceful shutdown
+  kPublishMap,     ///< install a newer namespace partition map
+  kGetMap,         ///< fetch the current partition map
 };
 
 struct CoordRequestMsg final : net::Message {
@@ -33,6 +36,10 @@ struct CoordRequestMsg final : net::Message {
   std::uint64_t draw = 0;
   SerialNumber max_sn = 0;
   FenceToken fence = 0;                ///< for fenced SetState by the holder
+  // kPublishMap: the serialized shard::PartitionMap and its epoch (opaque
+  // to the coordination layer; ordered by epoch).
+  std::uint64_t map_epoch = 0;
+  std::vector<char> map_bytes;
 
   net::MsgType type() const noexcept override { return net::kCoordRequest; }
 };
@@ -45,6 +52,8 @@ struct CoordResponseMsg final : net::Message {
   NodeId lock_holder = kInvalidNode;
   FenceToken fence_token = 0;
   GroupView view;              ///< snapshot after the operation
+  std::uint64_t map_epoch = 0;     ///< for kGetMap (0: none published)
+  std::vector<char> map_bytes;     ///< for kGetMap
 
   net::MsgType type() const noexcept override { return net::kCoordResponse; }
 };
@@ -54,6 +63,10 @@ struct CoordResponseMsg final : net::Message {
 /// on the lock) are all satisfied by inspecting the snapshot.
 struct WatchEventMsg final : net::Message {
   GroupView view;
+  // Current partition map piggybacked on every event (epoch 0: none
+  // published yet); servers adopt newer maps from any watch delivery.
+  std::uint64_t map_epoch = 0;
+  std::vector<char> map_bytes;
   net::MsgType type() const noexcept override { return net::kCoordWatchEvent; }
 };
 

@@ -103,6 +103,18 @@ void CoordService::HandleRequest(const net::Envelope& env,
     case CoordOp::kCloseSession:
       DoCloseSession(req, reply);
       return;
+    case CoordOp::kPublishMap:
+      DoPublishMap(req, reply);
+      return;
+    case CoordOp::kGetMap: {
+      auto out = std::make_shared<CoordResponseMsg>();
+      out->ok = true;
+      out->view = machine_.view(req.group);
+      out->map_epoch = machine_.map_epoch();
+      out->map_bytes = machine_.map_bytes();
+      reply(out);
+      return;
+    }
   }
   Reply(reply, req.group, false, "bad op");
 }
@@ -338,6 +350,39 @@ void CoordService::DoCloseSession(const CoordRequestMsg& req,
   });
 }
 
+void CoordService::DoPublishMap(const CoordRequestMsg& req,
+                                const ReplyFn& reply) {
+  if (req.map_epoch <= machine_.map_epoch()) {
+    // Stale publication (a rolled-forward migration may re-publish a map
+    // the previous active already installed): idempotent success.
+    auto out = std::make_shared<CoordResponseMsg>();
+    out->ok = true;
+    out->map_epoch = machine_.map_epoch();
+    out->map_bytes = machine_.map_bytes();
+    reply(out);
+    return;
+  }
+  Command cmd;
+  cmd.kind = CmdKind::kPublishMap;
+  cmd.group = req.group;
+  cmd.epoch = req.map_epoch;
+  cmd.payload.assign(req.map_bytes.begin(), req.map_bytes.end());
+  Commit(cmd, [this, reply](Status st) {
+    auto out = std::make_shared<CoordResponseMsg>();
+    out->ok = st.ok();
+    if (!st.ok()) out->error = st.ToString();
+    out->map_epoch = machine_.map_epoch();
+    out->map_bytes = machine_.map_bytes();
+    reply(out);
+    if (!st.ok()) return;
+    // Routing changed for everyone: notify watchers of *all* groups, not
+    // just the group that drove the migration.
+    std::vector<GroupId> groups;
+    for (const auto& [g, view] : machine_.views()) groups.push_back(g);
+    for (GroupId g : groups) FireWatches(g);
+  });
+}
+
 void CoordService::ScanSessions() {
   const SimTime now = sim().Now();
   std::vector<Session> expired;
@@ -367,6 +412,8 @@ void CoordService::FireWatches(GroupId group) {
   if (it == watchers_.end()) return;
   auto event = std::make_shared<WatchEventMsg>();
   event->view = machine_.view(group);
+  event->map_epoch = machine_.map_epoch();
+  event->map_bytes = machine_.map_bytes();
   for (NodeId watcher : it->second) {
     if (watcher == id()) continue;
     watch_events_->Add();

@@ -99,6 +99,7 @@ class CoordService : public paxos::Replica {
                  const ReplyFn& reply);
   void DoReleaseLock(const CoordRequestMsg& req, const ReplyFn& reply);
   void DoCloseSession(const CoordRequestMsg& req, const ReplyFn& reply);
+  void DoPublishMap(const CoordRequestMsg& req, const ReplyFn& reply);
 
   /// Proposes a command; `after_commit` runs on the frontend once the
   /// command has been applied to the local state machine.

@@ -72,6 +72,9 @@ MdsServer::MdsServer(net::Network& network, std::string name,
   m_.standby_reads_served = metrics.counter("mds.standby_reads_served");
   m_.standby_reads_parked = metrics.counter("mds.standby_reads_parked");
   m_.standby_reads_bounced = metrics.counter("mds.standby_reads_bounced");
+  m_.shard_bounces = metrics.counter("mds.shard_bounces");
+  m_.migrations_completed = metrics.counter("mds.migrations_completed");
+  m_.cross_group_renames = metrics.counter("mds.cross_group_renames");
   m_.sync_batch_ns = metrics.histogram("mds.sync_batch_ns");
   m_.batch_records = metrics.histogram("mds.batch_records");
   m_.resolve_ns = metrics.histogram("mds.resolve_ns");
@@ -79,10 +82,15 @@ MdsServer::MdsServer(net::Network& network, std::string name,
       metrics.histogram("mds.standby_read_staleness_sn");
   m_.last_sn = metrics.gauge("mds.last_sn." + this->name());
   tree_.SetResolveCacheCapacity(options_.resolve_cache_capacity);
+  map_ = options_.partition_map;
   coord_client_ = std::make_unique<coord::CoordClient>(
       *this, coord_, options_.heartbeat_interval);
   coord_client_->SetWatchHandler(
       [this](const coord::GroupView& v) { OnWatchEvent(v); });
+  coord_client_->SetMapHandler(
+      [this](std::uint64_t epoch, const std::vector<char>& bytes) {
+        AdoptMap(epoch, bytes);
+      });
   coord_client_->SetSessionLostHandler([this] {
     // The session expired while we were partitioned: whatever we believed
     // about our role is stale. A deposed active steps down (and rebuilds
@@ -237,6 +245,13 @@ void MdsServer::OnCrash() {
   view_ = coord::GroupView{};
   fence_ = 0;
   dirty_ = false;
+  // Shard volatile state: drives die with the process (the journal-derived
+  // ShardState is rebuilt during recovery); the cached map resets to the
+  // seed and is re-fetched on rejoin.
+  drives_.clear();
+  rename_drives_.clear();
+  migration_stats_.clear();
+  map_ = options_.partition_map;
   role_ = ServerState::kDown;
 }
 
@@ -301,6 +316,9 @@ void MdsServer::JoinGroup(ServerState state, std::function<void(Status)> done) {
         }
         view_ = std::move(r).value();
         coord_client_->Watch(options_.group, [this, done](Status s) {
+          // A (re)joined replica may have missed map publications; pull the
+          // current partition map rather than waiting for the next change.
+          if (s.ok()) FetchMapFromCoord();
           if (done) done(s);
         });
       });
@@ -657,6 +675,10 @@ void MdsServer::UpgradeStep6BecomeActive() {
   BecomeRole(ServerState::kActive);
   trace_.switch_completed = sim().Now();
   if (failover_log_ != nullptr) failover_log_->Record(trace_);
+  // Resume whatever shard work the previous active left durable in the
+  // journal (roll migrations forward/abort them, re-drive rename intents)
+  // before serving the buffered mutations, which the shard fences gate.
+  ResumeShardState();
   // Commit the requests buffered during the switch (step 3/6).
   auto buffered = std::move(buffered_requests_);
   buffered_requests_.clear();
@@ -708,6 +730,9 @@ void MdsServer::StepDownFromActive(const char* why) {
   pending_replies_.clear();
   pending_sync_.clear();
   sync_targets_.clear();
+  // Shard drives are this active's volatile plans; the successor rebuilds
+  // its own from the journal-derived ShardState.
+  ResetShardVolatileState();
   if (dirty) {
     MAMS_INFO("mds", "%s: discarding uncommitted namespace state",
               name().c_str());
@@ -763,8 +788,25 @@ void MdsServer::HandleClientRequest(const net::Envelope&,
       ReplyStatus(reply, Status::Unavailable("participant not active"));
       return;
     }
-    AfterLocal(ChargeCpu(options_.costs.tx_participant),
-               [this, reply] { ReplyStatus(reply, Status::Ok()); });
+    AfterLocal(ChargeCpu(options_.costs.tx_participant), [this, req, reply] {
+      if (role_ != ServerState::kActive) {
+        ReplyStatus(reply, Status::Unavailable("participant not active"));
+        return;
+      }
+      // The leg's validity rests on this group owning the other side of
+      // the transaction (the directory's children / rename destination);
+      // a moved slot bounces so the coordinator re-routes.
+      if (!map_.empty()) {
+        const std::uint32_t slot = req->op == ClientOp::kRename
+                                       ? map_.SlotOf(req->path2)
+                                       : map_.SlotOfDir(req->path);
+        if (!OwnsSlotForRead(slot)) {
+          ShardBounce(reply, "participant does not own slot");
+          return;
+        }
+      }
+      ReplyStatus(reply, Status::Ok());
+    });
     return;
   }
 
@@ -920,10 +962,23 @@ void MdsServer::ProcessClientRequest(
     // other side of the operation belongs to a different group; within a
     // single partition it commutes with ordinary mutations (the 1A3S
     // configuration of Figures 6/8 pays no transaction overhead).
-    const GroupId participant = req->participant_group;
+    GroupId participant = req->participant_group;
+    if (!map_.empty() && IsDistributedTx(req->op)) {
+      // Route by this server's map, not the client's: the client may carry
+      // a participant computed from a stale epoch.
+      participant = req->op == ClientOp::kRename ? map_.OwnerOf(req->path2)
+                                                 : map_.OwnerOfDir(req->path);
+    }
     const bool cross_group = IsDistributedTx(req->op) &&
                              participant != kNoParticipant &&
                              participant != options_.group;
+    if (cross_group && !map_.empty() && req->op == ClientOp::kRename) {
+      // Cross-group rename is a real two-group transaction under the shard
+      // subsystem (intent -> destination commit -> finish), not a
+      // validate-and-charge leg. It paces itself via rename_drives_.
+      StartCrossGroupRename(req, participant, reply);
+      return;
+    }
     if (cross_group) {
       if (inflight_tx_ >= kTxWindow) {
         tx_queue_.emplace_back(req, reply);
@@ -987,6 +1042,7 @@ void MdsServer::PublishCacheStats() {
 }
 
 void MdsServer::ExecuteRead(const ClientRequestMsg& req, const ReplyFn& reply) {
+  if (!ShardAdmitRead(req, reply)) return;
   ++counters_.ops_served;
   ++counters_.reads;
   m_.ops_served->Add();
@@ -1026,6 +1082,10 @@ void MdsServer::ExecuteRead(const ClientRequestMsg& req, const ReplyFn& reply) {
 void MdsServer::ExecuteMutation(
     const std::shared_ptr<const ClientRequestMsg>& req, const ReplyFn& reply,
     bool tx_commit) {
+  // Shard admission runs here — synchronously with the tree mutation and
+  // journal append — not at request arrival: a cutover fence raised while
+  // the request sat in the CPU queue must still bounce it.
+  if (!ShardAdmitMutation(*req, reply)) return;
   const SimTime now = sim().Now();
   Result<journal::LogRecord> rec = Status::Internal("unhandled op");
   switch (req->op) {
@@ -1078,6 +1138,7 @@ void MdsServer::ExecuteMutation(
     ReplyStatus(reply, rec.status());
     return;
   }
+  CaptureMigrationDelta(rec.value());
   const TxId txid = writer_->Append(std::move(rec).value());
   tree_.set_last_txid(txid);  // keep the active's replay cursor in step
   pending_replies_[txid].push_back(reply);
@@ -1830,6 +1891,16 @@ void MdsServer::RegisterHandlers() {
                 out->batches.push_back(b);
               }
               reply(out);
+            });
+  OnRequest(net::kShardTransfer,
+            [this](const net::Envelope& env, const net::MessagePtr& msg,
+                   const ReplyFn& reply) {
+              HandleShardTransfer(env, msg, reply);
+            });
+  OnRequest(net::kShardControl,
+            [this](const net::Envelope& env, const net::MessagePtr& msg,
+                   const ReplyFn& reply) {
+              HandleShardControl(env, msg, reply);
             });
   OnRequest(net::kBlockReport,
             [this](const net::Envelope&, const net::MessagePtr& msg,

@@ -104,8 +104,42 @@ class MdsServer : public net::Host {
     std::uint64_t standby_reads_served = 0;
     std::uint64_t standby_reads_parked = 0;
     std::uint64_t standby_reads_bounced = 0;
+    std::uint64_t shard_bounces = 0;
+    std::uint64_t migrations_started = 0;
+    std::uint64_t migrations_completed = 0;
+    std::uint64_t migrations_aborted = 0;
+    std::uint64_t cross_group_renames = 0;
   };
   const Counters& counters() const noexcept { return counters_; }
+
+  // --- shard subsystem ------------------------------------------------------
+  /// This server's current partition map (routing truth as it knows it).
+  const shard::PartitionMap& partition_map() const noexcept { return map_; }
+
+  /// Per-migration timeline measured on the source active, in virtual time.
+  /// `fence_time..publish_time` is the cutover write-unavailability window
+  /// the bench reports; entries/chunks size the transfer.
+  struct MigrationStats {
+    std::uint32_t slot = 0;
+    GroupId dst = 0;
+    TxId migration_id = 0;
+    SimTime begin_time = 0;
+    SimTime fence_time = 0;
+    SimTime publish_time = 0;
+    SimTime end_time = 0;
+    std::uint64_t entries = 0;
+    std::uint64_t chunks = 0;
+    bool aborted = false;
+  };
+  const std::vector<MigrationStats>& migration_stats() const noexcept {
+    return migration_stats_;
+  }
+
+  /// Starts migrating `slot` to group `dst`. Only valid on the active of
+  /// the slot's current owner group; at most one migration per slot at a
+  /// time. The engine runs asynchronously; completion is observable through
+  /// the partition map epoch and migration_stats().
+  Status StartShardMigration(std::uint32_t slot, GroupId dst);
 
   /// Pre-populates the namespace directly (bench setup; bypasses journal).
   void Preload(const std::function<void(fsns::Tree&)>& fn) { fn(tree_); }
@@ -190,6 +224,77 @@ class MdsServer : public net::Host {
                            const net::MessagePtr& msg);
   void FinishRenewTarget(NodeId junior, SerialNumber reported_sn);
   void SendRenewProgress(bool failed = false);
+
+  // --- shard subsystem (src/core/mds_shard.cpp) -------------------------------
+  // Map + admission.
+  void AdoptMap(std::uint64_t epoch, const std::vector<char>& bytes);
+  void FetchMapFromCoord();
+  bool OwnsSlotForRead(std::uint32_t slot) const;
+  bool OwnsSlotForWrite(std::uint32_t slot) const;
+  /// Returns false and replies with a shard bounce (current map attached)
+  /// when this server must not serve the request; also enforces the
+  /// rename-intent fences and the migration-time structural restriction.
+  bool ShardAdmitRead(const ClientRequestMsg& req, const ReplyFn& reply);
+  bool ShardAdmitMutation(const ClientRequestMsg& req, const ReplyFn& reply);
+  void ShardBounce(const ReplyFn& reply, const char* why);
+  /// Path touches a pending cross-group rename (src, dst, or an ancestor
+  /// of a src) — such requests stall until the rename resolves.
+  bool RenameFenced(const ClientRequestMsg& req) const;
+  /// Appends one shard control/install record to the journal, applies it to
+  /// the tree, and notes it for a capturing migration. Returns its txid.
+  TxId AppendShardRecord(journal::LogRecord rec);
+  /// AppendShardRecord + flush + `done(ok)` once the batch commits (standby
+  /// ack or SSP); the record is then as durable as any client mutation.
+  TxId JournalShardRecord(journal::LogRecord rec,
+                          std::function<void(bool)> done);
+  /// ExecuteMutation hook: while a migration is capturing, note mutated
+  /// paths that live in the migrating slot (shipped in the final chunk).
+  void CaptureMigrationDelta(const journal::LogRecord& rec);
+
+  // Source-side migration engine.
+  struct MigrationDrive;
+  /// Emits the install record(s) reconstructing `node` at `path` (dir or
+  /// file + its blocks) into `out`; shared by snapshot and delta shipping.
+  void AppendInstallRecords(const std::string& path, const fsns::Inode& node,
+                            std::vector<journal::LogRecord>& out);
+  void SnapshotShard(MigrationDrive& d);
+  void SendNextChunk(std::uint32_t slot);
+  void StartCutover(std::uint32_t slot);
+  void DrainThenShip(std::uint32_t slot, int polls_left);
+  void ShipFinalChunk(std::uint32_t slot);
+  void SendActivate(std::uint32_t slot);
+  void PublishMapForSlot(std::uint32_t slot);
+  void FinishMigration(std::uint32_t slot);
+  void AbortOutbound(std::uint32_t slot);
+  void SendAbortToDst(std::uint32_t slot, TxId migration_id, GroupId dst);
+  void RollForwardOutbound(std::uint32_t slot);
+
+  // Destination side.
+  void HandleShardTransfer(const net::Envelope& env, const net::MessagePtr& msg,
+                           const ReplyFn& reply);
+  void HandleShardControl(const net::Envelope& env, const net::MessagePtr& msg,
+                          const ReplyFn& reply);
+  MigrationOutcome AnswerMigrationQuery(std::uint32_t slot,
+                                        TxId migration_id) const;
+  /// While an inbound migration is pending, periodically asks the source
+  /// group what happened — covers a source that crashed after deciding
+  /// but before telling us.
+  void ArmInboundWatchdog(std::uint32_t slot);
+
+  // Cross-group rename (two-group coordinated transaction).
+  void StartCrossGroupRename(std::shared_ptr<const ClientRequestMsg> req,
+                             GroupId dst_group, const ReplyFn& reply);
+  void SendRenameCommit(const std::string& src);
+  void HandleRenameCommit(const std::shared_ptr<const ShardControlMsg>& ctl,
+                          const ReplyFn& reply);
+  void FinishRename(const std::string& src, bool committed,
+                    const Status& abort_status);
+
+  /// Called on becoming active: re-drives whatever the journal says was in
+  /// flight (outbound migrations roll forward past cutover or abort before
+  /// it; inbound migrations arm the watchdog; rename intents re-send).
+  void ResumeShardState();
+  void ResetShardVolatileState();
 
   // --- checkpointing ----------------------------------------------------------
   void WriteCheckpoint();
@@ -290,6 +395,36 @@ class MdsServer : public net::Host {
   RenewCursor renew_;
   std::unique_ptr<sim::PeriodicTimer> renew_progress_timer_;
 
+  // --- shard state -------------------------------------------------------------
+  /// Current partition map. Empty on direct-server tests (no admission);
+  /// clusters seed it via MdsOptions::partition_map and servers adopt newer
+  /// maps from coordination-service publications and peer bounces.
+  shard::PartitionMap map_;
+  /// Volatile per-slot engine state on the *source* active. The durable
+  /// truth (begun/cutover/ended/aborted) lives in the journal via the
+  /// tree's ShardState; a drive only exists while this process is driving.
+  struct MigrationDrive {
+    TxId migration_id = 0;
+    GroupId dst = 0;
+    std::vector<std::vector<journal::LogRecord>> chunks;
+    std::size_t next_chunk = 0;
+    std::uint32_t next_seq = 0;
+    bool capturing = false;  ///< record mutated slot paths into `dirty`
+    bool fence = false;      ///< cutover: bounce writes for this slot
+    std::set<std::string> dirty;
+    MigrationStats stats;
+  };
+  std::map<std::uint32_t, MigrationDrive> drives_;
+  /// Volatile side of a pending cross-group rename this active coordinates,
+  /// keyed by source path (the durable intent is in the tree). Holds the
+  /// client reply and the in-flight guard for the commit RPC.
+  struct RenameDrive {
+    ReplyFn reply;  ///< may be null after crash-resume (client already lost)
+    bool inflight = false;
+  };
+  std::map<std::string, RenameDrive> rename_drives_;
+  std::vector<MigrationStats> migration_stats_;
+
   // --- checkpoint state -------------------------------------------------------
   std::unique_ptr<sim::PeriodicTimer> checkpoint_timer_;
   std::optional<std::pair<std::string, SerialNumber>> latest_image_;
@@ -323,6 +458,9 @@ class MdsServer : public net::Host {
     obs::Counter* standby_reads_served;
     obs::Counter* standby_reads_parked;
     obs::Counter* standby_reads_bounced;
+    obs::Counter* shard_bounces;
+    obs::Counter* migrations_completed;
+    obs::Counter* cross_group_renames;
     obs::Histogram* sync_batch_ns;
     obs::Histogram* batch_records;
     obs::Histogram* resolve_ns;

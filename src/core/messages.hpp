@@ -91,6 +91,13 @@ struct ClientResponseMsg final : net::Message {
   /// Standby could not serve the read at the requested min_sn and the
   /// client should retry against the active.
   bool bounced = false;
+  /// The responder does not own the namespace shard for the request's path
+  /// (the partition map moved it). The current map rides along so the
+  /// client re-routes without an extra round trip — the shard analogue of
+  /// the group_epoch rejection above.
+  bool shard_bounce = false;
+  std::uint64_t map_epoch = 0;
+  std::vector<char> map_bytes;
 
   net::MsgType type() const noexcept override { return net::kClientResponse; }
   std::size_t ByteSize() const noexcept override {
@@ -202,6 +209,84 @@ struct RenewJournalReplyMsg final : net::Message {
   std::size_t ByteSize() const noexcept override {
     return 96 + payload_bytes;
   }
+};
+
+// --- shard migration (source active <-> destination active) -----------------
+
+/// One chunk of a shard's contents, streamed source -> destination. The
+/// records are journal install/erase/dedup records the destination applies
+/// and journals through its own group's 2PC before acking, so a chunk ack
+/// means the data is as durable at the destination as any client write.
+struct ShardTransferMsg final : net::Message {
+  GroupId from_group = 0;
+  std::uint32_t slot = 0;
+  TxId migration_id = 0;      ///< source's kShardMigrateBegin txid
+  std::uint32_t seq = 0;      ///< chunk sequence within the migration
+  bool final_chunk = false;   ///< cutover complete: last delta + dedup table
+  std::vector<journal::LogRecord> records;
+
+  net::MsgType type() const noexcept override { return net::kShardTransfer; }
+  std::size_t ByteSize() const noexcept override {
+    std::size_t n = 96;
+    for (const auto& r : records) n += r.EncodedSize();
+    return n;
+  }
+};
+
+struct ShardTransferAckMsg final : net::Message {
+  bool ok = false;
+  std::string error;
+
+  net::MsgType type() const noexcept override { return net::kShardTransferAck; }
+};
+
+enum class ShardControlKind : std::uint8_t {
+  kActivate = 1,      ///< src -> dst: cutover done, own the slot (journals
+                      ///< kShardAcquire; idempotent)
+  kAbort = 2,         ///< src -> dst: migration abandoned, discard the slot
+  kQuery = 3,         ///< dst -> src: what happened to migration_id?
+  kRenameCommit = 4,  ///< rename src-owner -> dst-owner: install dst entry
+};
+
+struct ShardControlMsg final : net::Message {
+  ShardControlKind kind = ShardControlKind::kActivate;
+  GroupId from_group = 0;
+  std::uint32_t slot = 0;
+  TxId migration_id = 0;
+  // kRenameCommit payload: the entry to install at the destination group,
+  // carrying everything needed to rebuild the inode.
+  std::string rename_src;
+  std::string rename_dst;
+  ClientOpId client;
+  std::uint32_t replication = 1;
+  std::uint16_t permission = 0644;
+  std::string owner;
+  SimTime mtime = 0;
+  bool complete = true;
+  std::vector<BlockId> blocks;
+
+  net::MsgType type() const noexcept override { return net::kShardControl; }
+  std::size_t ByteSize() const noexcept override {
+    return 128 + rename_src.size() + rename_dst.size() + owner.size() +
+           blocks.size() * 8;
+  }
+};
+
+/// kQuery outcome: how the source's journal remembers the migration.
+enum class MigrationOutcome : std::uint8_t {
+  kUnknown = 0,      ///< no trace (source never began it)
+  kInProgress = 1,   ///< begun, not yet cut over
+  kEnded = 2,        ///< cut over (or finished): destination owns the slot
+  kAborted = 3,      ///< abandoned before cutover: destination must discard
+};
+
+struct ShardControlAckMsg final : net::Message {
+  bool ok = false;
+  StatusCode code = StatusCode::kOk;
+  std::string error;
+  MigrationOutcome outcome = MigrationOutcome::kUnknown;  ///< kQuery reply
+
+  net::MsgType type() const noexcept override { return net::kShardControlAck; }
 };
 
 // --- data servers --------------------------------------------------------

@@ -6,6 +6,7 @@
 #include "common/types.hpp"
 #include "journal/writer.hpp"
 #include "net/rpc.hpp"
+#include "shard/partition_map.hpp"
 #include "storage/ssp.hpp"
 
 namespace mams::core {
@@ -45,6 +46,11 @@ struct TestHooks {
   /// as if the session-consistency token did not exist: a lagging standby
   /// hands out stale state the client already wrote past.
   bool ignore_min_sn = false;
+  /// Shard migration runs its cutover without the write fence (and without
+  /// capturing the writes as deltas), as if the unavailability window did
+  /// not exist: writes the source accepts during cutover never reach the
+  /// destination and vanish when the slot is dropped.
+  bool skip_cutover_fence = false;
 };
 
 /// Standby read offload (session-consistent reads against hot standbys).
@@ -65,6 +71,23 @@ struct StandbyReadOptions {
 
 struct MdsOptions {
   GroupId group = 0;
+
+  /// Seed namespace partition map (slot -> group routing truth at cluster
+  /// birth). Servers adopt newer maps published through the coordination
+  /// service; requests for slots the group does not own bounce with the
+  /// server's current map attached.
+  shard::PartitionMap partition_map;
+
+  // Shard migration engine.
+  /// Records per transfer chunk streamed to the destination active.
+  std::size_t migration_chunk_records = 32;
+  /// Cutover drain poll cadence and bound: the source waits for its writer
+  /// and in-flight syncs to drain before shipping the final delta chunk.
+  SimTime migration_drain_poll = 50 * kMillisecond;
+  int migration_drain_polls = 40;
+  /// Pacing for migration RPC retries (chunk resend, control resend, map
+  /// publication) — each awaits the peer group's next active.
+  SimTime migration_retry_delay = 500 * kMillisecond;
 
   // Namespace resolution.
   /// Entries in the tree's LRU path->inode resolution cache; 0 disables

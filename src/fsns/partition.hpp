@@ -22,6 +22,22 @@
 
 namespace mams::fsns {
 
+/// Slot of the directory `dir` as a container (where its children live)
+/// in a `slot_count`-slot hash space. The shard::PartitionMap assigns
+/// slots to groups; with `slot_count == groups` this degenerates to the
+/// HashPartitioner's direct group hash.
+inline std::uint32_t DirSlot(std::string_view dir,
+                             std::uint32_t slot_count) noexcept {
+  return static_cast<std::uint32_t>(Fnv1a(dir) % slot_count);
+}
+
+/// Slot owning the directory entry for `path` (hash of its parent).
+inline std::uint32_t PathSlot(std::string_view path,
+                              std::uint32_t slot_count) noexcept {
+  if (path.size() <= 1) return DirSlot("/", slot_count);
+  return DirSlot(ParentPath(path), slot_count);
+}
+
 class HashPartitioner {
  public:
   explicit HashPartitioner(GroupId groups) : groups_(groups == 0 ? 1 : groups) {}
@@ -39,13 +55,20 @@ class HashPartitioner {
   GroupId OwnerOfDir(std::string_view dir) const { return HashDir(dir); }
 
   /// True when an operation on `path` (and optional `path2`) stays within
-  /// one partition.
+  /// one partition. Each path is hashed exactly once per role: the entry
+  /// owner (parent hash) and the dir-as-container owner (path hash) are
+  /// computed once and compared, instead of re-deriving them per clause.
   bool IsLocalOp(std::string_view path) const {
     // A subtree op also involves the dir-as-container partition.
     return OwnerOf(path) == OwnerOfDir(path);
   }
   bool IsLocalOp(std::string_view src, std::string_view dst) const {
-    return OwnerOf(src) == OwnerOf(dst) && IsLocalOp(src) && IsLocalOp(dst);
+    const GroupId src_entry = OwnerOf(src);
+    const GroupId src_dir = OwnerOfDir(src);
+    if (src_entry != src_dir) return false;
+    const GroupId dst_entry = OwnerOf(dst);
+    if (src_entry != dst_entry) return false;
+    return dst_entry == OwnerOfDir(dst);
   }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "fsns/partition.hpp"
 #include "fsns/path.hpp"
 
 namespace mams::fsns {
@@ -15,6 +16,7 @@ Tree::Tree() { Reset(); }
 void Tree::Reset() {
   inodes_.clear();
   client_table_.clear();
+  shard_ = ShardState{};
   resolve_cache_.Clear();
   active_hint_ = nullptr;
   Inode root;
@@ -379,6 +381,140 @@ Status Tree::DoCompleteFile(std::string_view path, SimTime mtime) {
   return Status::Ok();
 }
 
+// --- shard record cores -----------------------------------------------------
+
+Status Tree::DoInstallFile(const journal::LogRecord& record) {
+  // Upsert: a retried transfer chunk may re-apply a file already installed
+  // (possibly with blocks appended by the same chunk), so any existing node
+  // at the path is removed first and the install rebuilds it from scratch.
+  if (Resolve(record.path) != nullptr) {
+    Status del = DoDelete(record.path, record.mtime);
+    if (!del.ok()) return del;
+  }
+  Status s = DoCreate(record.path, record.replication, record.mtime);
+  if (!s.ok()) return s;
+  Inode* node = ResolveMutable(record.path);
+  node->owner = record.path2;
+  node->permission = static_cast<std::uint16_t>(record.block >> 2);
+  node->complete = (record.block & 0x2) != 0;
+  node->mtime = record.mtime;
+  return Status::Ok();
+}
+
+Status Tree::DoInstallDir(const journal::LogRecord& record) {
+  Status s = DoMkdir(record.path, record.mtime);
+  if (!s.ok()) return s;
+  Inode* node = ResolveMutable(record.path);
+  if (node == nullptr || !node->is_dir) {
+    return Status::FailedPrecondition(record.path + " is not a directory");
+  }
+  node->owner = record.path2;
+  node->permission = static_cast<std::uint16_t>(record.block >> 2);
+  node->mtime = record.mtime;
+  return Status::Ok();
+}
+
+Status Tree::DoErase(std::string_view path, SimTime mtime) {
+  if (Resolve(path) == nullptr) return Status::Ok();  // idempotent
+  return DoDelete(path, mtime);
+}
+
+void Tree::DropSlotFiles(std::uint32_t slot, std::uint32_t slot_count,
+                         SimTime mtime) {
+  if (slot_count == 0) return;
+  std::vector<std::string> doomed;
+  ForEachNode([&](const std::string& path, const Inode& node) {
+    if (node.is_dir) return;
+    if (PathSlot(path, slot_count) == slot) doomed.push_back(path);
+  });
+  // ForEachNode yields DFS-sorted paths, so removal order is deterministic.
+  for (const std::string& path : doomed) (void)DoDelete(path, mtime);
+}
+
+Status Tree::ApplyShardControl(const journal::LogRecord& record) {
+  const auto slot = static_cast<std::uint32_t>(record.block);
+  switch (record.op) {
+    case OpCode::kShardMigrateBegin:
+      shard_.outbound[slot] =
+          ShardState::Outbound{record.txid, record.replication, false};
+      break;
+    case OpCode::kShardMigrateCutover:
+      if (auto it = shard_.outbound.find(slot); it != shard_.outbound.end()) {
+        it->second.cutover = true;
+      }
+      break;
+    case OpCode::kShardMigrateEnd: {
+      TxId migration_id = 0;
+      if (auto it = shard_.outbound.find(slot); it != shard_.outbound.end()) {
+        migration_id = it->second.migration_id;
+        shard_.outbound.erase(it);
+      }
+      DropSlotFiles(slot, record.replication, record.mtime);
+      shard_.migrated_out.insert(slot);
+      // A slot this group once *acquired* can later be migrated away again;
+      // keeping it in `acquired` would let both groups claim ownership.
+      shard_.acquired.erase(slot);
+      shard_.history[slot] = ShardState::History{migration_id, true};
+      break;
+    }
+    case OpCode::kShardMigrateAbort: {
+      TxId migration_id = 0;
+      if (auto it = shard_.outbound.find(slot); it != shard_.outbound.end()) {
+        migration_id = it->second.migration_id;
+        shard_.outbound.erase(it);
+      }
+      shard_.history[slot] = ShardState::History{migration_id, false};
+      break;
+    }
+    case OpCode::kShardAcquire:
+      shard_.acquired.insert(slot);
+      shard_.migrated_out.erase(slot);
+      shard_.inbound.erase(slot);
+      break;
+    case OpCode::kShardDiscard:
+      DropSlotFiles(slot, record.replication, record.mtime);
+      shard_.inbound.erase(slot);
+      break;
+    case OpCode::kShardInboundBegin:
+      shard_.inbound[slot] = ShardState::Inbound{
+          static_cast<TxId>(record.mtime), record.replication};
+      break;
+    case OpCode::kRenameIntent:
+      shard_.rename_intents[record.path] = ShardState::RenameIntent{
+          record.path2, record.replication, record.client, record.mtime};
+      break;
+    case OpCode::kRenameFinish: {
+      Status s = DoErase(record.path, record.mtime);
+      if (!s.ok()) return s;
+      shard_.rename_intents.erase(record.path);
+      break;
+    }
+    case OpCode::kRenameAbort:
+      shard_.rename_intents.erase(record.path);
+      break;
+    default:
+      break;  // kRenameCommitDst: dedup entry only (generic path)
+  }
+  return Status::Ok();
+}
+
+void Tree::ForEachNode(
+    const std::function<void(const std::string&, const Inode&)>& fn) const {
+  std::string path;
+  std::function<void(const Inode&)> walk = [&](const Inode& node) {
+    for (const auto& [name, child_id] : node.children) {
+      const Inode& child = inodes_.at(child_id);
+      const std::size_t mark = path.size();
+      if (path.empty() || path.back() != '/') path.push_back('/');
+      path.append(name);
+      fn(path, child);
+      if (child.is_dir) walk(child);
+      path.resize(mark);
+    }
+  };
+  walk(inodes_.at(kRootInode));
+}
+
 // --- public mutations -------------------------------------------------------
 
 namespace {
@@ -558,6 +694,31 @@ Status Tree::Apply(const journal::LogRecord& record, BatchHint* hint) {
     case OpCode::kSetTimes:
       s = DoSetTimes(record.path, record.mtime);
       break;
+    case OpCode::kShardInstallFile:
+      s = DoInstallFile(record);
+      break;
+    case OpCode::kShardInstallDir:
+      s = DoInstallDir(record);
+      break;
+    case OpCode::kShardInstallDedup:
+      s = Status::Ok();  // only the generic RememberApplied below
+      break;
+    case OpCode::kShardErase:
+      s = DoErase(record.path, record.mtime);
+      break;
+    case OpCode::kShardMigrateBegin:
+    case OpCode::kShardMigrateCutover:
+    case OpCode::kShardMigrateEnd:
+    case OpCode::kShardMigrateAbort:
+    case OpCode::kShardAcquire:
+    case OpCode::kShardDiscard:
+    case OpCode::kShardInboundBegin:
+    case OpCode::kRenameIntent:
+    case OpCode::kRenameCommitDst:
+    case OpCode::kRenameFinish:
+    case OpCode::kRenameAbort:
+      s = ApplyShardControl(record);
+      break;
   }
   active_hint_ = nullptr;
   if (hint != nullptr && journal::MutatesStructure(record.op)) {
@@ -572,7 +733,12 @@ Status Tree::Apply(const journal::LogRecord& record, BatchHint* hint) {
                             journal::OpCodeName(record.op) + " " + record.path +
                             "): " + s.ToString());
   }
-  RememberApplied(record.client);
+  // A rename intent is a *prepare*: the client op is not yet durable at the
+  // destination group, so a promoted active must not answer its retry as a
+  // duplicate success. The abort likewise must not poison the dedup table.
+  if (record.op != OpCode::kRenameIntent && record.op != OpCode::kRenameAbort) {
+    RememberApplied(record.client);
+  }
   if (record.txid > last_txid_) last_txid_ = record.txid;
   return Status::Ok();
 }
@@ -581,7 +747,7 @@ Status Tree::Apply(const journal::LogRecord& record, BatchHint* hint) {
 
 namespace {
 constexpr std::uint32_t kImageMagic = 0x4d414d53;  // "MAMS"
-constexpr std::uint32_t kImageVersion = 4;
+constexpr std::uint32_t kImageVersion = 5;  // v5 adds the shard state
 }  // namespace
 
 std::vector<char> Tree::SaveImage() const {
@@ -620,6 +786,39 @@ std::vector<char> Tree::SaveImage() const {
     out.U64(entry.max_seq);
     out.U32(static_cast<std::uint32_t>(entry.recent.size()));
     for (std::uint64_t seq : entry.recent) out.U64(seq);
+  }
+  // Shard state (all containers already sorted).
+  out.U32(static_cast<std::uint32_t>(shard_.acquired.size()));
+  for (std::uint32_t s : shard_.acquired) out.U32(s);
+  out.U32(static_cast<std::uint32_t>(shard_.migrated_out.size()));
+  for (std::uint32_t s : shard_.migrated_out) out.U32(s);
+  out.U32(static_cast<std::uint32_t>(shard_.outbound.size()));
+  for (const auto& [slot, o] : shard_.outbound) {
+    out.U32(slot);
+    out.U64(o.migration_id);
+    out.U32(o.dst_group);
+    out.U8(o.cutover ? 1 : 0);
+  }
+  out.U32(static_cast<std::uint32_t>(shard_.inbound.size()));
+  for (const auto& [slot, ib] : shard_.inbound) {
+    out.U32(slot);
+    out.U64(ib.migration_id);
+    out.U32(ib.from_group);
+  }
+  out.U32(static_cast<std::uint32_t>(shard_.rename_intents.size()));
+  for (const auto& [src, intent] : shard_.rename_intents) {
+    out.Str(src);
+    out.Str(intent.dst);
+    out.U32(intent.dst_group);
+    out.U64(intent.client.client_id);
+    out.U64(intent.client.op_seq);
+    out.I64(intent.mtime);
+  }
+  out.U32(static_cast<std::uint32_t>(shard_.history.size()));
+  for (const auto& [slot, h] : shard_.history) {
+    out.U32(slot);
+    out.U64(h.migration_id);
+    out.U8(h.ended ? 1 : 0);
   }
   const std::uint64_t checksum = out.Checksum();
   out.U64(checksum);
@@ -684,6 +883,44 @@ Status Tree::LoadImage(const std::vector<char>& bytes) {
     for (std::uint32_t r = 0; r < nrecent; ++r) entry.recent.insert(in.U64());
     fresh.client_table_.emplace(id, std::move(entry));
   }
+  for (std::uint32_t i = 0, n = in.U32(); i < n; ++i) {
+    fresh.shard_.acquired.insert(in.U32());
+  }
+  for (std::uint32_t i = 0, n = in.U32(); i < n; ++i) {
+    fresh.shard_.migrated_out.insert(in.U32());
+  }
+  for (std::uint32_t i = 0, n = in.U32(); i < n; ++i) {
+    const std::uint32_t slot = in.U32();
+    ShardState::Outbound o;
+    o.migration_id = in.U64();
+    o.dst_group = in.U32();
+    o.cutover = in.U8() != 0;
+    fresh.shard_.outbound.emplace(slot, o);
+  }
+  for (std::uint32_t i = 0, n = in.U32(); i < n; ++i) {
+    const std::uint32_t slot = in.U32();
+    ShardState::Inbound ib;
+    ib.migration_id = in.U64();
+    ib.from_group = in.U32();
+    fresh.shard_.inbound.emplace(slot, ib);
+  }
+  for (std::uint32_t i = 0, n = in.U32(); i < n; ++i) {
+    std::string src = in.Str();
+    ShardState::RenameIntent intent;
+    intent.dst = in.Str();
+    intent.dst_group = in.U32();
+    intent.client.client_id = in.U64();
+    intent.client.op_seq = in.U64();
+    intent.mtime = in.I64();
+    fresh.shard_.rename_intents.emplace(std::move(src), std::move(intent));
+  }
+  for (std::uint32_t i = 0, n = in.U32(); i < n; ++i) {
+    const std::uint32_t slot = in.U32();
+    ShardState::History h;
+    h.migration_id = in.U64();
+    h.ended = in.U8() != 0;
+    fresh.shard_.history.emplace(slot, h);
+  }
   if (!in.ok()) return Status::Corruption("truncated image");
   if (!fresh.inodes_.contains(kRootInode)) {
     return Status::Corruption("image missing root");
@@ -723,6 +960,30 @@ std::uint64_t Tree::Fingerprint() const {
     const std::uint64_t vals[] = {id, entry.max_seq, entry.recent.size()};
     h = Fnv1a(vals, sizeof(vals), h);
     for (std::uint64_t seq : entry.recent) h = Fnv1a(&seq, sizeof(seq), h);
+  }
+  for (std::uint32_t s : shard_.acquired) h = Fnv1a(&s, sizeof(s), h);
+  for (std::uint32_t s : shard_.migrated_out) h = Fnv1a(&s, sizeof(s), h);
+  for (const auto& [slot, o] : shard_.outbound) {
+    const std::uint64_t vals[] = {slot, o.migration_id, o.dst_group,
+                                  static_cast<std::uint64_t>(o.cutover)};
+    h = Fnv1a(vals, sizeof(vals), h);
+  }
+  for (const auto& [slot, ib] : shard_.inbound) {
+    const std::uint64_t vals[] = {slot, ib.migration_id, ib.from_group};
+    h = Fnv1a(vals, sizeof(vals), h);
+  }
+  for (const auto& [src, intent] : shard_.rename_intents) {
+    h = Fnv1a(src, h);
+    h = Fnv1a(intent.dst, h);
+    const std::uint64_t vals[] = {intent.dst_group, intent.client.client_id,
+                                  intent.client.op_seq,
+                                  static_cast<std::uint64_t>(intent.mtime)};
+    h = Fnv1a(vals, sizeof(vals), h);
+  }
+  for (const auto& [slot, hist] : shard_.history) {
+    const std::uint64_t vals[] = {slot, hist.migration_id,
+                                  static_cast<std::uint64_t>(hist.ended)};
+    h = Fnv1a(vals, sizeof(vals), h);
   }
   h = Fnv1a(&last_txid_, sizeof(last_txid_), h);
   return h;

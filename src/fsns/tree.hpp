@@ -24,6 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include <functional>
+
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 #include "common/types.hpp"
@@ -193,6 +195,54 @@ class Tree {
   /// True when <client, op_seq> was already applied.
   bool IsDuplicate(ClientOpId client) const;
 
+  /// Read access to the dedup table (wholesale transfer during migration;
+  /// iteration order is not deterministic — callers must sort).
+  const std::unordered_map<std::uint64_t, ClientEntry>& client_table() const {
+    return client_table_;
+  }
+
+  // --- shard migration state -------------------------------------------------
+  // Durable bookkeeping for the shard subsystem, replicated as part of the
+  // tree itself: every replica (standby, junior, promoted active) derives
+  // migration/rename progress from its journal and image alone, so a
+  // failover never forgets an in-flight migration. Updated exclusively by
+  // Apply() on the kShard*/kRename* records; serialized in the image and
+  // folded into the fingerprint.
+  struct ShardState {
+    struct Outbound {
+      TxId migration_id = 0;
+      GroupId dst_group = 0;
+      bool cutover = false;
+    };
+    struct Inbound {
+      TxId migration_id = 0;
+      GroupId from_group = 0;
+    };
+    struct RenameIntent {
+      std::string dst;
+      GroupId dst_group = 0;
+      ClientOpId client;
+      SimTime mtime = 0;
+    };
+    struct History {
+      TxId migration_id = 0;
+      bool ended = false;  ///< true: rolled forward; false: aborted
+    };
+    std::set<std::uint32_t> acquired;      ///< slots owned beyond the map
+    std::set<std::uint32_t> migrated_out;  ///< slots given away (stale map)
+    std::map<std::uint32_t, Outbound> outbound;  ///< migrations we source
+    std::map<std::uint32_t, Inbound> inbound;    ///< migrations we receive
+    std::map<std::string, RenameIntent> rename_intents;  ///< by src path
+    std::map<std::uint32_t, History> history;    ///< finished, by slot
+  };
+  const ShardState& shard() const noexcept { return shard_; }
+
+  /// Deterministic DFS over every inode except the root, with the full path
+  /// materialized (directories before their children, children in sorted
+  /// order). Used by the migration snapshot.
+  void ForEachNode(
+      const std::function<void(const std::string&, const Inode&)>& fn) const;
+
  private:
   Inode& Mutable(InodeId id) { return inodes_.at(id); }
   const Inode* Resolve(std::string_view path) const;
@@ -227,6 +277,17 @@ class Tree {
                          SimTime mtime);
   Status DoSetTimes(std::string_view path, SimTime mtime);
 
+  // Shard-record cores (idempotent upserts / erases — see record.hpp).
+  Status DoInstallFile(const journal::LogRecord& record);
+  Status DoInstallDir(const journal::LogRecord& record);
+  Status DoErase(std::string_view path, SimTime mtime);
+  /// Removes every *file* whose entry hashes to `slot`; ghost directories
+  /// stay behind (other slots' files may live under them).
+  void DropSlotFiles(std::uint32_t slot, std::uint32_t slot_count,
+                     SimTime mtime);
+  /// Applies one shard/rename control record to shard_.
+  Status ApplyShardControl(const journal::LogRecord& record);
+
   void CountInode(const Inode& inode, int delta);
 
   std::unordered_map<InodeId, Inode> inodes_;
@@ -235,6 +296,7 @@ class Tree {
   TxId last_txid_ = 0;
   std::uint64_t file_count_ = 0;
   std::unordered_map<std::uint64_t, ClientEntry> client_table_;
+  ShardState shard_;
 
   /// Pure accelerator state: never serialized, never fingerprinted, never
   /// observable through query results — only through resolve speed.

@@ -24,6 +24,36 @@ const char* OpCodeName(OpCode op) noexcept {
       return "setPermission";
     case OpCode::kSetTimes:
       return "setTimes";
+    case OpCode::kShardInstallFile:
+      return "shardInstallFile";
+    case OpCode::kShardInstallDir:
+      return "shardInstallDir";
+    case OpCode::kShardInstallDedup:
+      return "shardInstallDedup";
+    case OpCode::kShardErase:
+      return "shardErase";
+    case OpCode::kShardMigrateBegin:
+      return "shardMigrateBegin";
+    case OpCode::kShardMigrateCutover:
+      return "shardMigrateCutover";
+    case OpCode::kShardMigrateEnd:
+      return "shardMigrateEnd";
+    case OpCode::kShardMigrateAbort:
+      return "shardMigrateAbort";
+    case OpCode::kShardAcquire:
+      return "shardAcquire";
+    case OpCode::kShardDiscard:
+      return "shardDiscard";
+    case OpCode::kShardInboundBegin:
+      return "shardInboundBegin";
+    case OpCode::kRenameIntent:
+      return "renameIntent";
+    case OpCode::kRenameCommitDst:
+      return "renameCommitDst";
+    case OpCode::kRenameFinish:
+      return "renameFinish";
+    case OpCode::kRenameAbort:
+      return "renameAbort";
   }
   return "unknown";
 }

@@ -30,6 +30,33 @@ enum class OpCode : std::uint8_t {
   kSetOwner = 8,
   kSetPermission = 9,
   kSetTimes = 10,
+  // Shard migration records (src/shard subsystem). Install records are
+  // idempotent upserts so a retried transfer chunk re-applies cleanly;
+  // migration control records update the tree's ShardState so that every
+  // replica (standby, junior, promoted active) reconstructs migration
+  // progress from its journal/image alone.
+  kShardInstallFile = 11,   ///< upsert file at dst; path2=owner, block packs
+                            ///< permission<<2 | complete<<1
+  kShardInstallDir = 12,    ///< upsert directory attributes at dst
+  kShardInstallDedup = 13,  ///< transfer one client dedup entry to dst
+  kShardErase = 14,         ///< delta-capture delete at dst (no-op if absent)
+  kShardMigrateBegin = 15,  ///< src: block=slot, replication=dst group;
+                            ///< this record's txid is the migration id
+  kShardMigrateCutover = 16,  ///< src: replicated cutover fence
+  kShardMigrateEnd = 17,      ///< src: drop slot files; block=slot,
+                              ///< replication=slot_count
+  kShardMigrateAbort = 18,    ///< src: migration abandoned
+  kShardAcquire = 19,       ///< dst: owns slot from now on; block=slot
+  kShardDiscard = 20,       ///< dst: drop half-received slot; block=slot,
+                            ///< replication=slot_count
+  kShardInboundBegin = 21,  ///< dst: first chunk seen; block=slot,
+                            ///< replication=src group, mtime=migration id
+  // Cross-group rename transaction records.
+  kRenameIntent = 22,     ///< src group: path=src, path2=dst,
+                          ///< replication=dst group, client=real client
+  kRenameCommitDst = 23,  ///< dst group: dst entry installed; dedup point
+  kRenameFinish = 24,     ///< src group: delete src entry, remember client
+  kRenameAbort = 25,      ///< src group: intent abandoned
 };
 
 const char* OpCodeName(OpCode op) noexcept;
@@ -40,7 +67,9 @@ const char* OpCodeName(OpCode op) noexcept;
 /// path caches — must drop it for the affected prefixes after such a
 /// record; everything else is invalidation-free by construction.
 constexpr bool MutatesStructure(OpCode op) noexcept {
-  return op == OpCode::kDelete || op == OpCode::kRename;
+  return op == OpCode::kDelete || op == OpCode::kRename ||
+         op == OpCode::kShardErase || op == OpCode::kShardMigrateEnd ||
+         op == OpCode::kShardDiscard || op == OpCode::kRenameFinish;
 }
 
 struct LogRecord {

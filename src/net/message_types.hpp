@@ -67,6 +67,12 @@ inline constexpr MsgType kRsmDecision = 0x070b;
 inline constexpr MsgType kTestPing = 0x0801;
 inline constexpr MsgType kTestPong = 0x0802;
 
+// 0x09xx — shard migration (active <-> active transfer and control)
+inline constexpr MsgType kShardTransfer = 0x0901;
+inline constexpr MsgType kShardTransferAck = 0x0902;
+inline constexpr MsgType kShardControl = 0x0903;
+inline constexpr MsgType kShardControlAck = 0x0904;
+
 /// Human-readable name for a message type, used to key per-type network
 /// metrics ("net.sent.journal_prepare" etc.). Unknown ids map to "unknown"
 /// so forgetting to extend this table cannot crash a bench.
@@ -115,6 +121,10 @@ inline const char* MsgTypeName(MsgType type) noexcept {
     case kRsmDecision: return "rsm_decision";
     case kTestPing: return "test_ping";
     case kTestPong: return "test_pong";
+    case kShardTransfer: return "shard_transfer";
+    case kShardTransferAck: return "shard_transfer_ack";
+    case kShardControl: return "shard_control";
+    case kShardControlAck: return "shard_control_ack";
     default: return "unknown";
   }
 }

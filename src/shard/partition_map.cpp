@@ -1,0 +1,141 @@
+#include "shard/partition_map.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+
+namespace mams::shard {
+
+PartitionMap PartitionMap::Seed(GroupId groups, std::uint32_t slot_count) {
+  PartitionMap map;
+  map.epoch_ = 1;
+  map.slot_count_ = std::max<std::uint32_t>(1, slot_count);
+  if (groups == 0) groups = 1;
+  map.ranges_.reserve(map.slot_count_);
+  for (std::uint32_t s = 0; s < map.slot_count_; ++s) {
+    map.ranges_.push_back(
+        {s, s, static_cast<GroupId>(s % groups)});
+  }
+  map.Normalize();
+  return map;
+}
+
+GroupId PartitionMap::OwnerOfSlot(std::uint32_t slot) const {
+  return ranges_[RangeOf(slot)].group;
+}
+
+std::size_t PartitionMap::RangeOf(std::uint32_t slot) const {
+  // Ranges are sorted by lo; find the last range with lo <= slot.
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), slot,
+      [](std::uint32_t s, const ShardRange& r) { return s < r.lo; });
+  return static_cast<std::size_t>(it - ranges_.begin()) - 1;
+}
+
+void PartitionMap::Normalize() {
+  std::vector<ShardRange> merged;
+  for (const ShardRange& r : ranges_) {
+    if (!merged.empty() && merged.back().group == r.group &&
+        merged.back().hi + 1 == r.lo) {
+      merged.back().hi = r.hi;
+    } else {
+      merged.push_back(r);
+    }
+  }
+  ranges_ = std::move(merged);
+}
+
+void PartitionMap::Assign(std::uint32_t slot, GroupId group) {
+  const std::size_t i = RangeOf(slot);
+  const ShardRange r = ranges_[i];
+  std::vector<ShardRange> replacement;
+  if (r.lo < slot) replacement.push_back({r.lo, slot - 1, r.group});
+  replacement.push_back({slot, slot, group});
+  if (slot < r.hi) replacement.push_back({slot + 1, r.hi, r.group});
+  ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(i));
+  ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(i),
+                 replacement.begin(), replacement.end());
+  Normalize();
+  ++epoch_;
+}
+
+void PartitionMap::Split(std::uint32_t slot) {
+  const std::size_t i = RangeOf(slot);
+  const ShardRange r = ranges_[i];
+  if (r.lo == slot) return;  // already a boundary
+  ranges_[i].hi = slot - 1;
+  ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                 {slot, r.hi, r.group});
+  ++epoch_;
+}
+
+void PartitionMap::MergeWithNext(std::uint32_t slot) {
+  const std::size_t i = RangeOf(slot);
+  if (i + 1 >= ranges_.size()) return;
+  if (ranges_[i].group != ranges_[i + 1].group) return;
+  ranges_[i].hi = ranges_[i + 1].hi;
+  ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  ++epoch_;
+}
+
+Status PartitionMap::Validate() const {
+  if (slot_count_ == 0) return Status::InvalidArgument("zero slots");
+  if (ranges_.empty()) return Status::InvalidArgument("empty map");
+  std::uint32_t next = 0;
+  for (const ShardRange& r : ranges_) {
+    if (r.lo != next) {
+      return Status::InvalidArgument(
+          "range gap/overlap at slot " + std::to_string(r.lo) +
+          " (expected " + std::to_string(next) + ")");
+    }
+    if (r.hi < r.lo) return Status::InvalidArgument("inverted range");
+    next = r.hi + 1;
+  }
+  if (next != slot_count_) {
+    return Status::InvalidArgument("ranges cover " + std::to_string(next) +
+                                   " of " + std::to_string(slot_count_) +
+                                   " slots");
+  }
+  return Status::Ok();
+}
+
+namespace {
+constexpr std::uint32_t kMapMagic = 0x4d50544du;  // "MPTM"
+}  // namespace
+
+std::vector<char> PartitionMap::Serialize() const {
+  ByteWriter out;
+  out.U32(kMapMagic);
+  out.U64(epoch_);
+  out.U32(slot_count_);
+  out.U32(static_cast<std::uint32_t>(ranges_.size()));
+  for (const ShardRange& r : ranges_) {
+    out.U32(r.lo);
+    out.U32(r.hi);
+    out.U32(r.group);
+  }
+  return std::move(out).Take();
+}
+
+Result<PartitionMap> PartitionMap::Deserialize(const std::vector<char>& bytes) {
+  ByteReader in(bytes.data(), bytes.size());
+  if (in.U32() != kMapMagic) return Status::Corruption("bad partition map");
+  PartitionMap map;
+  map.epoch_ = in.U64();
+  map.slot_count_ = in.U32();
+  const std::uint32_t n = in.U32();
+  map.ranges_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ShardRange r;
+    r.lo = in.U32();
+    r.hi = in.U32();
+    r.group = in.U32();
+    map.ranges_.push_back(r);
+  }
+  if (!in.ok()) return Status::Corruption("truncated partition map");
+  Status valid = map.Validate();
+  if (!valid.ok()) return valid;
+  return map;
+}
+
+}  // namespace mams::shard

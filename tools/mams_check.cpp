@@ -52,14 +52,18 @@ void Usage() {
       "  --seeds N          seeds to sweep (default 50)\n"
       "  --seed-base B      first seed (default 1)\n"
       "  --seed S           run exactly one seed\n"
-      "  --mutation M       none|sn_dedup|fencing|min_sn (default none)\n"
+      "  --mutation M       none|sn_dedup|fencing|min_sn|cutover_fence\n"
+      "                     (default none; cutover_fence implies the\n"
+      "                     migrations profile's two-group topology)\n"
       "  --standby-reads    serve reads from standbys (session-consistent\n"
       "                     offload; min_sn mutation implies this)\n"
       "  --clients N        fuzz clients per run (default 2)\n"
       "  --ops N            ops per client (default 40)\n"
       "  --faults N         faults per run (default 5)\n"
-      "  --profile P        default|renames — renames is rename/delete-\n"
-      "                     heavy (resolve-cache invalidation pressure)\n"
+      "  --profile P        default|renames|migrations — renames is\n"
+      "                     rename/delete-heavy (resolve-cache pressure);\n"
+      "                     migrations runs two replica groups with live\n"
+      "                     shard migrations and cross-group renames\n"
       "  --no-shrink        skip schedule shrinking on violation\n"
       "  --shrink-runs N    shrink rerun budget (default 200)\n"
       "  --out-dir DIR      where .repro files go (default .)\n"
@@ -99,7 +103,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->faults = std::atoi(value());
     } else if (arg == "--profile") {
       args->profile = value();
-      if (args->profile != "default" && args->profile != "renames") {
+      if (args->profile != "default" && args->profile != "renames" &&
+          args->profile != "migrations") {
         std::fprintf(stderr, "unknown profile %s\n", args->profile.c_str());
         return false;
       }
@@ -175,6 +180,18 @@ int Sweep(const Args& args) {
     profile.mix.remove = 0.20;
     profile.mix.getfileinfo = 0.15;
     profile.mix.listdir = 0.10;
+  } else if (args.profile == "migrations" ||
+             args.mutation == Mutation::kSkipCutoverFence) {
+    // Two replica groups behind a seeded partition map; shard migrations
+    // fire mid-run and renames regularly cross the group boundary. No
+    // mkdir: directories stay implicit, so a rename source is never a
+    // directory (cross-group subtree moves are deliberately unsupported).
+    profile.groups = 2;
+    profile.migrations = 3;
+    profile.mix.create = 0.40;
+    profile.mix.rename = 0.20;
+    profile.mix.remove = 0.15;
+    profile.mix.getfileinfo = 0.25;
   }
 
   const std::uint64_t base = args.single_seed ? args.seed : args.seed_base;
