@@ -75,7 +75,7 @@ class NameNodeBase : public net::Host {
 
   void OnStart() override {
     writer_ = std::make_unique<journal::Writer>(
-        sim(), writer_options_, [this](journal::Batch b) {
+        sim(), writer_options_, [this](journal::Batch b, std::vector<char>) {
           last_sn_ = b.sn;
           ++inflight_batches_;
           PersistBatch(std::move(b));

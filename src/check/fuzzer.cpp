@@ -1,6 +1,8 @@
 #include "check/fuzzer.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <set>
 
@@ -50,6 +52,8 @@ const char* MutationName(Mutation m) {
       return "min_sn";
     case Mutation::kSkipCutoverFence:
       return "cutover_fence";
+    case Mutation::kIgnoreApplyDeps:
+      return "apply_deps";
   }
   return "?";
 }
@@ -57,7 +61,8 @@ const char* MutationName(Mutation m) {
 bool ParseMutation(const std::string& name, Mutation* out) {
   for (const Mutation m : {Mutation::kNone, Mutation::kNoSnDedup,
                            Mutation::kNoFencing, Mutation::kIgnoreMinSn,
-                           Mutation::kSkipCutoverFence}) {
+                           Mutation::kSkipCutoverFence,
+                           Mutation::kIgnoreApplyDeps}) {
     if (name == MutationName(m)) {
       *out = m;
       return true;
@@ -103,46 +108,76 @@ RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile) {
   spec.clients = profile.clients;
   spec.groups = std::max(1, profile.groups);
   spec.standby_reads = profile.standby_reads;
+  spec.batch_delay = profile.batch_delay;
+  spec.pipeline_depth = profile.pipeline_depth;
   // Generation rng is decoupled from the execution seed so that replaying
   // a spec never re-consults it.
   Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x66757a7aull);
   const workload::Mix mix = MixEmpty(profile.mix) ? DefaultMix() : profile.mix;
 
-  // Per-client op schedules. Disjoint per-client roots keep the checker's
-  // cross-client interleavings tractable while the cluster still serializes
-  // everything through the single active. The last client (when slow) works
-  // on multi-second think times: it spans failover windows with a stale
-  // active cache, the access pattern that exposes fencing bugs.
-  std::vector<std::vector<OpEntry>> per_client(
-      static_cast<std::size_t>(spec.clients));
-  for (int c = 0; c < spec.clients; ++c) {
-    const bool slow =
-        profile.slow_client && spec.clients > 1 && c == spec.clients - 1;
-    workload::OpStream stream(
-        mix, seed ^ (0x517cc1b727220a95ull * static_cast<std::uint64_t>(c + 1)),
-        /*directories=*/6, "/fuzz/c" + std::to_string(c));
-    const int count =
-        slow ? std::max(4, profile.ops_per_client / 4) : profile.ops_per_client;
-    for (int i = 0; i < count; ++i) {
+  if (profile.shared_namespace) {
+    // One op stream dealt round-robin across every client: consecutive,
+    // *dependent* ops (create f -> addBlock f -> delete f) come from
+    // different clients, so they can be in flight concurrently and land
+    // in one journal batch. Disjoint per-client streams almost never put
+    // two ops on the same file into the same batch — the only durable
+    // way a replica-side reordering diverges (directory-mtime skew heals
+    // as later traffic overwrites it; same-file races do not).
+    workload::OpStream stream(mix, seed ^ 0x517cc1b727220a95ull,
+                              /*directories=*/6, "/fuzz/shared");
+    const int total = spec.clients * profile.ops_per_client;
+    for (int i = 0; i < total; ++i) {
       OpEntry entry;
-      entry.client = c;
+      entry.client = i % spec.clients;
       entry.think =
-          slow ? static_cast<SimTime>(1500 + rng.Below(2500)) * kMillisecond
-               : static_cast<SimTime>(20 + rng.Below(380)) * kMillisecond;
+          profile.hot_clients
+              ? static_cast<SimTime>(rng.Below(2000)) * kMicrosecond
+              : static_cast<SimTime>(20 + rng.Below(380)) * kMillisecond;
       entry.op = stream.Next();
-      per_client[static_cast<std::size_t>(c)].push_back(std::move(entry));
+      spec.ops.push_back(std::move(entry));
     }
-  }
-  // Round-robin interleave: shrinker chunks then cut across clients evenly.
-  for (std::size_t i = 0;; ++i) {
-    bool any = false;
-    for (const auto& list : per_client) {
-      if (i < list.size()) {
-        spec.ops.push_back(list[i]);
-        any = true;
+  } else {
+    // Per-client op schedules. Disjoint per-client roots keep the
+    // checker's cross-client interleavings tractable while the cluster
+    // still serializes everything through the single active. The last
+    // client (when slow) works on multi-second think times: it spans
+    // failover windows with a stale active cache, the access pattern that
+    // exposes fencing bugs.
+    std::vector<std::vector<OpEntry>> per_client(
+        static_cast<std::size_t>(spec.clients));
+    for (int c = 0; c < spec.clients; ++c) {
+      const bool slow =
+          profile.slow_client && spec.clients > 1 && c == spec.clients - 1;
+      workload::OpStream stream(
+          mix,
+          seed ^ (0x517cc1b727220a95ull * static_cast<std::uint64_t>(c + 1)),
+          /*directories=*/6, "/fuzz/c" + std::to_string(c));
+      const int count = slow ? std::max(4, profile.ops_per_client / 4)
+                             : profile.ops_per_client;
+      for (int i = 0; i < count; ++i) {
+        OpEntry entry;
+        entry.client = c;
+        entry.think =
+            slow ? static_cast<SimTime>(1500 + rng.Below(2500)) * kMillisecond
+            : profile.hot_clients
+                ? static_cast<SimTime>(rng.Below(2000)) * kMicrosecond
+                : static_cast<SimTime>(20 + rng.Below(380)) * kMillisecond;
+        entry.op = stream.Next();
+        per_client[static_cast<std::size_t>(c)].push_back(std::move(entry));
       }
     }
-    if (!any) break;
+    // Round-robin interleave: shrinker chunks then cut across clients
+    // evenly.
+    for (std::size_t i = 0;; ++i) {
+      bool any = false;
+      for (const auto& list : per_client) {
+        if (i < list.size()) {
+          spec.ops.push_back(list[i]);
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
   }
 
   // Fault schedule, front-loaded into the op phase so the quiesce window
@@ -278,6 +313,14 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
     case Mutation::kSkipCutoverFence:
       cfg.mds.test_hooks.skip_cutover_fence = true;
       break;
+    case Mutation::kIgnoreApplyDeps:
+      cfg.mds.test_hooks.ignore_apply_deps = true;
+      break;
+  }
+  if (spec.batch_delay > 0) cfg.mds.writer.max_batch_delay = spec.batch_delay;
+  if (spec.pipeline_depth > 0) {
+    cfg.mds.commit_pipeline_depth =
+        static_cast<std::size_t>(spec.pipeline_depth);
   }
   // The min_sn mutation is only observable when standbys answer reads, so
   // it forces the offload on; .repro files then replay correctly even if
@@ -405,6 +448,29 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
   result.virtual_end = sim.Now();
   result.run_digest = sim.run_digest();
 
+  // Debug aid: MAMS_FUZZ_DEBUG=1 dumps per-replica apply/pipeline counters
+  // after the run — the quick way to see whether a profile actually
+  // produced multi-record batches (apply_records >> batches_applied).
+  if (std::getenv("MAMS_FUZZ_DEBUG") != nullptr) {
+    for (int g = 0; g < groups; ++g) {
+      for (int m = 0; m < 1 + spec.standbys; ++m) {
+        const auto& c = cfs.mds(static_cast<GroupId>(g), m).counters();
+        core::MdsServer& mds = cfs.mds(static_cast<GroupId>(g), m);
+        std::fprintf(stderr,
+                     "dbg %s role=%d applied=%llu apply_records=%llu "
+                     "waves=%llu serial_fb=%llu deferred=%llu synced=%llu "
+                     "fp=%016llx\n",
+                     mds.name().c_str(), static_cast<int>(mds.role()),
+                     (unsigned long long)c.batches_applied,
+                     (unsigned long long)c.apply_records,
+                     (unsigned long long)c.apply_waves,
+                     (unsigned long long)c.apply_serial_fallbacks,
+                     (unsigned long long)c.pipeline_deferred,
+                     (unsigned long long)c.batches_synced,
+                     (unsigned long long)mds.tree().Fingerprint());
+      }
+    }
+  }
   // Replica-divergence audit: at quiescence every standby must hold its
   // group active's exact namespace (same criterion the chaos tests use).
   for (int g = 0; g < groups; ++g) {

@@ -36,12 +36,18 @@ namespace mams::check {
 /// and keeps admitting writes through the cutover, so any mutation
 /// accepted after the snapshot is acknowledged but vanishes when the
 /// shard is erased — a lost-write the checker must catch.
+/// kIgnoreApplyDeps replaces the batch dependency planner with a naive
+/// single-wave reversal on every replica apply path: records that
+/// conflict (two creates in one directory, delete-then-create) land in
+/// the wrong order, so standby fingerprints drift from the active — the
+/// replica-divergence audit must catch it.
 enum class Mutation : std::uint8_t {
   kNone,
   kNoSnDedup,
   kNoFencing,
   kIgnoreMinSn,
   kSkipCutoverFence,
+  kIgnoreApplyDeps,
 };
 
 const char* MutationName(Mutation m);
@@ -92,6 +98,16 @@ struct RunSpec {
   SimTime warmup = 2 * kSecond;     ///< boot -> first op
   SimTime run_for = 30 * kSecond;   ///< op/fault phase -> heal
   SimTime quiesce = 45 * kSecond;   ///< heal -> audit reads
+  /// Non-zero overrides the writer's aggregation window, so batches grow
+  /// wide enough for intra-batch reordering to matter (the apply_race
+  /// profile raises this; 0 keeps the production default).
+  SimTime batch_delay = 0;
+  /// Non-zero overrides MdsOptions::commit_pipeline_depth. Fuzz clients
+  /// are closed-loop (at most `clients` mutations outstanding), so with
+  /// the default window a flush slot is always free and every batch
+  /// carries one record; a window narrower than the client count forces
+  /// a backlog that group commit aggregates into multi-record batches.
+  int pipeline_depth = 0;
   std::vector<OpEntry> ops;
   std::vector<FaultAction> faults;
 };
@@ -118,6 +134,22 @@ struct FuzzProfile {
   /// than a roll in the fault palette — guarantees every seed actually
   /// exercises migrations.
   int migrations = 0;
+  /// All clients work one shared directory tree instead of disjoint
+  /// per-client roots. Disjoint roots make every same-batch record pair
+  /// conflict-free, which is exactly the case where the apply planner has
+  /// nothing to order — a shared namespace is what makes intra-batch
+  /// dependencies (and planner bugs) reachable.
+  bool shared_namespace = false;
+  /// Copied into RunSpec::batch_delay by MakeSpec (0 = writer default).
+  SimTime batch_delay = 0;
+  /// Copied into RunSpec::pipeline_depth by MakeSpec (0 = default).
+  int pipeline_depth = 0;
+  /// Clients issue ops with sub-10ms think times instead of 20-400ms.
+  /// Group commit only aggregates records that arrive while the pipeline
+  /// window is full — clients slower than a sync round produce
+  /// single-record batches, which reordering cannot disturb. Hot clients
+  /// outrun the sync rounds, so batches grow genuinely multi-record.
+  bool hot_clients = false;
 };
 
 RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile = {});

@@ -42,6 +42,14 @@ std::string SerializeSpec(const RunSpec& spec) {
   out << "warmup_us=" << spec.warmup << "\n";
   out << "run_us=" << spec.run_for << "\n";
   out << "quiesce_us=" << spec.quiesce << "\n";
+  // Optional keys are written only when non-default so files from older
+  // builds (which reject unknown keys) stay byte-identical.
+  if (spec.batch_delay != 0) {
+    out << "batch_delay_us=" << spec.batch_delay << "\n";
+  }
+  if (spec.pipeline_depth != 0) {
+    out << "pipeline_depth=" << spec.pipeline_depth << "\n";
+  }
   for (const OpEntry& e : spec.ops) {
     out << "op " << e.client << " " << e.think << " " << OpKindName(e.op.kind)
         << " " << e.op.path;
@@ -122,6 +130,10 @@ Result<RunSpec> ParseSpec(const std::string& text) {
           spec.run_for = std::stoll(value);
         } else if (key == "quiesce_us") {
           spec.quiesce = std::stoll(value);
+        } else if (key == "batch_delay_us") {
+          spec.batch_delay = std::stoll(value);
+        } else if (key == "pipeline_depth") {
+          spec.pipeline_depth = std::stoi(value);
         } else {
           return Malformed(line_no, "unknown key '" + key + "'");
         }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <string_view>
 
+#include "journal/apply_plan.hpp"
 #include "net/rpc.hpp"
 
 namespace mams::core {
@@ -189,7 +191,9 @@ void MdsServer::OnStart() {
             fence_ = r.value().fence;
             writer_ = std::make_unique<journal::Writer>(
                 sim(), options_.writer,
-                [this](journal::Batch b) { OnBatchSealed(std::move(b)); });
+                [this](journal::Batch b, std::vector<char> bytes) {
+                  OnBatchSealed(std::move(b), std::move(bytes));
+                });
             writer_->Reseed(last_sn_, tree_.last_txid());
             BecomeRole(ServerState::kActive);
           });
@@ -225,6 +229,8 @@ void MdsServer::OnCrash() {
   committed_sn_ = 0;
   cpu_free_at_ = 0;
   pending_sync_.clear();
+  deferred_batches_.clear();
+  finalizing_syncs_ = false;
   pending_replies_.clear();
   sync_targets_.clear();
   recent_batches_.clear();
@@ -291,7 +297,9 @@ void MdsServer::BecomeRole(ServerState role) {
     if (!writer_) {
       writer_ = std::make_unique<journal::Writer>(
           sim(), options_.writer,
-          [this](journal::Batch b) { OnBatchSealed(std::move(b)); });
+          [this](journal::Batch b, std::vector<char> bytes) {
+            OnBatchSealed(std::move(b), std::move(bytes));
+          });
       writer_->Reseed(last_sn_, tree_.last_txid());
     }
     renew_scan_timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -540,7 +548,8 @@ void MdsServer::UpgradeStep4DrainReplica(std::size_t replica,
           for (const auto& rec : r.value()->records) {
             auto batch = journal::Batch::Deserialize(rec.bytes);
             if (batch.ok() && batch.value().sn == last_sn_ + 1) {
-              ApplyBatch(batch.value());
+              ApplyBatch(std::make_shared<const journal::Batch>(
+                  std::move(batch.value())));
               advanced = true;
             }
           }
@@ -641,7 +650,10 @@ void MdsServer::UpgradeStep5CatchUp(NodeId source, SerialNumber target_sn) {
         if (r.ok()) {
           const auto& resp = net::Cast<RenewJournalReplyMsg>(r.value());
           for (const auto& b : resp.batches) {
-            if (b.sn > last_sn_) pending_batches_.emplace(b.sn, b);
+            if (b.sn > last_sn_) {
+              pending_batches_.emplace(
+                  b.sn, std::make_shared<const journal::Batch>(b));
+            }
           }
           ApplyReadyBatches();
         }
@@ -715,7 +727,7 @@ void MdsServer::StepDownFromActive(const char* why) {
   // paper handles this by degrading the deposed active to junior; we keep
   // the fast path when the server is provably clean.
   const bool dirty = dirty_ || !pending_replies_.empty() ||
-                     !pending_sync_.empty() ||
+                     !pending_sync_.empty() || !deferred_batches_.empty() ||
                      (writer_ && writer_->pending_records() > 0);
   BecomeRole(ServerState::kJunior);
   fence_ = 0;
@@ -729,6 +741,10 @@ void MdsServer::StepDownFromActive(const char* why) {
   }
   pending_replies_.clear();
   pending_sync_.clear();
+  // The pipeline window drains wholesale on a view change: deferred batches
+  // were never offered to any standby or the SSP, so they are part of the
+  // uncommitted state the dirty path discards.
+  deferred_batches_.clear();
   sync_targets_.clear();
   // Shard drives are this active's volatile plans; the successor rebuilds
   // its own from the journal-derived ShardState.
@@ -1146,39 +1162,59 @@ void MdsServer::ExecuteMutation(
     // Transaction boundary: cross-group transactions commit their own
     // batch instead of riding the aggregation window.
     writer_->Flush();
-  } else if (pending_sync_.empty()) {
-    // Group commit: flush immediately when no sync is in flight; while one
-    // is, records aggregate and flush as soon as it completes.
+  } else if (pending_sync_.size() < PipelineDepth() &&
+             deferred_batches_.empty()) {
+    // Pipelined group commit: flush immediately while the 2PC window has a
+    // free slot, so batch N+1 streams while batch N's acks are in flight.
+    // Once the window fills (or sealed batches queue behind it), records
+    // aggregate and flush as soon as an earlier sync finalizes.
     writer_->Flush();
   }
 }
 
 // --- journal sync: active side -------------------------------------------------
 
-void MdsServer::OnBatchSealed(journal::Batch batch) {
-  last_sn_ = batch.sn;
-  recent_batches_.push_back(batch);
+void MdsServer::OnBatchSealed(journal::Batch batch, std::vector<char> bytes) {
+  // The writer hands over the batch by value exactly once; everything
+  // downstream (recent window, pending sync, prepare messages) shares one
+  // immutable copy instead of duplicating the records per consumer.
+  auto owned = std::make_shared<const journal::Batch>(std::move(batch));
+  last_sn_ = owned->sn;
+  recent_batches_.push_back(owned);
   if (recent_batches_.size() > kRecentBatchCap) recent_batches_.pop_front();
 
   m_.last_sn->Set(static_cast<std::int64_t>(last_sn_));
-  m_.batch_records->Record(static_cast<std::int64_t>(batch.records.size()));
+  m_.batch_records->Record(static_cast<std::int64_t>(owned->records.size()));
 
-  PendingSync& ps = pending_sync_[batch.sn];
+  if (pending_sync_.size() >= PipelineDepth()) {
+    // Pipeline window full (the aggregation timer can seal regardless):
+    // park the batch, in sn order, until an earlier sync finalizes.
+    ++counters_.pipeline_deferred;
+    deferred_batches_.emplace_back(std::move(owned), std::move(bytes));
+    return;
+  }
+  StartBatchSync(std::move(owned), std::move(bytes));
+}
+
+void MdsServer::StartBatchSync(std::shared_ptr<const journal::Batch> batch,
+                               std::vector<char> bytes) {
+  PendingSync& ps = pending_sync_[batch->sn];
   ps.batch = batch;
   ps.awaiting = sync_targets_;
   ps.ssp_done = !options_.ssp_in_commit_path;  // ablation: SSP off-path
   ps.begin = sim().Now();
   ps.span = obs_->tracer().Begin(
       "mds", "sync_batch", id(), options_.group,
-      {{"sn", static_cast<std::uint64_t>(batch.sn)},
-       {"records", static_cast<std::uint64_t>(batch.records.size())},
+      {{"sn", static_cast<std::uint64_t>(batch->sn)},
+       {"records", static_cast<std::uint64_t>(batch->records.size())},
        {"targets", static_cast<std::uint64_t>(ps.awaiting.size())}});
 
-  // Replication fan-out costs CPU on the active: the batch is serialized,
-  // checksummed and sent once per target (plus the SSP copy), so sends are
-  // staggered through the CPU cursor. This is the per-standby overhead
-  // Figure 5 quantifies (~4% per added standby on transactional ops).
-  const auto batch_bytes = static_cast<double>(batch.EncodedSize());
+  // Replication fan-out costs CPU on the active: the batch was serialized
+  // and checksummed once at seal time and is sent once per target (plus the
+  // SSP copy), so sends are staggered through the CPU cursor. This is the
+  // per-standby overhead Figure 5 quantifies (~4% per added standby on
+  // transactional ops).
+  const auto batch_bytes = static_cast<double>(bytes.size());
   const auto per_target =
       options_.costs.sync_cpu_base +
       static_cast<SimTime>(batch_bytes / options_.costs.sync_bytes_per_sec *
@@ -1188,7 +1224,7 @@ void MdsServer::OnBatchSealed(journal::Batch batch) {
   msg->group = options_.group;
   msg->fence = fence_;
   msg->batch = batch;
-  const SerialNumber sn = batch.sn;
+  const SerialNumber sn = batch->sn;
   for (NodeId peer : ps.awaiting) {
     AfterLocal(ChargeCpu(per_target), [this, peer, sn, msg] {
       net::RpcCall::Start(
@@ -1212,11 +1248,12 @@ void MdsServer::OnBatchSealed(journal::Batch batch) {
     });
   }
 
-  // The SSP copy (journal segment shared file), fenced with our token.
+  // The SSP copy (journal segment shared file), fenced with our token. The
+  // bytes are the seal-time serialization — no second pass over the records.
   storage::SspRecord record;
-  record.sn = batch.sn;
+  record.sn = batch->sn;
   record.fence = fence_;
-  record.bytes = batch.Serialize();
+  record.bytes = std::move(bytes);
   AfterLocal(ChargeCpu(per_target),
              [this, sn, record = std::move(record)]() mutable {
                ssp_->Append(JournalFile(), std::move(record),
@@ -1242,36 +1279,72 @@ void MdsServer::MaybeCompleteSync(SerialNumber sn) {
   PendingSync& ps = it->second;
   if (ps.completed || !ps.awaiting.empty() || !ps.ssp_done) return;
   ps.completed = true;
-  ++counters_.batches_synced;
-  m_.batches_synced->Add();
   m_.sync_batch_ns->Record(sim().Now() - ps.begin);
   obs_->tracer().End(ps.span,
                      {{"acks", static_cast<std::uint64_t>(ps.acks)},
                       {"ssp_ok", ps.ssp_ok ? "true" : "false"}});
-  if (ps.acks > 0 || ps.ssp_ok) {
-    committed_sn_ = std::max(committed_sn_, sn);
+  FinalizeCompletedSyncs();
+}
+
+void MdsServer::FinalizeCompletedSyncs() {
+  if (finalizing_syncs_) return;  // StartBatchSync below can re-enter
+  finalizing_syncs_ = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Finalization is strictly sn-ordered: with a pipeline window, batch
+    // N+1's acks can land before batch N's, but a standby ack only proves
+    // the peer *received* the batch (it may still be buffering a gap), so
+    // acknowledged client work is a journal prefix only if replies and
+    // committed_sn advance from the front. This keeps the loss on failover
+    // prefix-closed exactly as in the stop-and-wait protocol.
+    while (!pending_sync_.empty() &&
+           pending_sync_.begin()->second.completed) {
+      const SerialNumber sn = pending_sync_.begin()->first;
+      PendingSync ps = std::move(pending_sync_.begin()->second);
+      pending_sync_.erase(pending_sync_.begin());
+      progress = true;
+      ++counters_.batches_synced;
+      m_.batches_synced->Add();
+      if (ps.acks > 0 || ps.ssp_ok) {
+        committed_sn_ = std::max(committed_sn_, sn);
+      }
+      if (ps.acks > 0 && !ps.ssp_ok) {
+        // Committed on standby acks alone — the pool missed it. The SSP is
+        // what a future failover drains, so keep re-appending until the
+        // copy is durable (or we are deposed and the new active
+        // reconciles).
+        AfterLocal(options_.ssp_append_retry,
+                   [this, sn] { RetrySspAppend(sn); });
+      }
+      if (ps.acks == 0 && !ps.ssp_ok) {
+        // The batch completed by timeouts alone: it exists only in this
+        // process. Should we be deposed before it replicates, our
+        // namespace holds uncommitted state and must be rebuilt (see
+        // StepDownFromActive).
+        dirty_ = true;
+      }
+      for (const auto& rec : ps.batch->records) {
+        auto rit = pending_replies_.find(rec.txid);
+        if (rit == pending_replies_.end()) continue;
+        for (auto& reply : rit->second) ReplyStatus(reply, Status::Ok());
+        pending_replies_.erase(rit);
+      }
+    }
+    // Refill the pipeline window from the deferred queue (sn order).
+    while (!deferred_batches_.empty() &&
+           pending_sync_.size() < PipelineDepth()) {
+      auto [batch, bytes] = std::move(deferred_batches_.front());
+      deferred_batches_.pop_front();
+      progress = true;
+      StartBatchSync(std::move(batch), std::move(bytes));
+    }
   }
-  if (ps.acks > 0 && !ps.ssp_ok) {
-    // Committed on standby acks alone — the pool missed it. The SSP is
-    // what a future failover drains, so keep re-appending until the copy
-    // is durable (or we are deposed and the new active reconciles).
-    AfterLocal(options_.ssp_append_retry, [this, sn] { RetrySspAppend(sn); });
-  }
-  if (ps.acks == 0 && !ps.ssp_ok) {
-    // The batch completed by timeouts alone: it exists only in this
-    // process. Should we be deposed before it replicates, our namespace
-    // holds uncommitted state and must be rebuilt (see StepDownFromActive).
-    dirty_ = true;
-  }
-  for (const auto& rec : ps.batch.records) {
-    auto rit = pending_replies_.find(rec.txid);
-    if (rit == pending_replies_.end()) continue;
-    for (auto& reply : rit->second) ReplyStatus(reply, Status::Ok());
-    pending_replies_.erase(rit);
-  }
-  pending_sync_.erase(it);
-  // Group commit: release the records that aggregated during this sync.
-  if (pending_sync_.empty() && writer_ && writer_->pending_records() > 0) {
+  finalizing_syncs_ = false;
+  // Group commit: release the records that aggregated while the window was
+  // full.
+  if (pending_sync_.size() < PipelineDepth() && deferred_batches_.empty() &&
+      writer_ && writer_->pending_records() > 0) {
     writer_->Flush();
   }
 }
@@ -1280,8 +1353,8 @@ void MdsServer::RetrySspAppend(SerialNumber sn) {
   if (role_ != ServerState::kActive || !alive()) return;
   const journal::Batch* batch = nullptr;
   for (const auto& b : recent_batches_) {
-    if (b.sn == sn) {
-      batch = &b;
+    if (b->sn == sn) {
+      batch = b.get();
       break;
     }
   }
@@ -1349,7 +1422,13 @@ void MdsServer::HandleJournalPrepare(const net::Envelope& env,
     }
   }
 
-  const journal::Batch& batch = req.batch;
+  if (req.batch == nullptr) {  // malformed prepare; nothing to apply
+    ack->applied = false;
+    ack->max_sn = last_sn_;
+    reply(ack);
+    return;
+  }
+  const journal::Batch& batch = *req.batch;
   if (batch.sn <= last_sn_) {
     // "Only if sn from the active is larger than the current maximum serial
     // number, the standby applies journals" — duplicate, already applied.
@@ -1379,7 +1458,7 @@ void MdsServer::HandleJournalPrepare(const net::Envelope& env,
     reply(ack);
     return;
   }
-  pending_batches_.emplace(batch.sn, batch);
+  pending_batches_.emplace(batch.sn, req.batch);
   ApplyReadyBatches();
   if (!pending_batches_.empty()) RequestBackfill(env.from);
   ack->applied = pending_batches_.empty();
@@ -1401,20 +1480,33 @@ void MdsServer::ApplyReadyBatches() {
   }
 }
 
-void MdsServer::ApplyBatch(const journal::Batch& batch) {
-  // Batch-apply fast path: the hint memoizes each record's parent
-  // directory across the batch, so a run of records into one hot directory
-  // resolves the parent once instead of once per record.
+std::size_t MdsServer::ApplyBatch(
+    const std::shared_ptr<const journal::Batch>& batch) {
+  // Parallel apply: plan the batch into conflict-free waves from each
+  // record's inode/directory footprint, then apply wave by wave. Records
+  // inside a wave touch disjoint parts of the namespace, so the simulator
+  // executes them in index order while a threaded replayer would fan them
+  // out — either order yields byte-identical trees (records carry their
+  // allocated inode ids, so apply order cannot skew the id counter). The
+  // BatchHint still memoizes each record's parent directory across the
+  // whole batch.
+  const journal::ApplyPlan plan =
+      options_.test_hooks.ignore_apply_deps
+          ? journal::SingleWaveReversedPlan(batch->records.size())
+          : journal::BuildApplyPlan(
+                batch->records,
+                [this](std::string_view p) { return tree_.Exists(p); });
   fsns::Tree::BatchHint hint;
-  for (const auto& rec : batch.records) {
-    Status s = tree_.Apply(rec, &hint);
-    if (!s.ok()) {
-      MAMS_ERROR("mds", "%s: replay divergence: %s", name().c_str(),
-                 s.ToString().c_str());
-    }
+  Status s = tree_.ApplyPlanned(batch->records, plan, &hint);
+  if (!s.ok()) {
+    MAMS_ERROR("mds", "%s: replay divergence: %s", name().c_str(),
+               s.ToString().c_str());
   }
+  counters_.apply_waves += plan.wave_count();
+  counters_.apply_records += plan.record_count();
+  if (plan.serial_fallback) ++counters_.apply_serial_fallbacks;
   PublishCacheStats();
-  last_sn_ = batch.sn;
+  last_sn_ = batch->sn;
   ++counters_.batches_applied;
   m_.batches_applied->Add();
   m_.last_sn->Set(static_cast<std::int64_t>(last_sn_));
@@ -1422,6 +1514,7 @@ void MdsServer::ApplyBatch(const journal::Batch& batch) {
   if (recent_batches_.size() > kRecentBatchCap) recent_batches_.pop_front();
   // Reads parked on this sn (or earlier) can be answered now.
   DrainParkedReads();
+  return plan.CriticalSlots(options_.apply_threads);
 }
 
 void MdsServer::RequestBackfill(NodeId from) {
@@ -1437,7 +1530,11 @@ void MdsServer::RequestBackfill(NodeId from) {
                         const auto& resp =
                             net::Cast<RenewJournalReplyMsg>(r.value());
                         for (const auto& b : resp.batches) {
-                          if (b.sn > last_sn_) pending_batches_.emplace(b.sn, b);
+                          if (b.sn > last_sn_) {
+                            pending_batches_.emplace(
+                                b.sn,
+                                std::make_shared<const journal::Batch>(b));
+                          }
                         }
                         ApplyReadyBatches();
                       });
@@ -1510,7 +1607,7 @@ void MdsServer::FinishRenewTarget(NodeId junior, SerialNumber reported_sn) {
   if (!sync_targets_.contains(junior)) {
     sync_targets_.insert(junior);
     for (const auto& b : recent_batches_) {
-      if (b.sn > reported_sn) {
+      if (b->sn > reported_sn) {
         auto msg = std::make_shared<JournalPrepareMsg>();
         msg->group = options_.group;
         msg->fence = fence_;
@@ -1667,6 +1764,8 @@ void MdsServer::RenewFetchJournal() {
         }
         const auto& reply = *r.value();
         std::uint64_t applied_bytes = 0;
+        std::uint64_t applied_records = 0;
+        std::uint64_t applied_slots = 0;
         for (const auto& rec : reply.records) {
           auto batch = journal::Batch::Deserialize(rec.bytes);
           if (!batch.ok()) {
@@ -1675,13 +1774,23 @@ void MdsServer::RenewFetchJournal() {
             continue;
           }
           if (batch.value().sn != last_sn_ + 1) continue;
-          ApplyBatch(batch.value());
+          applied_records += batch.value().records.size();
+          applied_slots += ApplyBatch(std::make_shared<const journal::Batch>(
+              std::move(batch.value())));
           applied_bytes += rec.bytes.size();
         }
-        // Replay CPU cost.
+        // Replay CPU cost: the serial byte-rate model scaled by the
+        // dependency plans' critical path — with `apply_threads` workers a
+        // batch replays in CriticalSlots/records of the serial time
+        // (apply_threads=1 makes the ratio 1.0 and reproduces the old
+        // model exactly). This is where parallel apply shortens MTTR.
+        const double parallel_scale =
+            applied_records > 0 ? static_cast<double>(applied_slots) /
+                                      static_cast<double>(applied_records)
+                                : 1.0;
         const SimTime cost =
             ChargeCpu(static_cast<SimTime>(static_cast<double>(applied_bytes) /
-                                           200.0e6 * kSecond));
+                                           200.0e6 * parallel_scale * kSecond));
         AfterLocal(cost, [this, eof = reply.eof] {
           if (role_ != ServerState::kJunior || !renew_.running) return;
           if (!eof) {
@@ -1724,9 +1833,10 @@ void MdsServer::RenewFinalSync() {
         const auto& resp = net::Cast<RenewJournalReplyMsg>(r.value());
         for (const auto& b : resp.batches) {
           if (b.sn == last_sn_ + 1) {
-            ApplyBatch(b);
+            ApplyBatch(std::make_shared<const journal::Batch>(b));
           } else if (b.sn > last_sn_) {
-            pending_batches_.emplace(b.sn, b);
+            pending_batches_.emplace(
+                b.sn, std::make_shared<const journal::Batch>(b));
           }
         }
         ApplyReadyBatches();
@@ -1885,10 +1995,10 @@ void MdsServer::RegisterHandlers() {
               out->active_sn = last_sn_;
               std::uint32_t n = 0;
               for (const auto& b : recent_batches_) {
-                if (b.sn <= req.after_sn) continue;
+                if (b->sn <= req.after_sn) continue;
                 if (n++ >= req.max_batches) break;
-                out->payload_bytes += b.EncodedSize();
-                out->batches.push_back(b);
+                out->payload_bytes += b->EncodedSize();
+                out->batches.push_back(*b);
               }
               reply(out);
             });

@@ -105,6 +105,11 @@ class MdsServer : public net::Host {
     std::uint64_t standby_reads_parked = 0;
     std::uint64_t standby_reads_bounced = 0;
     std::uint64_t shard_bounces = 0;
+    /// Parallel-apply and pipeline observability (bench/micro_apply).
+    std::uint64_t apply_waves = 0;           ///< dependency waves executed
+    std::uint64_t apply_records = 0;         ///< records applied via plans
+    std::uint64_t apply_serial_fallbacks = 0;  ///< barrier batches
+    std::uint64_t pipeline_deferred = 0;     ///< batches parked by the window
     std::uint64_t migrations_started = 0;
     std::uint64_t migrations_completed = 0;
     std::uint64_t migrations_aborted = 0;
@@ -185,9 +190,18 @@ class MdsServer : public net::Host {
   void DrainParkedReads();
   void FlushParkedReads(const char* why);
 
-  // --- active: journal sync (modified 2PC) ---------------------------------
-  void OnBatchSealed(journal::Batch batch);
+  // --- active: journal sync (modified 2PC, pipelined) -----------------------
+  void OnBatchSealed(journal::Batch batch, std::vector<char> bytes);
+  void StartBatchSync(std::shared_ptr<const journal::Batch> batch,
+                      std::vector<char> bytes);
   void MaybeCompleteSync(SerialNumber sn);
+  /// Finalizes completed syncs strictly from the front of pending_sync_
+  /// (sn order), then refills the pipeline window from deferred_batches_.
+  void FinalizeCompletedSyncs();
+  std::size_t PipelineDepth() const noexcept {
+    return options_.commit_pipeline_depth == 0 ? 1
+                                               : options_.commit_pipeline_depth;
+  }
   void DemoteUnresponsiveStandby(NodeId peer);
   void RetrySspAppend(SerialNumber sn);
 
@@ -196,7 +210,10 @@ class MdsServer : public net::Host {
                             const net::MessagePtr& msg, const ReplyFn& reply);
   void ApplyReadyBatches();
   void RequestBackfill(NodeId from);
-  void ApplyBatch(const journal::Batch& batch);
+  /// Applies a replicated batch through its dependency plan (see
+  /// journal/apply_plan.hpp); returns the plan's critical-path slot count
+  /// under options_.apply_threads, which the renew replay cost model uses.
+  std::size_t ApplyBatch(const std::shared_ptr<const journal::Batch>& batch);
 
   // --- election + failover protocol (Section III.C) -------------------------
   void MaybeStartElection(const coord::GroupView& view);
@@ -335,7 +352,7 @@ class MdsServer : public net::Host {
   // --- active-side sync state ---------------------------------------------
   std::unique_ptr<journal::Writer> writer_;
   struct PendingSync {
-    journal::Batch batch;
+    std::shared_ptr<const journal::Batch> batch;
     std::set<NodeId> awaiting;  ///< standbys not yet acked
     int acks = 0;               ///< successful standby replications
     bool ssp_done = false;
@@ -345,9 +362,16 @@ class MdsServer : public net::Host {
     obs::TraceRecorder::Span span;
   };
   std::map<SerialNumber, PendingSync> pending_sync_;
+  /// Sealed batches past the pipeline window, in sn order, each with its
+  /// serialized bytes; shipped FIFO as earlier syncs finalize. Part of the
+  /// uncommitted window a deposed active must discard (StepDownFromActive).
+  std::deque<std::pair<std::shared_ptr<const journal::Batch>,
+                       std::vector<char>>>
+      deferred_batches_;
+  bool finalizing_syncs_ = false;  ///< re-entrancy guard
   std::map<TxId, std::vector<ReplyFn>> pending_replies_;
   std::set<NodeId> sync_targets_;  ///< peers included in 2PC
-  std::deque<journal::Batch> recent_batches_;
+  std::deque<std::shared_ptr<const journal::Batch>> recent_batches_;
   static constexpr std::size_t kRecentBatchCap = 2048;
   int inflight_tx_ = 0;
   std::deque<std::pair<std::shared_ptr<const ClientRequestMsg>, ReplyFn>>
@@ -355,7 +379,8 @@ class MdsServer : public net::Host {
   static constexpr int kTxWindow = 3;
 
   // --- standby-side intake ---------------------------------------------------
-  std::map<SerialNumber, journal::Batch> pending_batches_;
+  std::map<SerialNumber, std::shared_ptr<const journal::Batch>>
+      pending_batches_;
   bool backfill_inflight_ = false;
 
   // --- standby-side parked reads ---------------------------------------------

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -115,11 +116,15 @@ struct ClientResponseMsg final : net::Message {
 struct JournalPrepareMsg final : net::Message {
   GroupId group = 0;
   FenceToken fence = 0;             ///< sender's fencing token (IO fencing)
-  journal::Batch batch;
+  /// Shared, immutable payload: the active fans one sealed batch out to
+  /// every sync target (and keeps it in recent_batches_ / pending_sync_),
+  /// so the message references the batch instead of copying its records
+  /// once per recipient.
+  std::shared_ptr<const journal::Batch> batch;
 
   net::MsgType type() const noexcept override { return net::kJournalPrepare; }
   std::size_t ByteSize() const noexcept override {
-    return 96 + batch.EncodedSize();
+    return 96 + (batch ? batch->EncodedSize() : 0);
   }
 };
 

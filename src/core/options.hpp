@@ -51,6 +51,13 @@ struct TestHooks {
   /// not exist: writes the source accepts during cutover never reach the
   /// destination and vanish when the slot is dropped.
   bool skip_cutover_fence = false;
+  /// Replay journal batches through the parallel-apply machinery but with
+  /// a single reversed wave instead of the dependency plan, as if the
+  /// conflict graph did not exist: dependent records apply before the
+  /// records they depend on, so standby replicas drop creates into missing
+  /// parents and scramble parent mtimes — divergence the checker's replica
+  /// audit (and any post-failover read) must flag.
+  bool ignore_apply_deps = false;
 };
 
 /// Standby read offload (session-consistent reads against hot standbys).
@@ -131,6 +138,22 @@ struct MdsOptions {
 
   // Journal synchronization.
   journal::Writer::Options writer;
+
+  /// Group-commit pipeline window: sealed batches the active keeps in
+  /// flight through the 2PC at once. 1 reproduces the original
+  /// stop-and-wait behaviour (flush only when no sync is pending); higher
+  /// values stream batch N+1 while batch N's acks are outstanding.
+  /// Completion stays sn-ordered regardless — a batch finalizes (replies,
+  /// committed_sn) only once every earlier batch has — so the loss prefix
+  /// on failover remains closed, and the window is drained wholesale on
+  /// view change/fence.
+  std::size_t commit_pipeline_depth = 4;
+
+  /// Apply-side parallelism assumed by the replay cost model: journal
+  /// replay (renewing, recovery) charges CriticalSlots(apply_threads)
+  /// slots per batch instead of one per record. 1 models serial apply.
+  /// Live standby apply is not CPU-charged either way (unchanged).
+  int apply_threads = 4;
 
   /// Journal 2PC prepare to each standby: a single bounded attempt — an
   /// unresponsive standby is demoted and backfilled later, never waited

@@ -19,6 +19,9 @@ void Tree::Reset() {
   shard_ = ShardState{};
   resolve_cache_.Clear();
   active_hint_ = nullptr;
+  alloc_trace_.clear();
+  alloc_script_ = nullptr;
+  alloc_script_pos_ = 0;
   Inode root;
   root.id = kRootInode;
   root.parent = kInvalidInode;
@@ -67,13 +70,18 @@ const Inode* Tree::Resolve(std::string_view path) const {
   }
 
   // Zero-allocation walk: component cursor over the original string_view,
-  // heterogeneous lookups into each directory's child index.
+  // heterogeneous lookups into each directory's child index. Child ids are
+  // looked up with find, not at: a replica replaying a sabotaged history
+  // (checker mutations) can hold dangling child references, and resolution
+  // must treat those as absent rather than aborting the process.
   const Inode* cur = &inodes_.at(kRootInode);
   for (std::string_view comp : PathComponents(path)) {
     if (!cur->is_dir) return nullptr;
     const InodeId* child = cur->FindChild(comp);
     if (child == nullptr) return nullptr;
-    cur = &inodes_.at(*child);
+    auto it = inodes_.find(*child);
+    if (it == inodes_.end()) return nullptr;
+    cur = &it->second;
   }
   if (resolve_cache_.enabled()) resolve_cache_.Insert(path, cur->id);
   return cur;
@@ -161,10 +169,18 @@ Result<journal::LogRecord> Tree::Dedup(ClientOpId client, Fn&& op) {
     // translate this into a success response to the client.
     return Status{StatusCode::kAborted, "duplicate"};
   }
+  alloc_trace_.clear();
+  alloc_script_ = nullptr;
   Result<journal::LogRecord> result = op();
   // Only successes enter the dedup table: failures are not journaled, so
   // remembering them would make the active's state diverge from replicas.
-  if (result.ok()) RememberApplied(client);
+  if (result.ok()) {
+    // Carry the inode ids this execution drew so replicas replay them
+    // instead of their own counter (see AllocateInode).
+    result.value().inode_ids = std::move(alloc_trace_);
+    alloc_trace_.clear();
+    RememberApplied(client);
+  }
   return result;
 }
 
@@ -226,13 +242,18 @@ Status Tree::DoMkdir(std::string_view path, SimTime mtime) {
   for (auto it = comps.begin(); it != comps.end(); ++it) {
     const std::string_view comp = *it;
     if (const InodeId* existing_child = cur->FindChild(comp)) {
-      Inode& child = inodes_.at(*existing_child);
-      if (!child.is_dir) {
-        return Status::FailedPrecondition(
-            std::string(path.substr(0, it.prefix_length())) + " is a file");
+      // find, not at: a replica replaying a sabotaged history (checker
+      // mutations) can hold dangling child references; re-materialize the
+      // component instead of aborting the process.
+      if (auto cit = inodes_.find(*existing_child); cit != inodes_.end()) {
+        Inode& child = cit->second;
+        if (!child.is_dir) {
+          return Status::FailedPrecondition(
+              std::string(path.substr(0, it.prefix_length())) + " is a file");
+        }
+        cur = &child;
+        continue;
       }
-      cur = &child;
-      continue;
     }
     Inode dir;
     dir.id = AllocateInode();
@@ -263,21 +284,29 @@ Status Tree::DoDelete(std::string_view path, SimTime mtime) {
   Inode* node = ResolveMutable(path);
   if (node == nullptr) return Status::NotFound(std::string(path));
   // Recursive delete (HDFS delete(path, true) semantics).
+  // Child ids resolve via find throughout: a sabotaged replay (checker
+  // mutations) can leave dangling references, which delete must tolerate.
   std::vector<InodeId> stack{node->id};
   std::vector<InodeId> doomed;
   while (!stack.empty()) {
     const InodeId id = stack.back();
     stack.pop_back();
     doomed.push_back(id);
-    const Inode& cur = inodes_.at(id);
-    for (const auto& [name, child] : cur.children) stack.push_back(child);
+    auto it = inodes_.find(id);
+    if (it == inodes_.end()) continue;
+    for (const auto& [name, child] : it->second.children) {
+      stack.push_back(child);
+    }
   }
-  Inode& parent = inodes_.at(node->parent);
-  parent.RemoveChild(node->name);
-  parent.mtime = mtime;
+  if (auto pit = inodes_.find(node->parent); pit != inodes_.end()) {
+    pit->second.RemoveChild(node->name);
+    pit->second.mtime = mtime;
+  }
   for (InodeId id : doomed) {
-    CountInode(inodes_.at(id), -1);
-    inodes_.erase(id);
+    auto it = inodes_.find(id);
+    if (it == inodes_.end()) continue;
+    CountInode(it->second, -1);
+    inodes_.erase(it);
   }
   // Every cached resolution at or under the deleted root is now dangling
   // (id validation would catch the staleness, but eager invalidation keeps
@@ -503,7 +532,9 @@ void Tree::ForEachNode(
   std::string path;
   std::function<void(const Inode&)> walk = [&](const Inode& node) {
     for (const auto& [name, child_id] : node.children) {
-      const Inode& child = inodes_.at(child_id);
+      auto it = inodes_.find(child_id);
+      if (it == inodes_.end()) continue;  // dangling (sabotaged replay)
+      const Inode& child = it->second;
       const std::size_t mark = path.size();
       if (path.empty() || path.back() != '/') path.push_back('/');
       path.append(name);
@@ -656,6 +687,16 @@ Status Tree::Apply(const journal::LogRecord& record, BatchHint* hint) {
   if (record.txid != 0 && record.txid <= last_txid_) {
     return Status::Ok();  // idempotent replay of an already-applied record
   }
+  return ApplyUnguarded(record, hint);
+}
+
+Status Tree::ApplyUnguarded(const journal::LogRecord& record, BatchHint* hint) {
+  // Install the record's allocation script: ids the active drew while
+  // executing this op. Replay consumes them positionally, which detaches
+  // inode-id assignment from apply order.
+  alloc_trace_.clear();
+  alloc_script_ = &record.inode_ids;
+  alloc_script_pos_ = 0;
   if (hint != nullptr) {
     PrimeHint(*hint, record);
     if (hint->parent != kInvalidInode) active_hint_ = hint;
@@ -721,6 +762,8 @@ Status Tree::Apply(const journal::LogRecord& record, BatchHint* hint) {
       break;
   }
   active_hint_ = nullptr;
+  alloc_script_ = nullptr;
+  alloc_script_pos_ = 0;
   if (hint != nullptr && journal::MutatesStructure(record.op)) {
     // The record may have removed or moved the memoized directory (or any
     // ancestor of it); the next record re-resolves from scratch.
@@ -743,6 +786,25 @@ Status Tree::Apply(const journal::LogRecord& record, BatchHint* hint) {
   return Status::Ok();
 }
 
+Status Tree::ApplyPlanned(const std::vector<journal::LogRecord>& records,
+                          const journal::ApplyPlan& plan, BatchHint* hint) {
+  // Guard against the entry snapshot, not the live last_txid_: within the
+  // batch, a wave-mate with a higher txid must not make a lower-txid
+  // record look already-applied. ApplyUnguarded advances last_txid_ by
+  // max, so the final value is order-independent.
+  const TxId entry_last = last_txid_;
+  Status first_error = Status::Ok();
+  for (const auto& wave : plan.waves) {
+    for (std::size_t index : wave) {
+      const journal::LogRecord& rec = records[index];
+      if (rec.txid != 0 && rec.txid <= entry_last) continue;
+      Status s = ApplyUnguarded(rec, hint);
+      if (!s.ok() && first_error.ok()) first_error = s;
+    }
+  }
+  return first_error;
+}
+
 // --- image ------------------------------------------------------------------
 
 namespace {
@@ -758,9 +820,24 @@ std::vector<char> Tree::SaveImage() const {
   out.U64(next_block_);
   out.U64(last_txid_);
   out.U64(file_count_);
-  out.U64(inodes_.size());
   // Inodes in DFS order (children sorted by name) for a canonical layout.
-  std::function<void(const Inode&)> dump = [&](const Inode& node) {
+  // The declared count covers *reachable* inodes only: on a healthy tree
+  // that equals inodes_.size(), and on a sabotaged replica (checker
+  // mutations can orphan ids or dangle child references) the image stays
+  // self-consistent instead of under-running its own header.
+  std::vector<const Inode*> reachable;
+  std::function<void(const Inode&)> collect = [&](const Inode& node) {
+    reachable.push_back(&node);
+    for (const auto& [name, child] : node.children) {
+      if (auto it = inodes_.find(child); it != inodes_.end()) {
+        collect(it->second);
+      }
+    }
+  };
+  collect(inodes_.at(kRootInode));
+  out.U64(reachable.size());
+  for (const Inode* nodep : reachable) {
+    const Inode& node = *nodep;
     out.U64(node.id);
     out.U64(node.parent == kInvalidInode ? 0 : node.parent);
     out.Str(node.name);
@@ -772,9 +849,7 @@ std::vector<char> Tree::SaveImage() const {
     out.I64(node.mtime);
     out.U32(static_cast<std::uint32_t>(node.blocks.size()));
     for (BlockId b : node.blocks) out.U64(b);
-    for (const auto& [name, child] : node.children) dump(inodes_.at(child));
-  };
-  dump(inodes_.at(kRootInode));
+  }
   // Client dedup table, sorted for canonical bytes.
   std::vector<std::pair<std::uint64_t, ClientEntry>> clients(
       client_table_.begin(), client_table_.end());
@@ -949,7 +1024,18 @@ std::uint64_t Tree::Fingerprint() const {
     h = Fnv1a(attrs, sizeof(attrs), h);
     h = Fnv1a(node.owner, h);
     for (BlockId b : node.blocks) h = Fnv1a(&b, sizeof(b), h);
-    for (const auto& [name, child] : node.children) walk(inodes_.at(child));
+    for (const auto& [name, child] : node.children) {
+      auto it = inodes_.find(child);
+      if (it == inodes_.end()) {
+        // Dangling child (sabotaged replay): fold the hole into the hash —
+        // a replica in this state must never fingerprint-match a healthy
+        // one.
+        h = Fnv1a(name, h);
+        h = Fnv1a(&child, sizeof(child), h);
+        continue;
+      }
+      walk(it->second);
+    }
   };
   walk(inodes_.at(kRootInode));
   std::vector<std::pair<std::uint64_t, ClientEntry>> clients(

@@ -30,6 +30,7 @@
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "fsns/resolve_cache.hpp"
+#include "journal/apply_plan.hpp"
 #include "journal/record.hpp"
 
 namespace mams::fsns {
@@ -155,6 +156,23 @@ class Tree {
   };
   Status Apply(const journal::LogRecord& record, BatchHint* hint);
 
+  /// Conflict-checked batch apply: executes `records` wave by wave per
+  /// `plan` (journal::BuildApplyPlan). Records within a wave have
+  /// pairwise-disjoint footprints, so the tree may apply them in any order
+  /// — this implementation walks each wave left to right, which is
+  /// equivalent by construction; the point of the plan is that the
+  /// simulator's cost model (and a real deployment's thread pool) can
+  /// charge/execute a wave concurrently. Records already folded in when
+  /// the call started (txid <= entry last_txid) are skipped, mirroring
+  /// Apply()'s idempotent-replay guard but against the entry snapshot so
+  /// a wave-mate's higher txid cannot mask an unapplied record. BatchHint,
+  /// the ResolveCache, and the per-directory child indexes stay coherent
+  /// through the same mechanisms serial Apply() uses. Applies every
+  /// record even after a failure; returns the first non-OK status
+  /// (divergence, as in Apply).
+  Status ApplyPlanned(const std::vector<journal::LogRecord>& records,
+                      const journal::ApplyPlan& plan, BatchHint* hint);
+
   // --- resolution cache ------------------------------------------------------
   /// Sizes the LRU path->inode cache consulted by every resolution;
   /// capacity 0 disables it (benchmark ablation). Survives Reset() and
@@ -247,7 +265,31 @@ class Tree {
   Inode& Mutable(InodeId id) { return inodes_.at(id); }
   const Inode* Resolve(std::string_view path) const;
   Inode* ResolveMutable(std::string_view path);
-  InodeId AllocateInode() { return next_inode_++; }
+
+  /// Inode ids are normally drawn from `next_inode_`, which makes replay
+  /// order-sensitive — the one piece of tree state a conflict-free
+  /// reordering would still diverge (ids are fingerprinted and serialized
+  /// in the image). So execution *records* its draws (`alloc_trace_`, see
+  /// Dedup) into LogRecord::inode_ids, and replay *consumes* them
+  /// (`alloc_script_`, see ApplyUnguarded) instead of the counter, exactly
+  /// as kAddBlock already carries its block id. The counter is bumped past
+  /// each scripted id (max-monotone, so wave order doesn't matter) and
+  /// still serves records without ids (shard installs, legacy tests).
+  InodeId AllocateInode() {
+    InodeId id;
+    if (alloc_script_ != nullptr && alloc_script_pos_ < alloc_script_->size()) {
+      id = (*alloc_script_)[alloc_script_pos_++];
+      if (id >= next_inode_) next_inode_ = id + 1;
+    } else {
+      id = next_inode_++;
+    }
+    alloc_trace_.push_back(id);
+    return id;
+  }
+
+  /// Apply() minus the idempotent-replay txid guard; ApplyPlanned guards
+  /// against its entry snapshot instead of the live `last_txid_`.
+  Status ApplyUnguarded(const journal::LogRecord& record, BatchHint* hint);
 
   /// Points `hint` at the parent directory of `record.path`, reusing the
   /// memo when the parent is unchanged from the previous record.
@@ -305,6 +347,14 @@ class Tree {
   /// Resolve() answer hinted lookups without threading the hint through
   /// every Do* signature.
   const BatchHint* active_hint_ = nullptr;
+
+  /// Inode ids drawn while the current op executes (cleared per op); on a
+  /// successful mutation they move into the returned record's inode_ids.
+  std::vector<InodeId> alloc_trace_;
+  /// Replay script: ids the active recorded for the record currently being
+  /// applied. Null/exhausted falls back to the counter.
+  const std::vector<InodeId>* alloc_script_ = nullptr;
+  std::size_t alloc_script_pos_ = 0;
 };
 
 }  // namespace mams::fsns

@@ -1,0 +1,123 @@
+#include "journal/apply_plan.hpp"
+
+#include <string>
+#include <unordered_set>
+
+namespace mams::journal {
+
+namespace {
+
+bool EqualOrUnder(std::string_view p, std::string_view prefix) noexcept {
+  if (p == prefix) return true;
+  if (prefix == "/") return p.size() > 1;
+  return p.size() > prefix.size() &&
+         p.compare(0, prefix.size(), prefix) == 0 && p[prefix.size()] == '/';
+}
+
+ApplyPlan SerialPlan(std::size_t count) {
+  ApplyPlan plan;
+  plan.serial_fallback = true;
+  plan.waves.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) plan.waves.push_back({i});
+  return plan;
+}
+
+}  // namespace
+
+ApplyPlan BuildApplyPlan(const std::vector<LogRecord>& records,
+                         const std::function<bool(std::string_view)>& exists) {
+  const std::size_t n = records.size();
+
+  // In-batch namespace evolution, folded into the oracle so later chains
+  // attach at the right depth:
+  //  * `born`: paths materialized by an earlier create/mkdir (or installed
+  //    as a rename destination). Narrows a later chain — safe, because the
+  //    earlier record's write on the attach point orders the pair anyway.
+  //  * `dead`: subtree roots removed by an earlier delete/rename-source.
+  //    Widens a later chain back up to the surviving ancestor — required,
+  //    because that chain will re-materialize the dead prefix and write
+  //    nodes (possibly the root) its pre-batch footprint would not cover.
+  // A path can die and be reborn within one batch; `born` is consulted
+  // first and is purged under each new dead root, so the latest event wins.
+  std::unordered_set<std::string> born;
+  std::vector<std::string> dead;
+  auto alive = [&](std::string_view p) {
+    if (born.count(std::string(p)) != 0) return true;
+    for (const std::string& d : dead) {
+      if (EqualOrUnder(p, d)) return false;
+    }
+    return exists(p);
+  };
+  auto kill = [&](const std::string& root) {
+    for (auto it = born.begin(); it != born.end();) {
+      if (EqualOrUnder(*it, root)) {
+        it = born.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    dead.push_back(root);
+  };
+
+  std::vector<std::vector<Footprint>> footprints(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!AppendFootprint(records[i], alive, footprints[i])) {
+      // Barrier record: per-path footprints cannot describe it (ShardState
+      // edits, whole-slot drops). Shard-control batches are rare; give up
+      // on reordering for the whole batch rather than track stale oracles
+      // across it.
+      return SerialPlan(n);
+    }
+    switch (records[i].op) {
+      case OpCode::kCreate:
+      case OpCode::kMkdir:
+        for (const Footprint& f : footprints[i]) {
+          if (f.write) born.insert(std::string(f.path));
+        }
+        break;
+      case OpCode::kDelete:
+        kill(records[i].path);
+        break;
+      case OpCode::kRename:
+        kill(records[i].path);
+        born.insert(records[i].path2);
+        break;
+      default:
+        break;
+    }
+  }
+
+  ApplyPlan plan;
+  std::vector<std::size_t> wave_of(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t wave = 0;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (wave_of[j] < wave) continue;  // cannot raise `wave`
+      bool conflict = false;
+      for (const Footprint& a : footprints[i]) {
+        for (const Footprint& b : footprints[j]) {
+          if (FootprintsConflict(a, b)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (conflict) break;
+      }
+      if (conflict) wave = wave_of[j] + 1;
+    }
+    wave_of[i] = wave;
+    if (wave >= plan.waves.size()) plan.waves.resize(wave + 1);
+    plan.waves[wave].push_back(i);  // ascending indices within each wave
+  }
+  return plan;
+}
+
+ApplyPlan SingleWaveReversedPlan(std::size_t count) {
+  ApplyPlan plan;
+  plan.waves.emplace_back();
+  plan.waves.back().reserve(count);
+  for (std::size_t i = count; i > 0; --i) plan.waves.back().push_back(i - 1);
+  return plan;
+}
+
+}  // namespace mams::journal

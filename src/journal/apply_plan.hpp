@@ -1,0 +1,84 @@
+// Per-batch dependency planner for parallel journal apply.
+//
+// MAMS replays journal batches strictly serially — on standbys, during
+// renewing, and in offline recovery — which bounds both MTTR (Table I is
+// dominated by replay speed) and standby lag. But records touching
+// disjoint inodes/directories commute (the ScaleFS/λFS observation), so a
+// batch can be partitioned into "waves": records within a wave have
+// pairwise-disjoint footprints and may apply in any order (or truly
+// concurrently); waves apply in sequence. The planner derives footprints
+// from op + paths (journal/record.hpp), conservatively treating any
+// overlap — including ancestor-chain materialization and the dual-parent
+// footprint of rename — as an ordering edge.
+//
+// Correctness note: a wave reorders only records whose footprints are
+// disjoint, and every tree mutation is confined to its footprint (child
+// map edits, mtimes, attribute writes). Replica-local counters are the
+// one exception — which is why LogRecord carries `inode_ids` and the tree
+// consumes them during replay instead of drawing from `next_inode_`.
+// Batches containing shard-migration or cross-group-rename control
+// records fall back to a fully serial plan: those records mutate
+// ShardState and drop whole slots, which no per-path footprint covers.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "journal/record.hpp"
+
+namespace mams::journal {
+
+/// The apply schedule for one batch: `waves[w]` lists record indices (into
+/// the batch's record vector) that may apply concurrently once every
+/// earlier wave has fully applied. Every index appears exactly once.
+struct ApplyPlan {
+  std::vector<std::vector<std::size_t>> waves;
+  /// True when a barrier record (shard/rename control) forced one record
+  /// per wave in original order.
+  bool serial_fallback = false;
+
+  std::size_t wave_count() const noexcept { return waves.size(); }
+
+  std::size_t record_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& w : waves) n += w.size();
+    return n;
+  }
+
+  std::size_t max_wave_width() const noexcept {
+    std::size_t m = 0;
+    for (const auto& w : waves) m = w.size() > m ? w.size() : m;
+    return m;
+  }
+
+  /// Apply slots consumed by `threads`-way execution: each wave costs
+  /// ceil(width / threads) sequential slots. threads == 1 degenerates to
+  /// the record count (serial apply); the replay cost model scales by
+  /// CriticalSlots(threads) / record_count().
+  std::size_t CriticalSlots(int threads) const noexcept {
+    if (threads < 1) threads = 1;
+    const std::size_t t = static_cast<std::size_t>(threads);
+    std::size_t slots = 0;
+    for (const auto& w : waves) slots += (w.size() + t - 1) / t;
+    return slots;
+  }
+};
+
+/// Plans `records` against a pre-batch existence oracle (typically
+/// `tree.Exists`). Paths created earlier in the batch are folded in, and
+/// paths deleted/renamed away earlier in the batch are subtracted, so a
+/// create chain after an in-batch delete correctly widens back up to the
+/// attach point it will re-materialize.
+ApplyPlan BuildApplyPlan(const std::vector<LogRecord>& records,
+                         const std::function<bool(std::string_view)>& exists);
+
+/// The deliberately-broken plan behind TestHooks::ignore_apply_deps /
+/// Mutation::kIgnoreApplyDeps: every record in one wave, reversed, so a
+/// dependent record applies before the record it depends on. Routed
+/// through the same planned-apply machinery so the checker exercises the
+/// real reordering path, not a bespoke corruption.
+ApplyPlan SingleWaveReversedPlan(std::size_t count);
+
+}  // namespace mams::journal

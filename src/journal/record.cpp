@@ -2,6 +2,43 @@
 
 namespace mams::journal {
 
+namespace {
+
+std::uint64_t g_log_record_copies = 0;
+
+}  // namespace
+
+LogRecord::LogRecord(const LogRecord& other)
+    : txid(other.txid),
+      op(other.op),
+      path(other.path),
+      path2(other.path2),
+      replication(other.replication),
+      block(other.block),
+      mtime(other.mtime),
+      client(other.client),
+      inode_ids(other.inode_ids) {
+  ++g_log_record_copies;
+}
+
+LogRecord& LogRecord::operator=(const LogRecord& other) {
+  if (this != &other) {
+    txid = other.txid;
+    op = other.op;
+    path = other.path;
+    path2 = other.path2;
+    replication = other.replication;
+    block = other.block;
+    mtime = other.mtime;
+    client = other.client;
+    inode_ids = other.inode_ids;
+    ++g_log_record_copies;
+  }
+  return *this;
+}
+
+std::uint64_t LogRecordCopies() noexcept { return g_log_record_copies; }
+
 const char* OpCodeName(OpCode op) noexcept {
   switch (op) {
     case OpCode::kCreate:
@@ -68,6 +105,8 @@ void LogRecord::Serialize(ByteWriter& out) const {
   out.I64(mtime);
   out.U64(client.client_id);
   out.U64(client.op_seq);
+  out.U32(static_cast<std::uint32_t>(inode_ids.size()));
+  for (InodeId id : inode_ids) out.U64(id);
 }
 
 Result<LogRecord> LogRecord::Deserialize(ByteReader& in) {
@@ -81,8 +120,143 @@ Result<LogRecord> LogRecord::Deserialize(ByteReader& in) {
   r.mtime = in.I64();
   r.client.client_id = in.U64();
   r.client.op_seq = in.U64();
+  const std::uint32_t ids = in.U32();
+  if (!in.ok()) return Status::Corruption("truncated log record");
+  r.inode_ids.reserve(ids);
+  for (std::uint32_t i = 0; i < ids; ++i) r.inode_ids.push_back(in.U64());
   if (!in.ok()) return Status::Corruption("truncated log record");
   return r;
+}
+
+namespace {
+
+// Local path helpers: journal sits below fsns in the layering, so the
+// footprint code re-derives the two string operations it needs instead of
+// pulling in fsns/path.hpp.
+
+// "/a/b" -> "/a", "/a" -> "/", "/" -> "" (no parent).
+std::string_view ParentOf(std::string_view path) noexcept {
+  if (path.size() <= 1) return {};
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string_view::npos) return {};
+  return slash == 0 ? path.substr(0, 1) : path.substr(0, slash);
+}
+
+// Presence reads on every proper ancestor, root excluded (it always
+// exists and is never mutated by merely traversing it).
+void PushAncestorReads(std::string_view path, std::vector<Footprint>& out) {
+  for (std::string_view p = ParentOf(path); p.size() > 1; p = ParentOf(p)) {
+    out.push_back({p, false, false});
+  }
+}
+
+// A point write on `path` plus presence reads above it.
+void PushPointWrite(std::string_view path, std::vector<Footprint>& out) {
+  out.push_back({path, true, false});
+  PushAncestorReads(path, out);
+}
+
+// A subtree write on `path` (delete/rename source or destination), a write
+// on its parent (child-map edit + mtime), and presence reads above that.
+void PushSubtreeWrite(std::string_view path, std::vector<Footprint>& out) {
+  out.push_back({path, true, true});
+  const std::string_view parent = ParentOf(path);
+  if (!parent.empty()) {
+    out.push_back({parent, true, false});
+    PushAncestorReads(parent, out);
+  }
+}
+
+// Create/mkdir: the tree materializes every missing ancestor, so the
+// footprint writes the whole chain from the deepest pre-existing ancestor
+// (the attach point, whose child map and mtime change) down to the target,
+// and reads the untouched ancestors above it.
+void PushCreateChain(std::string_view target,
+                     const std::function<bool(std::string_view)>& exists,
+                     std::vector<Footprint>& out) {
+  std::vector<std::string_view> chain;  // "/a", "/a/b", ..., target
+  std::size_t pos = 1;
+  while (pos <= target.size()) {
+    std::size_t slash = target.find('/', pos);
+    if (slash == std::string_view::npos) slash = target.size();
+    if (slash > pos) chain.push_back(target.substr(0, slash));
+    pos = slash + 1;
+  }
+  // First chain index the record itself creates (everything before it
+  // already exists; root always exists).
+  std::size_t born = 0;
+  while (born + 1 < chain.size() && exists(chain[born])) ++born;
+  if (born == 0) {
+    out.push_back({std::string_view("/"), true, false});  // attach at root
+  } else {
+    out.push_back({chain[born - 1], true, false});  // attach point
+    for (std::size_t i = 0; i + 1 < born; ++i) {
+      out.push_back({chain[i], false, false});
+    }
+  }
+  for (std::size_t i = born; i < chain.size(); ++i) {
+    out.push_back({chain[i], true, false});
+  }
+}
+
+}  // namespace
+
+bool AppendFootprint(const LogRecord& rec,
+                     const std::function<bool(std::string_view)>& exists,
+                     std::vector<Footprint>& out) {
+  if (rec.path.empty() || rec.path[0] != '/') return false;
+  switch (rec.op) {
+    case OpCode::kCreate:
+    case OpCode::kMkdir:
+      PushCreateChain(rec.path, exists, out);
+      return true;
+    case OpCode::kDelete:
+      PushSubtreeWrite(rec.path, out);
+      return true;
+    case OpCode::kRename:
+      if (rec.path2.empty() || rec.path2[0] != '/') return false;
+      PushSubtreeWrite(rec.path, out);
+      PushSubtreeWrite(rec.path2, out);
+      return true;
+    case OpCode::kSetReplication:
+    case OpCode::kAddBlock:
+    case OpCode::kCompleteFile:
+    case OpCode::kSetOwner:
+    case OpCode::kSetPermission:
+    case OpCode::kSetTimes:
+      PushPointWrite(rec.path, out);
+      return true;
+    default:
+      // Shard migration and cross-group rename control records mutate
+      // ShardState (or install with replica-local id allocation): barrier.
+      return false;
+  }
+}
+
+bool FootprintsConflict(const Footprint& a, const Footprint& b) noexcept {
+  if (!a.write && !b.write) return false;
+  auto covers = [](const Footprint& f, std::string_view p) noexcept {
+    if (f.path == p) return true;
+    if (!f.subtree) return false;
+    if (f.path == "/") return true;
+    return p.size() > f.path.size() &&
+           p.compare(0, f.path.size(), f.path) == 0 && p[f.path.size()] == '/';
+  };
+  return covers(a, b.path) || covers(b, a.path);
+}
+
+std::vector<char> Batch::SealAndSerialize() {
+  ByteWriter body;
+  for (const auto& r : records) r.Serialize(body);
+  checksum = body.Checksum();
+
+  ByteWriter out;
+  out.U64(sn);
+  out.U64(first_txid);
+  out.U32(static_cast<std::uint32_t>(records.size()));
+  out.U64(checksum);
+  out.Raw(body.bytes().data(), body.bytes().size());
+  return std::move(out).Take();
 }
 
 std::vector<char> Batch::Serialize() const {

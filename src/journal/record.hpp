@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -81,15 +83,64 @@ struct LogRecord {
   BlockId block = 0;       ///< id allocated by the active for kAddBlock
   SimTime mtime = 0;       ///< active's clock at apply time (replayed as-is)
   ClientOpId client;       ///< for idempotent retry handling
+  /// Inode ids the active allocated while executing this op, in allocation
+  /// order (create/mkdir chains allocate one per materialized component).
+  /// Replayers consume these instead of their local counter, which makes
+  /// apply order-independent for records with disjoint footprints: without
+  /// them, reordering two creates would swap their `next_inode_` draws and
+  /// diverge the fingerprint.
+  std::vector<InodeId> inode_ids;
+
+  LogRecord() = default;
+  LogRecord(const LogRecord& other);
+  LogRecord& operator=(const LogRecord& other);
+  LogRecord(LogRecord&&) noexcept = default;
+  LogRecord& operator=(LogRecord&&) noexcept = default;
 
   void Serialize(ByteWriter& out) const;
   static Result<LogRecord> Deserialize(ByteReader& in);
 
   /// Approximate serialized size without materializing bytes (batch sizing).
   std::size_t EncodedSize() const noexcept {
-    return 8 + 1 + 4 + path.size() + 4 + path2.size() + 4 + 8 + 8 + 16;
+    return 8 + 1 + 4 + path.size() + 4 + path2.size() + 4 + 8 + 8 + 16 + 4 +
+           8 * inode_ids.size();
   }
 };
+
+/// Process-wide count of LogRecord copy constructions/assignments (the
+/// simulator is single-threaded, so a plain counter suffices). The batch
+/// hot path — append, seal, replicate — is supposed to move records;
+/// `journal_test.cpp` pins an upper bound on this so a stray by-value copy
+/// in that path fails a test instead of silently taxing every mutation.
+std::uint64_t LogRecordCopies() noexcept;
+
+/// One path a record touches, as seen by the batch dependency planner.
+/// `path` views into the record's own strings (or a builder-owned chain
+/// prefix) — entries must not outlive whichever owns those bytes.
+struct Footprint {
+  std::string_view path;
+  bool write = false;    ///< mutates the inode at `path` (vs. needs it present)
+  bool subtree = false;  ///< covers every descendant of `path` too
+};
+
+/// Appends `rec`'s dependency footprint to `out` and returns true, or
+/// returns false for records that act as full barriers (shard migration
+/// and cross-group rename control records mutate ShardState or allocate
+/// from replica-local counters, so they order against everything).
+///
+/// `exists` answers "did this path exist before the batch?" — create/mkdir
+/// footprints depend on the deepest pre-existing ancestor: components the
+/// record itself materializes are writes, ancestors above the attach point
+/// are presence reads. Callers planning a whole batch must fold paths born
+/// earlier in the batch into `exists` (see BuildApplyPlan).
+bool AppendFootprint(const LogRecord& rec,
+                     const std::function<bool(std::string_view)>& exists,
+                     std::vector<Footprint>& out);
+
+/// True when footprints `a` and `b` cannot be applied concurrently:
+/// at least one side writes and one path covers the other (equal, or a
+/// subtree entry covering a descendant).
+bool FootprintsConflict(const Footprint& a, const Footprint& b) noexcept;
 
 /// A batch of records flushed together. The pair <sn, first_txid> is the
 /// paper's journal descriptor; the checksum covers the serialized records.
@@ -100,6 +151,11 @@ struct Batch {
   std::uint64_t checksum = 0;
 
   std::vector<char> Serialize() const;
+  /// Serialize() that also stores the computed checksum in `checksum`:
+  /// sealing a batch yields the in-memory header and the wire bytes in one
+  /// serialization pass (the writer hands both to its sink, so the SSP
+  /// append reuses the bytes instead of serializing again).
+  std::vector<char> SealAndSerialize();
   static Result<Batch> Deserialize(const std::vector<char>& bytes);
 
   std::size_t EncodedSize() const noexcept {

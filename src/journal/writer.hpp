@@ -25,9 +25,11 @@ class Writer {
     SimTime max_batch_delay = 2 * kMillisecond;
   };
 
-  /// `sink` receives each sealed batch (the MAMS active sends it through
-  /// the 2PC to standbys and to the SSP).
-  using BatchSink = std::function<void(Batch)>;
+  /// `sink` receives each sealed batch plus its serialized bytes (the MAMS
+  /// active sends the batch through the 2PC to standbys and appends the
+  /// bytes to the SSP; sealing serializes exactly once, so the sink must
+  /// not re-serialize).
+  using BatchSink = std::function<void(Batch, std::vector<char>)>;
 
   Writer(sim::Simulator& sim, Options options, BatchSink sink)
       : sim_(sim), options_(options), sink_(std::move(sink)) {}
@@ -67,12 +69,11 @@ class Writer {
     batch.first_txid = pending_.front().txid;
     batch.records = std::exchange(pending_, {});
     pending_bytes_ = 0;
-    // Checksum is computed during serialization; keep it available for
-    // in-memory consumers too.
-    ByteWriter body;
-    for (const auto& r : batch.records) r.Serialize(body);
-    batch.checksum = body.Checksum();
-    sink_(std::move(batch));
+    // A single serialization pass seals the checksum and yields the wire
+    // bytes the sink's SSP append reuses (the records are not serialized a
+    // second time downstream).
+    std::vector<char> bytes = batch.SealAndSerialize();
+    sink_(std::move(batch), std::move(bytes));
   }
 
   std::size_t pending_records() const noexcept { return pending_.size(); }

@@ -52,18 +52,23 @@ void Usage() {
       "  --seeds N          seeds to sweep (default 50)\n"
       "  --seed-base B      first seed (default 1)\n"
       "  --seed S           run exactly one seed\n"
-      "  --mutation M       none|sn_dedup|fencing|min_sn|cutover_fence\n"
-      "                     (default none; cutover_fence implies the\n"
-      "                     migrations profile's two-group topology)\n"
+      "  --mutation M       none|sn_dedup|fencing|min_sn|cutover_fence|\n"
+      "                     apply_deps (default none; cutover_fence implies\n"
+      "                     the migrations profile's two-group topology;\n"
+      "                     apply_deps implies the apply_race profile)\n"
       "  --standby-reads    serve reads from standbys (session-consistent\n"
       "                     offload; min_sn mutation implies this)\n"
       "  --clients N        fuzz clients per run (default 2)\n"
       "  --ops N            ops per client (default 40)\n"
       "  --faults N         faults per run (default 5)\n"
-      "  --profile P        default|renames|migrations — renames is\n"
-      "                     rename/delete-heavy (resolve-cache pressure);\n"
+      "  --profile P        default|renames|migrations|apply_race — renames\n"
+      "                     is rename/delete-heavy (resolve-cache pressure);\n"
       "                     migrations runs two replica groups with live\n"
-      "                     shard migrations and cross-group renames\n"
+      "                     shard migrations and cross-group renames;\n"
+      "                     apply_race points all clients at one shared\n"
+      "                     tree with a widened batch window so batches\n"
+      "                     carry intra-batch dependencies (parallel-apply\n"
+      "                     planner pressure)\n"
       "  --no-shrink        skip schedule shrinking on violation\n"
       "  --shrink-runs N    shrink rerun budget (default 200)\n"
       "  --out-dir DIR      where .repro files go (default .)\n"
@@ -104,7 +109,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (arg == "--profile") {
       args->profile = value();
       if (args->profile != "default" && args->profile != "renames" &&
-          args->profile != "migrations") {
+          args->profile != "migrations" && args->profile != "apply_race") {
         std::fprintf(stderr, "unknown profile %s\n", args->profile.c_str());
         return false;
       }
@@ -192,6 +197,30 @@ int Sweep(const Args& args) {
     profile.mix.rename = 0.20;
     profile.mix.remove = 0.15;
     profile.mix.getfileinfo = 0.25;
+  } else if (args.profile == "apply_race" ||
+             args.mutation == Mutation::kIgnoreApplyDeps) {
+    // Parallel-apply pressure: every client mutates one shared tree (so
+    // same-batch records collide on directories) and the aggregation
+    // window is widened so those collisions land in one batch — the
+    // shape where the dependency planner has real ordering work to do,
+    // and where the apply_deps mutation's naive reversal must diverge.
+    // Eight sub-2ms clients against a two-slot commit window: the
+    // closed-loop backlog exceeds the window, so group commit actually
+    // aggregates multi-record batches (a window as wide as the client
+    // count always has a free slot and every batch degenerates to one
+    // record, which no reordering can disturb).
+    profile.clients = std::max(args.clients, 8);
+    profile.shared_namespace = true;
+    profile.hot_clients = true;
+    profile.batch_delay = 25 * kMillisecond;
+    profile.pipeline_depth = 2;
+    // create/add_block/remove-heavy: create->addBlock->delete chains on
+    // one file are the record pairs whose order a replica cannot fudge.
+    profile.mix.create = 0.40;
+    profile.mix.add_block = 0.20;
+    profile.mix.remove = 0.20;
+    profile.mix.rename = 0.10;
+    profile.mix.getfileinfo = 0.10;
   }
 
   const std::uint64_t base = args.single_seed ? args.seed : args.seed_base;
