@@ -19,6 +19,7 @@
 #include "metrics/table.hpp"
 #include "sim/simulator.hpp"
 #include "workload/driver.hpp"
+#include "workload/load_engine.hpp"
 
 namespace mams::bench {
 
@@ -51,6 +52,34 @@ inline void PreloadTree(fsns::Tree& tree, const std::vector<std::string>& paths)
     ClientOpId none{};
     (void)tree.Create(p, 3, 0, none);
   }
+}
+
+/// Per-directory numbering (/bench/dD/f0 … f{files_per_dir-1}) — the file
+/// population the open-loop LoadEngine's read targets assume
+/// (LoadEngineOptions::files_per_dir).
+inline std::vector<std::string> PreloadPathsPerDir(int dirs,
+                                                   int files_per_dir) {
+  std::vector<std::string> paths;
+  paths.reserve(static_cast<std::size_t>(dirs) *
+                static_cast<std::size_t>(files_per_dir));
+  for (int d = 0; d < dirs; ++d) {
+    const std::string prefix = "/bench/d" + std::to_string(d) + "/f";
+    for (int f = 0; f < files_per_dir; ++f) {
+      paths.push_back(prefix + std::to_string(f));
+    }
+  }
+  return paths;
+}
+
+/// One ClientApi per cluster client — the endpoint set a LoadEngine
+/// round-robins its sessions over.
+inline std::vector<workload::ClientApi> MakeApis(cluster::CfsCluster& cfs) {
+  std::vector<workload::ClientApi> apis;
+  apis.reserve(static_cast<std::size_t>(cfs.client_count()));
+  for (int c = 0; c < cfs.client_count(); ++c) {
+    apis.push_back(workload::MakeApi(cfs.client(c)));
+  }
+  return apis;
 }
 
 /// Steady-state throughput from a driver's rate series, skipping warmup

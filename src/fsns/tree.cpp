@@ -336,12 +336,17 @@ Status Tree::DoRename(std::string_view src, std::string_view dst,
   }
   Inode& old_parent = inodes_.at(node->parent);
   old_parent.RemoveChild(node->name);
-  old_parent.mtime = mtime;
+  // Parent mtimes merge by max rather than overwrite: record mtimes are
+  // monotonic in txid order, so in-order replay is unchanged, while two
+  // leaf renames under one directory (which the apply planner may run in
+  // the same wave, in either order) converge on the same parent mtime —
+  // and the same fingerprint — on every replica.
+  old_parent.mtime = std::max(old_parent.mtime, mtime);
   node->name = std::string(BaseName(dst));
   node->parent = new_parent->id;
   node->mtime = mtime;
   new_parent->AddChild(node->name, node->id);
-  new_parent->mtime = mtime;
+  new_parent->mtime = std::max(new_parent->mtime, mtime);
   // The whole source subtree now answers to different paths; the dst
   // prefix is cleared too as cheap insurance (no positive entry can exist
   // there — dst was just verified absent — but the scan is already paid).
@@ -594,9 +599,16 @@ Result<LogRecord> Tree::Delete(std::string_view path, SimTime mtime,
 Result<LogRecord> Tree::Rename(std::string_view src, std::string_view dst,
                                SimTime mtime, ClientOpId client) {
   return Dedup(client, [&]() -> Result<LogRecord> {
+    // Leafness must be judged before the move: afterwards src resolves to
+    // nothing. A file can never gain children, so the flag stays valid for
+    // the record's whole replay life.
+    const Inode* node = Resolve(src);
+    const bool leaf_file = node != nullptr && !node->is_dir;
     Status s = DoRename(src, dst, mtime);
     if (!s.ok()) return s;
-    return MakeRecord(OpCode::kRename, src, dst, 1, 0, mtime, client);
+    LogRecord r = MakeRecord(OpCode::kRename, src, dst, 1, 0, mtime, client);
+    if (leaf_file) r.flags |= LogRecord::kFlagRenameLeaf;
+    return r;
   });
 }
 

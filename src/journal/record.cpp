@@ -11,6 +11,7 @@ std::uint64_t g_log_record_copies = 0;
 LogRecord::LogRecord(const LogRecord& other)
     : txid(other.txid),
       op(other.op),
+      flags(other.flags),
       path(other.path),
       path2(other.path2),
       replication(other.replication),
@@ -25,6 +26,7 @@ LogRecord& LogRecord::operator=(const LogRecord& other) {
   if (this != &other) {
     txid = other.txid;
     op = other.op;
+    flags = other.flags;
     path = other.path;
     path2 = other.path2;
     replication = other.replication;
@@ -98,6 +100,7 @@ const char* OpCodeName(OpCode op) noexcept {
 void LogRecord::Serialize(ByteWriter& out) const {
   out.U64(txid);
   out.U8(static_cast<std::uint8_t>(op));
+  out.U8(flags);
   out.Str(path);
   out.Str(path2);
   out.U32(replication);
@@ -113,6 +116,7 @@ Result<LogRecord> LogRecord::Deserialize(ByteReader& in) {
   LogRecord r;
   r.txid = in.U64();
   r.op = static_cast<OpCode>(in.U8());
+  r.flags = in.U8();
   r.path = in.Str();
   r.path2 = in.Str();
   r.replication = in.U32();
@@ -215,6 +219,16 @@ bool AppendFootprint(const LogRecord& rec,
       return true;
     case OpCode::kRename:
       if (rec.path2.empty() || rec.path2[0] != '/') return false;
+      if ((rec.flags & LogRecord::kFlagRenameLeaf) != 0) {
+        // The moved inode is a leaf file: no descendants to cover, and the
+        // parents' edits commute (child maps are keyed by name, parent
+        // mtimes merge by max in DoRename), so each endpoint is a point
+        // write with presence reads above — two leaf renames under the
+        // same directory no longer serialize against each other.
+        PushPointWrite(rec.path, out);
+        PushPointWrite(rec.path2, out);
+        return true;
+      }
       PushSubtreeWrite(rec.path, out);
       PushSubtreeWrite(rec.path2, out);
       return true;

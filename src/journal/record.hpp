@@ -75,8 +75,15 @@ constexpr bool MutatesStructure(OpCode op) noexcept {
 }
 
 struct LogRecord {
+  /// `path` named a leaf file (a non-directory, hence no descendants) when
+  /// the active executed this kRename: the apply planner may use point
+  /// footprints for both endpoints instead of subtree writes, letting
+  /// sibling leaf renames share a wave.
+  static constexpr std::uint8_t kFlagRenameLeaf = 0x1;
+
   TxId txid = 0;
   OpCode op = OpCode::kCreate;
+  std::uint8_t flags = 0;  ///< kFlag* bits qualifying the op
   std::string path;        ///< primary target
   std::string path2;       ///< rename destination
   std::uint32_t replication = 1;
@@ -102,8 +109,8 @@ struct LogRecord {
 
   /// Approximate serialized size without materializing bytes (batch sizing).
   std::size_t EncodedSize() const noexcept {
-    return 8 + 1 + 4 + path.size() + 4 + path2.size() + 4 + 8 + 8 + 16 + 4 +
-           8 * inode_ids.size();
+    return 8 + 1 + 1 + 4 + path.size() + 4 + path2.size() + 4 + 8 + 8 + 16 +
+           4 + 8 * inode_ids.size();
   }
 };
 

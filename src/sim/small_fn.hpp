@@ -1,0 +1,113 @@
+// Move-only callable with inline small-buffer storage, used for simulator
+// events. A scheduled continuation typically captures a `this` pointer and
+// a couple of ids — with std::function those captures overflow the 16-byte
+// libstdc++ SBO and every Schedule() heap-allocates. SmallFn keeps 48 bytes
+// inline (covering every event lambda in the tree today) and only falls
+// back to the heap for outsized captures, so a run with 10^5+ outstanding
+// events costs no per-event allocation on the schedule path.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mams::sim {
+
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every Schedule/After call site.
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::ops;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &HeapOps<Fn>::ops;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { Reset(); }
+
+  /// Const like std::function::operator(), so wrapped callables stay
+  /// invocable from non-mutable lambda captures.
+  void operator()() const { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* from, void* to) noexcept;  // move + destroy source
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(void* p) { (*static_cast<Fn*>(p))(); }
+    static void Relocate(void* from, void* to) noexcept {
+      Fn* src = static_cast<Fn*>(from);
+      ::new (to) Fn(std::move(*src));
+      src->~Fn();
+    }
+    static void Destroy(void* p) noexcept { static_cast<Fn*>(p)->~Fn(); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn*& Slot(void* p) noexcept { return *static_cast<Fn**>(p); }
+    static void Invoke(void* p) { (*Slot(p))(); }
+    static void Relocate(void* from, void* to) noexcept {
+      *static_cast<Fn**>(to) = Slot(from);
+      Slot(from) = nullptr;
+    }
+    static void Destroy(void* p) noexcept { delete Slot(p); }
+    static constexpr Ops ops{&Invoke, &Relocate, &Destroy};
+  };
+
+  alignas(std::max_align_t) mutable unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mams::sim

@@ -1,0 +1,185 @@
+// Arrival processes for the open-loop load engine. A curve gives the
+// instantaneous session arrival rate λ(t) in sessions per (virtual)
+// second; the sampler draws the next arrival time with Lewis–Shedler
+// thinning against the curve's peak rate, so any shape is supported by
+// the same deterministic code path.
+//
+// Shapes (λFS argues metadata services must be judged under bursty,
+// elastic load; the survey paper catalogs the diurnal/flash patterns):
+//   * constant    — steady λ.
+//   * diurnal     — sinusoid between trough·λ and λ with a given period.
+//   * flash crowd — baseline λ with a multiplier burst inside a window.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace mams::workload {
+
+// <cmath> only guarantees M_PI outside strict-ISO mode; carry our own.
+inline constexpr double kPi = 3.14159265358979323846;
+
+enum class ArrivalKind : std::uint8_t { kConstant, kDiurnal, kFlashCrowd };
+
+struct ArrivalCurve {
+  ArrivalKind kind = ArrivalKind::kConstant;
+  double rate = 100.0;  ///< sessions/second (peak for diurnal, base for flash)
+  // diurnal
+  double period_s = 60.0;  ///< one simulated "day" (compressed for benches)
+  double trough = 0.2;     ///< min rate as a fraction of `rate`
+  // flash crowd
+  double burst_start_s = 2.0;
+  double burst_len_s = 2.0;
+  double burst_mult = 10.0;
+
+  static ArrivalCurve Constant(double rate) {
+    ArrivalCurve c;
+    c.kind = ArrivalKind::kConstant;
+    c.rate = rate;
+    return c;
+  }
+  static ArrivalCurve Diurnal(double peak_rate, double period_s,
+                              double trough = 0.2) {
+    ArrivalCurve c;
+    c.kind = ArrivalKind::kDiurnal;
+    c.rate = peak_rate;
+    c.period_s = period_s;
+    c.trough = trough;
+    return c;
+  }
+  static ArrivalCurve FlashCrowd(double base_rate, double burst_start_s,
+                                 double burst_len_s, double burst_mult) {
+    ArrivalCurve c;
+    c.kind = ArrivalKind::kFlashCrowd;
+    c.rate = base_rate;
+    c.burst_start_s = burst_start_s;
+    c.burst_len_s = burst_len_s;
+    c.burst_mult = burst_mult;
+    return c;
+  }
+
+  /// Instantaneous rate λ(t), t in seconds of virtual time.
+  double RateAt(double t_s) const {
+    switch (kind) {
+      case ArrivalKind::kConstant:
+        return rate;
+      case ArrivalKind::kDiurnal: {
+        // Oscillates between trough·rate and rate, starting at the mean
+        // and rising (mornings first).
+        const double mid = (1.0 + trough) / 2.0;
+        const double amp = (1.0 - trough) / 2.0;
+        return rate * (mid + amp * std::sin(2.0 * kPi * t_s / period_s));
+      }
+      case ArrivalKind::kFlashCrowd:
+        return (t_s >= burst_start_s && t_s < burst_start_s + burst_len_s)
+                   ? rate * burst_mult
+                   : rate;
+    }
+    return rate;
+  }
+
+  /// Upper bound on λ over all t — the thinning envelope.
+  double PeakRate() const {
+    switch (kind) {
+      case ArrivalKind::kConstant:
+        return rate;
+      case ArrivalKind::kDiurnal:
+        return rate;
+      case ArrivalKind::kFlashCrowd:
+        return rate * (burst_mult > 1.0 ? burst_mult : 1.0);
+    }
+    return rate;
+  }
+
+  /// Closed-form ∫λ dt over [t0, t1] — the expected arrival count, used
+  /// by tests to check the sampler emits rate-integral many sessions.
+  double Integral(double t0_s, double t1_s) const {
+    if (t1_s <= t0_s) return 0.0;
+    switch (kind) {
+      case ArrivalKind::kConstant:
+        return rate * (t1_s - t0_s);
+      case ArrivalKind::kDiurnal: {
+        const double mid = (1.0 + trough) / 2.0;
+        const double amp = (1.0 - trough) / 2.0;
+        const double w = 2.0 * kPi / period_s;
+        auto anti = [&](double t) {
+          return mid * t - amp / w * std::cos(w * t);
+        };
+        return rate * (anti(t1_s) - anti(t0_s));
+      }
+      case ArrivalKind::kFlashCrowd: {
+        const double b0 = burst_start_s, b1 = burst_start_s + burst_len_s;
+        const double lo = std::min(std::max(t0_s, b0), b1);
+        const double hi = std::min(std::max(t1_s, b0), b1);
+        const double burst_overlap = hi > lo ? hi - lo : 0.0;
+        return rate * (t1_s - t0_s) + rate * (burst_mult - 1.0) * burst_overlap;
+      }
+    }
+    return rate * (t1_s - t0_s);
+  }
+};
+
+inline const char* ArrivalKindName(ArrivalKind k) noexcept {
+  switch (k) {
+    case ArrivalKind::kConstant:
+      return "constant";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+    case ArrivalKind::kFlashCrowd:
+      return "flash";
+  }
+  return "constant";
+}
+
+/// Parses "constant" | "diurnal" | "flash"; returns false on junk.
+inline bool ParseArrivalKind(std::string_view name, ArrivalKind& out) {
+  if (name == "constant") {
+    out = ArrivalKind::kConstant;
+  } else if (name == "diurnal") {
+    out = ArrivalKind::kDiurnal;
+  } else if (name == "flash") {
+    out = ArrivalKind::kFlashCrowd;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Draws successive arrival times from a curve. Nonhomogeneous Poisson
+/// via thinning: candidate gaps are exponential at the peak rate and a
+/// candidate at time t is accepted with probability λ(t)/peak. All
+/// randomness flows through the caller-owned Rng, so a fixed seed gives
+/// a fixed arrival schedule.
+class ArrivalSampler {
+ public:
+  ArrivalSampler(ArrivalCurve curve, Rng rng)
+      : curve_(curve), rng_(rng), peak_(curve.PeakRate()) {}
+
+  /// Virtual time of the next arrival strictly after `now`.
+  SimTime Next(SimTime now) {
+    double t_s = ToSeconds(now);
+    if (peak_ <= 0.0) return now + 3600 * kSecond;  // effectively never
+    for (;;) {
+      t_s += rng_.Exponential(1.0 / peak_);
+      if (rng_.Uniform() * peak_ <= curve_.RateAt(t_s)) {
+        const double ns = t_s * static_cast<double>(kSecond);
+        SimTime at = static_cast<SimTime>(ns);
+        if (at <= now) at = now + 1;  // strictly advancing
+        return at;
+      }
+    }
+  }
+
+  const ArrivalCurve& curve() const noexcept { return curve_; }
+
+ private:
+  ArrivalCurve curve_;
+  Rng rng_;
+  double peak_;
+};
+
+}  // namespace mams::workload

@@ -16,6 +16,7 @@
 
 #include "baselines/client.hpp"
 #include "cluster/client.hpp"
+#include "workload/opstream.hpp"
 
 namespace mams::workload {
 
@@ -38,6 +39,51 @@ struct ClientApi {
   bool has_listdir = false;
   bool has_add_block = false;
 };
+
+/// Dispatches one generated Op through the facade, collapsing every typed
+/// result to its Status and applying the capability fallbacks (ListDir and
+/// AddBlock degrade to getfileinfo, the universal read). Shared by the
+/// closed-loop driver and the open-loop load engine so both issue the
+/// exact same call sequence for a given op stream.
+inline void IssueOp(ClientApi& api, const Op& op, ClientApi::Cb done) {
+  auto info_done = [&](ClientApi::Cb cb) -> ClientApi::InfoCb {
+    return [cb = std::move(cb)](Result<fsns::FileInfo> r) { cb(r.status()); };
+  };
+  switch (op.kind) {
+    case OpKind::kCreate:
+      api.create(op.path, std::move(done));
+      break;
+    case OpKind::kMkdir:
+      api.mkdir(op.path, std::move(done));
+      break;
+    case OpKind::kDelete:
+      api.remove(op.path, std::move(done));
+      break;
+    case OpKind::kRename:
+      api.rename(op.path, op.path2, std::move(done));
+      break;
+    case OpKind::kGetFileInfo:
+      api.getfileinfo(op.path, info_done(std::move(done)));
+      break;
+    case OpKind::kListDir:
+      if (api.has_listdir) {
+        api.listdir(op.path, [done = std::move(done)](
+                                 Result<std::vector<std::string>> r) {
+          done(r.status());
+        });
+      } else {
+        api.getfileinfo(op.path, info_done(std::move(done)));
+      }
+      break;
+    case OpKind::kAddBlock:
+      if (api.has_add_block) {
+        api.add_block(op.path, std::move(done));
+      } else {
+        api.getfileinfo(op.path, info_done(std::move(done)));
+      }
+      break;
+  }
+}
 
 inline ClientApi MakeApi(cluster::FsClient& client) {
   ClientApi api;

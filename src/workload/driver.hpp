@@ -4,16 +4,22 @@
 // completion rates, latencies, and — for MTTR measurement — the exact
 // timestamps at which operations return failure and the first subsequent
 // success (Section IV.B's definition).
+//
+// Since the load-engine refactor this is a thin facade over
+// LoadEngine's closed-loop mode: the per-session op streams, seeds, and
+// issue order are unchanged, so every figure bench keeps its exact
+// numbers and run digest. New code (scale benches, tools) should use
+// LoadEngine directly — it also offers open-loop arrival-driven load.
 #pragma once
 
-#include <functional>
-#include <memory>
+#include <cstdint>
 #include <vector>
 
 #include "common/types.hpp"
 #include "metrics/series.hpp"
 #include "sim/simulator.hpp"
 #include "workload/client_api.hpp"
+#include "workload/load_engine.hpp"
 #include "workload/opstream.hpp"
 
 namespace mams::workload {
@@ -31,150 +37,37 @@ struct DriverOptions {
 class Driver {
  public:
   using Options = DriverOptions;
+  using MttrProbe = LoadEngine::MttrProbe;
 
   Driver(sim::Simulator& sim, ClientApi api, Mix mix, std::uint64_t seed,
          Options options = {})
-      : sim_(sim), api_(std::move(api)), options_(options) {
-    for (int s = 0; s < options_.sessions; ++s) {
-      streams_.push_back(
-          std::make_unique<OpStream>(mix, seed * 1315423911u + s));
-    }
-    if (options_.seed_files != nullptr) {
-      std::vector<std::vector<std::string>> shares(
-          static_cast<std::size_t>(options_.sessions));
-      for (std::size_t i = 0; i < options_.seed_files->size(); ++i) {
-        shares[i % shares.size()].push_back((*options_.seed_files)[i]);
-      }
-      for (int s = 0; s < options_.sessions; ++s) {
-        streams_[s]->AdoptFiles(std::move(shares[s]));
-      }
-    }
-  }
+      : engine_(sim, std::move(api), mix, seed, ToEngine(options)) {}
 
   /// Starts all sessions; they run until Stop().
-  void Start() {
-    running_ = true;
-    start_time_ = sim_.Now();
-    for (int s = 0; s < options_.sessions; ++s) IssueNext(s);
-  }
-
-  void Stop() { running_ = false; }
+  void Start() { engine_.Start(); }
+  void Stop() { engine_.Stop(); }
 
   // --- measurements -----------------------------------------------------
-  std::uint64_t completed() const noexcept { return completed_; }
-  std::uint64_t failed() const noexcept { return failed_; }
-  const metrics::RateSeries& rate() const noexcept { return rate_; }
-  metrics::Cdf& latencies() noexcept { return latencies_; }
+  std::uint64_t completed() const noexcept { return engine_.completed(); }
+  std::uint64_t failed() const noexcept { return engine_.failed(); }
+  const metrics::RateSeries& rate() const noexcept { return engine_.rate(); }
+  metrics::Cdf& latencies() noexcept { return engine_.latencies(); }
+  double Throughput() const { return engine_.Throughput(); }
 
-  double Throughput() const {
-    const double secs = ToSeconds(sim_.Now() - start_time_);
-    return secs > 0 ? static_cast<double>(completed_) / secs : 0.0;
-  }
-
-  /// MTTR probe: first failure timestamp and first success after it
-  /// (Section IV.B: MTTR = Time_return_success - Time_return_failure ...
-  /// the paper's formula subtracts the failure-return timestamp from the
-  /// success-return timestamp).
-  struct MttrProbe {
-    SimTime first_failure = -1;
-    SimTime first_success_after = -1;
-    bool complete() const {
-      return first_failure >= 0 && first_success_after >= 0;
-    }
-    SimTime mttr() const { return first_success_after - first_failure; }
-  };
-  const MttrProbe& mttr_probe() const noexcept { return probe_; }
-  void ResetMttrProbe() { probe_ = MttrProbe{}; }
+  const MttrProbe& mttr_probe() const noexcept { return engine_.mttr_probe(); }
+  void ResetMttrProbe() { engine_.ResetMttrProbe(); }
 
  private:
-  /// The driver measures service outcomes, not payloads: a typed read
-  /// result collapses to its Status here.
-  static ClientApi::InfoCb InfoDone(std::function<void(Status)> done) {
-    return [done = std::move(done)](Result<fsns::FileInfo> r) {
-      done(r.status());
-    };
+  static LoadEngine::Options ToEngine(const Options& options) {
+    LoadEngine::Options o;
+    o.loop = LoadEngine::Loop::kClosed;
+    o.sessions = options.sessions;
+    o.stop_on_failure = options.stop_on_failure;
+    o.seed_files = options.seed_files;
+    return o;
   }
 
-  void IssueNext(int session) {
-    if (!running_) return;
-    const Op op = streams_[session]->Next();
-    const SimTime issued = sim_.Now();
-    auto done = [this, session, issued](Status s) {
-      OnDone(session, issued, s);
-    };
-    switch (op.kind) {
-      case OpKind::kCreate:
-        api_.create(op.path, done);
-        break;
-      case OpKind::kMkdir:
-        api_.mkdir(op.path, done);
-        break;
-      case OpKind::kDelete:
-        api_.remove(op.path, done);
-        break;
-      case OpKind::kRename:
-        api_.rename(op.path, op.path2, done);
-        break;
-      case OpKind::kGetFileInfo:
-        api_.getfileinfo(op.path, InfoDone(done));
-        break;
-      case OpKind::kListDir:
-        if (api_.has_listdir) {
-          api_.listdir(op.path, [done](Result<std::vector<std::string>> r) {
-            done(r.status());
-          });
-        } else {
-          api_.getfileinfo(op.path, InfoDone(done));
-        }
-        break;
-      case OpKind::kAddBlock:
-        if (api_.has_add_block) {
-          api_.add_block(op.path, done);
-        } else {
-          api_.getfileinfo(op.path, InfoDone(done));
-        }
-        break;
-    }
-  }
-
-  void OnDone(int session, SimTime issued, const Status& status) {
-    const SimTime now = sim_.Now();
-    // AlreadyExists/NotFound are successful server round trips for the
-    // throughput and MTTR view (the service answered); Unavailable and
-    // TimedOut are genuine service failures.
-    const bool service_ok = status.code() != StatusCode::kUnavailable &&
-                            status.code() != StatusCode::kTimedOut;
-    if (service_ok) {
-      ++completed_;
-      rate_.Record(now);
-      latencies_.Record(ToMillis(now - issued));
-      if (probe_.first_failure >= 0 && probe_.first_success_after < 0) {
-        probe_.first_success_after = now;
-      }
-    } else {
-      ++failed_;
-      if (probe_.first_failure < 0) {
-        probe_.first_failure = now;
-      }
-      if (options_.stop_on_failure) {
-        running_ = false;
-        return;
-      }
-    }
-    IssueNext(session);
-  }
-
-  sim::Simulator& sim_;
-  ClientApi api_;
-  Options options_;
-  std::vector<std::unique_ptr<OpStream>> streams_;
-  bool running_ = false;
-  SimTime start_time_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t failed_ = 0;
-  metrics::RateSeries rate_;
-  metrics::Cdf latencies_;
-  MttrProbe probe_;
+  LoadEngine engine_;
 };
 
 }  // namespace mams::workload

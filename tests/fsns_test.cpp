@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "fsns/blockmap.hpp"
+#include "journal/apply_plan.hpp"
 #include "fsns/partition.hpp"
 #include "fsns/path.hpp"
 #include "fsns/tree.hpp"
@@ -308,6 +309,55 @@ TEST_F(TreeTest, ReplayReproducesFingerprint) {
   for (const auto& rec : log) ASSERT_TRUE(replica.Apply(rec).ok());
   EXPECT_EQ(replica.Fingerprint(), tree_.Fingerprint());
   EXPECT_EQ(replica.last_txid(), tree_.last_txid());
+}
+
+TEST_F(TreeTest, SiblingLeafRenamesConvergeInEitherWaveOrder) {
+  // Two leaf-file renames under one directory now share an apply wave
+  // (point-write footprints); replicas may execute a wave in any order, so
+  // either order must land on the active's fingerprint. The parents'
+  // max-merged mtimes are what make this hold.
+  std::vector<LogRecord> setup;
+  auto run = [&](Result<LogRecord> r, std::vector<LogRecord>& log) {
+    ASSERT_TRUE(r.ok());
+    LogRecord rec = std::move(r).value();
+    rec.txid = static_cast<TxId>(tree_.last_txid() + 1);
+    tree_.set_last_txid(rec.txid);
+    log.push_back(std::move(rec));
+  };
+  run(tree_.Mkdir("/d", 1, Op()), setup);
+  run(tree_.Create("/d/a", 1, 2, Op()), setup);
+  run(tree_.Create("/d/b", 1, 3, Op()), setup);
+
+  std::vector<LogRecord> batch;
+  run(tree_.Rename("/d/a", "/d/a2", 4, Op()), batch);
+  run(tree_.Rename("/d/b", "/d/b2", 5, Op()), batch);
+  EXPECT_NE(batch[0].flags & LogRecord::kFlagRenameLeaf, 0);
+  EXPECT_NE(batch[1].flags & LogRecord::kFlagRenameLeaf, 0);
+
+  Tree forward, reversed;
+  for (Tree* replica : {&forward, &reversed}) {
+    for (const auto& rec : setup) ASSERT_TRUE(replica->Apply(rec).ok());
+  }
+  const journal::ApplyPlan plan = journal::BuildApplyPlan(
+      batch, [&](std::string_view p) {
+        return forward.GetFileInfo(std::string(p)).ok();
+      });
+  ASSERT_EQ(plan.wave_count(), 1u);  // siblings share the wave
+  ASSERT_TRUE(forward.ApplyPlanned(batch, plan, nullptr).ok());
+  ASSERT_TRUE(
+      reversed
+          .ApplyPlanned(batch, journal::SingleWaveReversedPlan(batch.size()),
+                        nullptr)
+          .ok());
+  EXPECT_EQ(forward.Fingerprint(), tree_.Fingerprint());
+  EXPECT_EQ(reversed.Fingerprint(), tree_.Fingerprint());
+}
+
+TEST_F(TreeTest, DirectoryRenameRecordIsNotLeafFlagged) {
+  ASSERT_TRUE(tree_.Mkdir("/dir/sub", 1, Op()).ok());
+  auto rec = tree_.Rename("/dir/sub", "/dir/sub2", 2, Op());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().flags & LogRecord::kFlagRenameLeaf, 0);
 }
 
 TEST_F(TreeTest, ReplayIsIdempotentPerTxid) {

@@ -31,6 +31,7 @@ LogRecord Sample(TxId txid) {
 TEST(LogRecordTest, SerializeRoundTrip) {
   LogRecord r = Sample(42);
   r.op = OpCode::kRename;
+  r.flags = LogRecord::kFlagRenameLeaf;
   r.path2 = "/dir/renamed";
   r.block = 77;
   r.inode_ids = {19, 20, 21};
@@ -42,6 +43,7 @@ TEST(LogRecordTest, SerializeRoundTrip) {
   const LogRecord& b = back.value();
   EXPECT_EQ(b.txid, r.txid);
   EXPECT_EQ(b.op, r.op);
+  EXPECT_EQ(b.flags, r.flags);
   EXPECT_EQ(b.path, r.path);
   EXPECT_EQ(b.path2, r.path2);
   EXPECT_EQ(b.replication, r.replication);
@@ -299,6 +301,26 @@ TEST(FootprintTest, RenameCoversBothParents) {
   EXPECT_TRUE(HasWrite(fp, "/b"));  // dst parent gains a child + mtime
 }
 
+TEST(FootprintTest, LeafRenameIsPointWritesWithParentReads) {
+  // kFlagRenameLeaf narrows both endpoints to point writes: the moved
+  // inode has no descendants, and the parents' child-map edits and
+  // max-merged mtimes commute, so parents are presence reads only.
+  LogRecord r;
+  r.op = OpCode::kRename;
+  r.flags = LogRecord::kFlagRenameLeaf;
+  r.path = "/a/src";
+  r.path2 = "/b/dst";
+  const auto fp = FootprintOf(r, {"/", "/a", "/b"});
+  EXPECT_TRUE(HasWrite(fp, "/a/src"));
+  EXPECT_TRUE(HasWrite(fp, "/b/dst"));
+  EXPECT_FALSE(HasWrite(fp, "/a/src", /*subtree=*/true));
+  EXPECT_FALSE(HasWrite(fp, "/b/dst", /*subtree=*/true));
+  EXPECT_TRUE(HasRead(fp, "/a"));
+  EXPECT_TRUE(HasRead(fp, "/b"));
+  EXPECT_FALSE(HasWrite(fp, "/a"));
+  EXPECT_FALSE(HasWrite(fp, "/b"));
+}
+
 TEST(FootprintTest, AttributeAndBlockOpsArePointWrites) {
   for (OpCode op : {OpCode::kSetReplication, OpCode::kAddBlock,
                     OpCode::kCompleteFile, OpCode::kSetOwner,
@@ -426,6 +448,52 @@ TEST(ApplyPlanTest, BornPathsFeedLaterChains) {
   std::vector<LogRecord> recs = {Op(OpCode::kMkdir, "/x/y"),
                                  Op(OpCode::kCreate, "/x/y/f")};
   const ApplyPlan plan = BuildApplyPlan(recs, Oracle({"/"}));
+  EXPECT_LT(WaveOf(plan, 0), WaveOf(plan, 1));
+}
+
+LogRecord LeafRename(std::string src, std::string dst) {
+  LogRecord r = Op(OpCode::kRename, std::move(src), std::move(dst));
+  r.flags = LogRecord::kFlagRenameLeaf;
+  return r;
+}
+
+TEST(ApplyPlanTest, SiblingLeafRenamesShareAWave) {
+  // The satellite: two leaf-file renames under one directory no longer
+  // serialize on the parent — both ride wave 0.
+  std::vector<LogRecord> recs = {LeafRename("/d/a", "/d/a2"),
+                                 LeafRename("/d/b", "/d/b2")};
+  const ApplyPlan plan =
+      BuildApplyPlan(recs, Oracle({"/", "/d", "/d/a", "/d/b"}));
+  EXPECT_FALSE(plan.serial_fallback);
+  ASSERT_EQ(plan.wave_count(), 1u);
+  EXPECT_EQ(plan.max_wave_width(), 2u);
+}
+
+TEST(ApplyPlanTest, DirectoryRenamesUnderOneParentStillSerialize) {
+  // Without the leaf flag the old subtree-write footprint stands: the
+  // parent write keeps sibling renames ordered.
+  std::vector<LogRecord> recs = {Op(OpCode::kRename, "/d/a", "/d/a2"),
+                                 Op(OpCode::kRename, "/d/b", "/d/b2")};
+  const ApplyPlan plan =
+      BuildApplyPlan(recs, Oracle({"/", "/d", "/d/a", "/d/b"}));
+  EXPECT_EQ(plan.wave_count(), 2u);
+  EXPECT_LT(WaveOf(plan, 0), WaveOf(plan, 1));
+}
+
+TEST(ApplyPlanTest, LeafRenameStillOrdersAgainstConflictingOps) {
+  // A sibling create writes the shared parent (attach point): the leaf
+  // rename's parent read must conflict with it. Moving the same file
+  // twice conflicts on the file's own point write.
+  std::vector<LogRecord> chain = {LeafRename("/d/a", "/d/b"),
+                                  LeafRename("/d/b", "/d/c")};
+  const ApplyPlan move_twice =
+      BuildApplyPlan(chain, Oracle({"/", "/d", "/d/a"}));
+  EXPECT_LT(WaveOf(move_twice, 0), WaveOf(move_twice, 1));
+
+  std::vector<LogRecord> with_create = {LeafRename("/d/a", "/d/a2"),
+                                        Op(OpCode::kCreate, "/d/new")};
+  const ApplyPlan plan =
+      BuildApplyPlan(with_create, Oracle({"/", "/d", "/d/a"}));
   EXPECT_LT(WaveOf(plan, 0), WaveOf(plan, 1));
 }
 

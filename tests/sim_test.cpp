@@ -2,8 +2,12 @@
 // timers, and the process crash/restart lifecycle.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/rng.hpp"
 
 #include "sim/event_queue.hpp"
 #include "sim/process.hpp"
@@ -43,6 +47,155 @@ TEST(EventQueueTest, CancelAfterFireIsNoop) {
   ev.fn();
   EXPECT_FALSE(h.pending());
   h.Cancel();  // must not crash
+}
+
+TEST(EventQueueTest, DoubleCancelCountsOneTombstone) {
+  EventQueue q;
+  EventHandle h = q.Schedule(1, [] {});
+  EventHandle copy = h;
+  h.Cancel();
+  copy.Cancel();  // second cancel through a copy: no double free-list push
+  EXPECT_EQ(q.tombstones(), 1u);
+  EXPECT_TRUE(q.empty());
+  q.Schedule(2, [] {});
+  q.Schedule(3, [] {});
+  EXPECT_EQ(q.Pop().at, 2);
+  EXPECT_EQ(q.Pop().at, 3);
+}
+
+TEST(EventQueueTest, CancelledEntriesAreCompactedNotRetained) {
+  // The satellite fix: cancelled entries used to sit in the heap until
+  // their deadline popped them. Schedule far-future timers, cancel nearly
+  // all — the sweep must reclaim them immediately (entries() shrinks and
+  // the closures were already freed by Cancel), not at pop time.
+  EventQueue q;
+  std::vector<EventHandle> handles;
+  handles.reserve(10'000);
+  for (int i = 0; i < 10'000; ++i) {
+    handles.push_back(q.Schedule(kSecond * (i + 1), [] {}));
+  }
+  for (int i = 0; i < 10'000; ++i) {
+    if (i % 100 != 0) handles[i].Cancel();
+  }
+  // Compaction triggers on the next Schedule once tombstones outnumber
+  // live entries.
+  q.Schedule(1, [] {});
+  EXPECT_GE(q.compactions(), 1u);
+  EXPECT_LE(q.entries(), 200u);  // 100 survivors + the trigger + slack
+  EXPECT_EQ(q.live(), 101u);
+}
+
+TEST(EventQueueTest, StressPopOrderMatchesReferenceUnderCancellation) {
+  // 100k-event stress across all three tiers (run span ≫ wheel horizon)
+  // with interleaved cancellations: pop order must be exactly
+  // (timestamp, schedule seq) for every surviving event.
+  constexpr int kEvents = 100'000;
+  Rng rng(0xabcdef);
+  EventQueue q;
+  struct Expect {
+    SimTime at;
+    int id;
+  };
+  std::vector<Expect> expected;
+  std::vector<EventHandle> handles;
+  std::vector<int> fired;
+  expected.reserve(kEvents);
+  handles.reserve(kEvents);
+  fired.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    // Mix of near (wheel), immediate (run), and far (heap) timestamps.
+    SimTime at = 0;
+    switch (rng.Below(4)) {
+      case 0:
+        at = static_cast<SimTime>(rng.Below(10 * kMillisecond));
+        break;
+      case 1:
+        at = static_cast<SimTime>(rng.Below(kSecond));
+        break;
+      default:
+        at = static_cast<SimTime>(rng.Below(120 * kSecond));
+        break;
+    }
+    handles.push_back(q.Schedule(at, [&fired, i] { fired.push_back(i); }));
+    expected.push_back({at, i});
+  }
+  // Cancel ~40%, deterministically.
+  std::vector<bool> cancelled(kEvents, false);
+  for (int i = 0; i < kEvents; ++i) {
+    if (rng.Below(10) < 4) {
+      handles[i].Cancel();
+      cancelled[i] = true;
+    }
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Expect& a, const Expect& b) { return a.at < b.at; });
+
+  SimTime prev = -1;
+  while (!q.empty()) {
+    const SimTime next = q.NextTime();
+    auto ev = q.Pop();
+    ASSERT_EQ(ev.at, next);
+    ASSERT_GE(ev.at, prev) << "time went backwards";
+    prev = ev.at;
+    ev.fn();
+  }
+  std::vector<int> want;
+  want.reserve(kEvents);
+  for (const Expect& e : expected) {
+    if (!cancelled[e.id]) want.push_back(e.id);
+  }
+  ASSERT_EQ(fired.size(), want.size());
+  EXPECT_EQ(fired, want);
+}
+
+TEST(EventQueueTest, InterleavedScheduleAndPopKeepsOrder) {
+  // Schedule-while-popping (the simulator's actual usage): events fire in
+  // global (at, seq) order even when new events land mid-drain, including
+  // behind the wheel cursor and past the far horizon.
+  EventQueue q;
+  Rng rng(7);
+  std::vector<SimTime> fired;
+  int scheduled = 0;
+  constexpr int kTotal = 20'000;
+  auto spawn = [&](auto&& self, SimTime now) -> void {
+    if (scheduled >= kTotal) return;
+    ++scheduled;
+    const SimTime at = now + static_cast<SimTime>(rng.Below(5 * kSecond));
+    q.Schedule(at, [&, at] {
+      fired.push_back(at);
+      self(self, at);
+      self(self, at);
+    });
+  };
+  spawn(spawn, 0);
+  while (!q.empty()) {
+    auto ev = q.Pop();
+    ev.fn();
+  }
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(static_cast<int>(fired.size()), scheduled);
+}
+
+TEST(SmallFnTest, InlineAndHeapCallablesInvokeAndMove) {
+  int calls = 0;
+  SmallFn small([&calls] { ++calls; });  // fits inline
+  SmallFn moved = std::move(small);
+  EXPECT_FALSE(static_cast<bool>(small));  // NOLINT(bugprone-use-after-move)
+  moved();
+  EXPECT_EQ(calls, 1);
+
+  struct Big {
+    char pad[96];
+    int* counter;
+  };
+  Big big{};
+  big.counter = &calls;
+  SmallFn heap([big] { ++*big.counter; });  // exceeds kInlineBytes: heap path
+  SmallFn heap2 = std::move(heap);
+  heap2();
+  EXPECT_EQ(calls, 2);
+  heap2.Reset();
+  EXPECT_FALSE(static_cast<bool>(heap2));
 }
 
 TEST(SimulatorTest, ClockAdvancesToEventTime) {
