@@ -58,13 +58,14 @@ class Search {
     for (const Event& e : history_.events()) {
       // Ambiguous reads observed nothing and constrain nothing.
       if (!e.definite() && e.is_read()) continue;
-      // Standby-served reads are session-consistent, not linearizable:
-      // they may observe a slightly earlier prefix of the mutation order.
-      // Exempt them from the real-time core search and verify them
-      // separately (read-your-writes + monotonic reads) against the
-      // witness linearization the core search produces.
-      if (e.definite() && e.is_read() && e.via_standby) {
-        standby_reads_.push_back(&e);
+      // Standby-served and cache-served reads are session-consistent, not
+      // linearizable: they may observe a slightly earlier prefix of the
+      // mutation order. Exempt them from the real-time core search and
+      // verify them separately (read-your-writes + monotonic reads, plus
+      // the lease revocation barrier for cache hits) against the witness
+      // linearization the core search produces.
+      if (e.definite() && e.is_read() && (e.via_standby || e.via_cache)) {
+        session_reads_.push_back(&e);
         continue;
       }
       ops_.push_back(&e);
@@ -193,17 +194,22 @@ class Search {
     return n_ - taken;
   }
 
-  // --- session-consistency verification (standby reads) ---------------------
+  // --- session-consistency verification (standby + cache reads) -------------
 
-  /// Verifies every standby-served read against the witness linearization
-  /// the core search produced (order_). A standby read is legal iff some
-  /// prefix of the witness explains its observation, where the prefix
+  /// Verifies every standby- or cache-served read against the witness
+  /// linearization the core search produced (order_). Such a read is legal
+  /// iff some prefix of the witness explains its observation, where the
+  /// prefix
   ///   * includes every definite op this client completed before the read
   ///     was invoked (read-your-writes),
   ///   * is at least as long as the prefix chosen for the client's
-  ///     previous standby read (monotonic reads), and
-  ///   * contains no op invoked after the read completed (a standby cannot
-  ///     have applied the future).
+  ///     previous session read (monotonic reads),
+  ///   * for cache-served reads, includes every definite mutation — by ANY
+  ///     client — that completed before the read was invoked: a mutation's
+  ///     ack is barriered on lease revocation, so a cache entry consulted
+  ///     after the ack cannot predate the mutation, and
+  ///   * contains no op invoked after the read completed (the server
+  ///     cannot have applied the future).
   /// Greedy-smallest prefix selection is complete: if any non-decreasing
   /// assignment of prefixes exists, the greedy one does too.
   ///
@@ -211,7 +217,7 @@ class Search {
   /// stamped applied_sn below the read's min_sn served below the session
   /// floor regardless of whether the value happened to match.
   void CheckSessionReads(std::vector<Violation>& out) {
-    if (standby_reads_.empty()) return;
+    if (session_reads_.empty()) return;
     // Witness position of each linearized op, as a prefix length.
     std::unordered_map<std::uint32_t, std::size_t> pos;
     for (std::size_t i = 0; i < order_.size(); ++i) pos[order_[i]->id] = i + 1;
@@ -222,9 +228,25 @@ class Search {
       prefix_invoke_max[i + 1] =
           std::max(prefix_invoke_max[i], order_[i]->invoke);
     }
+    // Completed-mutation floor for cache-served reads: sorted by complete
+    // time, with a running prefix-max of witness position, so "the latest
+    // witness position among mutations completed before t" is one binary
+    // search. Only definite mutations that actually linearized count.
+    std::vector<std::pair<SimTime, std::size_t>> mutation_floor;
+    for (const Event* e : ops_) {
+      if (!e->definite() || !e->is_mutation()) continue;
+      auto it = pos.find(e->id);
+      if (it == pos.end()) continue;
+      mutation_floor.emplace_back(e->complete, it->second);
+    }
+    std::sort(mutation_floor.begin(), mutation_floor.end());
+    for (std::size_t i = 1; i < mutation_floor.size(); ++i) {
+      mutation_floor[i].second =
+          std::max(mutation_floor[i].second, mutation_floor[i - 1].second);
+    }
 
     std::map<int, std::vector<const Event*>> per_client;
-    for (const Event* r : standby_reads_) per_client[r->client].push_back(r);
+    for (const Event* r : session_reads_) per_client[r->client].push_back(r);
     for (auto& [client, reads] : per_client) {
       std::sort(reads.begin(), reads.end(),
                 [](const Event* a, const Event* b) {
@@ -234,9 +256,10 @@ class Search {
       Model model;
       std::size_t applied = 0;  // witness ops already replayed into model
       for (const Event* r : reads) {
+        const char* via = r->via_cache ? "cache" : "standby";
         if (r->observed_sn < r->min_sn) {
           out.push_back({Violation::Type::kStaleRead,
-                         "standby answered " + r->path +
+                         std::string(via) + " answered " + r->path +
                              " below the session floor (applied sn " +
                              std::to_string(r->observed_sn) + " < min_sn " +
                              std::to_string(r->min_sn) + ")",
@@ -251,6 +274,16 @@ class Search {
           if (e->complete > r->invoke) continue;
           auto it = pos.find(e->id);
           if (it != pos.end()) lo = std::max(lo, it->second);
+        }
+        // Lease barrier: a cache hit must reflect every mutation whose ack
+        // preceded the read's invoke, regardless of which client issued it.
+        if (r->via_cache && !mutation_floor.empty()) {
+          auto it = std::lower_bound(
+              mutation_floor.begin(), mutation_floor.end(),
+              std::make_pair(r->invoke, std::size_t{0}));
+          if (it != mutation_floor.begin()) {
+            lo = std::max(lo, std::prev(it)->second);
+          }
         }
         std::size_t hi = order_.size();
         while (hi > lo && prefix_invoke_max[hi] >= r->complete) --hi;
@@ -291,9 +324,15 @@ class Search {
         if (!explained) {
           out.push_back(
               {Violation::Type::kStaleRead,
-               "standby read of " + r->path +
-                   " matches no session-consistent prefix of the witness "
-                   "linearization (read-your-writes / monotonic reads)",
+               r->via_cache
+                   ? "cache-served read of " + r->path +
+                         " observed state older than a mutation acknowledged "
+                         "before it was invoked (lease revocation barrier "
+                         "violated) or no session-consistent prefix"
+                   : "standby read of " + r->path +
+                         " matches no session-consistent prefix of the "
+                         "witness linearization (read-your-writes / "
+                         "monotonic reads)",
                {r->id}});
         }
         // Keep applied == floor so the next read's candidate scan starts
@@ -445,7 +484,7 @@ class Search {
   const History& history_;
   const CheckOptions& options_;
   std::vector<const Event*> ops_;
-  std::vector<const Event*> standby_reads_;  ///< session-checked, not core
+  std::vector<const Event*> session_reads_;  ///< session-checked, not core
   std::vector<const Event*> order_;  ///< witness linearization on success
   std::size_t n_ = 0;
   std::vector<std::uint64_t> done_;

@@ -54,6 +54,8 @@ const char* MutationName(Mutation m) {
       return "cutover_fence";
     case Mutation::kIgnoreApplyDeps:
       return "apply_deps";
+    case Mutation::kIgnoreLeaseRevoke:
+      return "lease_revoke";
   }
   return "?";
 }
@@ -62,7 +64,8 @@ bool ParseMutation(const std::string& name, Mutation* out) {
   for (const Mutation m : {Mutation::kNone, Mutation::kNoSnDedup,
                            Mutation::kNoFencing, Mutation::kIgnoreMinSn,
                            Mutation::kSkipCutoverFence,
-                           Mutation::kIgnoreApplyDeps}) {
+                           Mutation::kIgnoreApplyDeps,
+                           Mutation::kIgnoreLeaseRevoke}) {
     if (name == MutationName(m)) {
       *out = m;
       return true;
@@ -108,6 +111,7 @@ RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile) {
   spec.clients = profile.clients;
   spec.groups = std::max(1, profile.groups);
   spec.standby_reads = profile.standby_reads;
+  spec.client_cache = profile.client_cache;
   spec.batch_delay = profile.batch_delay;
   spec.pipeline_depth = profile.pipeline_depth;
   // Generation rng is decoupled from the execution seed so that replaying
@@ -316,6 +320,9 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
     case Mutation::kIgnoreApplyDeps:
       cfg.mds.test_hooks.ignore_apply_deps = true;
       break;
+    case Mutation::kIgnoreLeaseRevoke:
+      cfg.mds.test_hooks.ignore_lease_revoke = true;
+      break;
   }
   if (spec.batch_delay > 0) cfg.mds.writer.max_batch_delay = spec.batch_delay;
   if (spec.pipeline_depth > 0) {
@@ -328,6 +335,14 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
   if (spec.standby_reads || spec.mutation == Mutation::kIgnoreMinSn) {
     cfg.mds.standby_reads.serve_reads = true;
     cfg.client.read_routing = cluster::ReadRouting::kRoundRobinStandby;
+  }
+  // Likewise the lease_revoke mutation is only observable when the client
+  // cache is live, so it forces caching on; the faulty behaviour itself
+  // runs on the client, mirrored from the server-side test hook.
+  if (spec.client_cache || spec.mutation == Mutation::kIgnoreLeaseRevoke) {
+    cfg.mds.client_leases.grant_leases = true;
+    cfg.client.cache.enabled = true;
+    cfg.client.cache.ignore_revoke = cfg.mds.test_hooks.ignore_lease_revoke;
   }
   // An op that cannot finish inside one failover should give up and show
   // up as ambiguous rather than pin its client for the whole run.

@@ -41,6 +41,12 @@ namespace mams::check {
 /// conflict (two creates in one directory, delete-then-create) land in
 /// the wrong order, so standby fingerprints drift from the active — the
 /// replica-divergence audit must catch it.
+/// kIgnoreLeaseRevoke makes the client cache drop lease-revocation pushes
+/// on the floor (it still acks them, so mutation replies are not held
+/// forever): a conflicting mutation's ack then races ahead of a cache
+/// entry that keeps serving the old value until TTL expiry — the
+/// checker's completed-mutation floor for cache-served reads must catch
+/// it (it implies client caching is enabled for the run).
 enum class Mutation : std::uint8_t {
   kNone,
   kNoSnDedup,
@@ -48,6 +54,7 @@ enum class Mutation : std::uint8_t {
   kIgnoreMinSn,
   kSkipCutoverFence,
   kIgnoreApplyDeps,
+  kIgnoreLeaseRevoke,
 };
 
 const char* MutationName(Mutation m);
@@ -95,6 +102,10 @@ struct RunSpec {
   /// fuzz clients' reads round-robin over them. Audit reads always go to
   /// the active regardless.
   bool standby_reads = false;
+  /// Enable the client-side lease-protected namespace cache: actives grant
+  /// per-directory leases on reads and clients answer repeat reads locally
+  /// while the lease lives. Audit reads bypass the cache (require_active).
+  bool client_cache = false;
   SimTime warmup = 2 * kSecond;     ///< boot -> first op
   SimTime run_for = 30 * kSecond;   ///< op/fault phase -> heal
   SimTime quiesce = 45 * kSecond;   ///< heal -> audit reads
@@ -127,6 +138,8 @@ struct FuzzProfile {
   SimTime max_outage = 12 * kSecond;
   /// Copied into RunSpec::standby_reads by MakeSpec.
   bool standby_reads = false;
+  /// Copied into RunSpec::client_cache by MakeSpec.
+  bool client_cache = false;
   /// Copied into RunSpec::groups by MakeSpec.
   int groups = 1;
   /// Shard migrations to schedule as kMigrateSlot faults (in addition to

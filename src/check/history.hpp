@@ -72,6 +72,7 @@ struct Event {
   SerialNumber min_sn = 0;       ///< session floor the read carried
   SerialNumber observed_sn = 0;  ///< responder's applied sn at answer time
   bool via_standby = false;      ///< answered by a standby, not the active
+  bool via_cache = false;        ///< served from the client's lease cache
 
   bool is_read() const noexcept {
     return kind == workload::OpKind::kGetFileInfo ||
@@ -142,6 +143,10 @@ class History {
       s += " standby(sn=" + std::to_string(e.observed_sn) +
            ",floor=" + std::to_string(e.min_sn) + ")";
     }
+    if (e.via_cache) {
+      s += " cache(sn=" + std::to_string(e.observed_sn) +
+           ",floor=" + std::to_string(e.min_sn) + ")";
+    }
     if (e.audit) s += " (audit)";
     return s;
   }
@@ -190,11 +195,13 @@ class HistoryRecorder {
 
   /// Attaches the client library's session metadata to a completed read.
   void StampRead(std::uint32_t id, SerialNumber min_sn,
-                 SerialNumber observed_sn, bool via_standby) {
+                 SerialNumber observed_sn, bool via_standby,
+                 bool via_cache = false) {
     Event& e = history_.events_[id];
     e.min_sn = min_sn;
     e.observed_sn = observed_sn;
     e.via_standby = via_standby;
+    e.via_cache = via_cache;
   }
 
   /// kUnavailable and kTimedOut mean "gave up, outcome unknown" in this
@@ -296,7 +303,8 @@ class RecordingClient {
   /// stamp observed in a completion callback belongs to that completion.
   void StampRead(std::uint32_t id) {
     const cluster::OpStamp& st = client_.last_stamp();
-    recorder_.StampRead(id, st.min_sn, st.applied_sn, st.via_standby);
+    recorder_.StampRead(id, st.min_sn, st.applied_sn, st.via_standby,
+                        st.via_cache);
   }
 
   HistoryRecorder& recorder_;

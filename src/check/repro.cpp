@@ -44,6 +44,9 @@ std::string SerializeSpec(const RunSpec& spec) {
   out << "quiesce_us=" << spec.quiesce << "\n";
   // Optional keys are written only when non-default so files from older
   // builds (which reject unknown keys) stay byte-identical.
+  if (spec.client_cache) {
+    out << "client_cache=1\n";
+  }
   if (spec.batch_delay != 0) {
     out << "batch_delay_us=" << spec.batch_delay << "\n";
   }
@@ -124,6 +127,8 @@ Result<RunSpec> ParseSpec(const std::string& text) {
           }
         } else if (key == "standby_reads") {
           spec.standby_reads = std::stoi(value) != 0;
+        } else if (key == "client_cache") {
+          spec.client_cache = std::stoi(value) != 0;
         } else if (key == "warmup_us") {
           spec.warmup = std::stoll(value);
         } else if (key == "run_us") {

@@ -21,6 +21,22 @@
 // reply whose view epoch is older than the client's knowledge of the group
 // comes from a deposed/renewing replica and is likewise retried at the
 // active.
+//
+// Namespace cache: with ClientCacheOptions::enabled the client keeps a
+// per-directory cache (child FileInfo entries and the directory listing)
+// protected by leases the active grants on its read replies. A cache hit is
+// served locally only while the lease is live AND the entry's stamped sn
+// satisfies the client's session token, so cached reads stay session-
+// consistent (read-your-writes: a completed own mutation both raises the
+// token past older entries and invalidates the touched directories before
+// its callback runs). Conflicting mutations by other clients revoke the
+// lease — pushed through the coordination relay and acked here; the active
+// holds the mutation's ack until that ack (or the lease TTL) — so a cache
+// entry can never be served after a conflicting mutation was observed
+// complete anywhere. Revoked lease ids are tombstoned until their TTL: a
+// revocation and an in-flight reply carrying the same lease travel on
+// different channels, and the tombstone stops the reply from resurrecting
+// the grant.
 #pragma once
 
 #include <functional>
@@ -34,6 +50,7 @@
 #include "coord/client.hpp"
 #include "core/messages.hpp"
 #include "fsns/partition.hpp"
+#include "fsns/path.hpp"
 #include "net/host.hpp"
 #include "net/rpc.hpp"
 #include "shard/partition_map.hpp"
@@ -46,12 +63,29 @@ enum class ReadRouting : std::uint8_t {
   kRoundRobinStandby,    ///< reads round-robin over live standbys
 };
 
+/// Lease-protected namespace cache (off by default). Pairs with the
+/// server-side grant switch core::ClientLeaseOptions::grant_leases.
+struct ClientCacheOptions {
+  bool enabled = false;
+  /// Bound on cached directories; at capacity the earliest-expiring
+  /// directory is evicted.
+  std::size_t max_dirs = 4096;
+  /// Latency-model charge for a locally served hit (no network hop).
+  SimTime hit_latency = 1 * kMicrosecond;
+  /// Mutation self-test (core::TestHooks::ignore_lease_revoke): keep
+  /// serving a pushed-revoked lease until its TTL, while still acking the
+  /// revocation so the conflicting mutation completes. Never set outside
+  /// the checker.
+  bool ignore_revoke = false;
+};
+
 struct FsClientOptions {
   SimTime rpc_timeout = 2 * kSecond;
   SimTime resolve_poll = 200 * kMillisecond;  ///< view polling backoff
   SimTime reconnect_cost = 1500 * kMicrosecond;  ///< TCP + session setup
   int max_attempts = 120;  ///< per op; ~ rpc_timeout * attempts budget
   ReadRouting read_routing = ReadRouting::kActiveOnly;
+  ClientCacheOptions cache;
 };
 
 /// Per-read routing override (e.g. audit reads that must see the active's
@@ -76,7 +110,8 @@ struct OpStamp {
   SerialNumber applied_sn = 0;  ///< responder's applied sn (0: no response)
   SerialNumber min_sn = 0;      ///< session floor the request carried
   bool via_standby = false;     ///< final answer came from a standby
-  NodeId server = kInvalidNode; ///< responder
+  bool via_cache = false;       ///< served locally from the lease cache
+  NodeId server = kInvalidNode; ///< responder (kInvalidNode for cache hits)
 };
 
 /// Unit payload for acknowledged mutations: Result<Ack> is "committed" or
@@ -97,6 +132,14 @@ class FsClient : public net::Host {
         options_(options),
         rng_(network.sim().rng().Fork(Fnv1a(this->name()) | 2)) {
     coord_client_ = std::make_unique<coord::CoordClient>(*this, coord);
+    auto& metrics = sim().obs().metrics();
+    m_cache_hits_ = metrics.counter("client.cache_hits");
+    m_cache_misses_ = metrics.counter("client.cache_misses");
+    m_cache_revocations_ = metrics.counter("client.cache_revocations");
+    m_cache_expiries_ = metrics.counter("client.cache_expiries");
+    OnRequest(net::kLeaseRevoke,
+              [this](const net::Envelope&, const net::MessagePtr& msg,
+                     const net::Host::ReplyFn&) { HandleLeaseRevoke(msg); });
   }
 
   void set_observer(Observer observer) { observer_ = std::move(observer); }
@@ -205,6 +248,11 @@ class FsClient : public net::Host {
     std::uint64_t read_fallbacks = 0;    ///< standby unresponsive/unavailable
     std::uint64_t stale_epoch_rejections = 0;  ///< deposed-replica replies
     std::uint64_t shard_bounces = 0;     ///< re-routed after a map update
+    // Lease-protected namespace cache.
+    std::uint64_t cache_hits = 0;        ///< reads served locally
+    std::uint64_t cache_misses = 0;      ///< reads that went to the wire
+    std::uint64_t cache_revocations = 0; ///< leases dropped on server push/ack
+    std::uint64_t cache_expiries = 0;    ///< leases dropped at their TTL
   };
   const Counters& counters() const noexcept { return counters_; }
 
@@ -214,8 +262,12 @@ class FsClient : public net::Host {
     coord_client_->Stop();
     targets_.clear();
     // The session dies with the process: a restarted client starts a new
-    // session with an empty read floor.
+    // session with an empty read floor — and an empty cache (its leases are
+    // unreachable for revocation pushes once the process is gone; the
+    // granter's TTL covers them).
     session_sn_.clear();
+    cache_.clear();
+    revoked_leases_.clear();
     last_stamp_ = OpStamp{};
   }
 
@@ -238,6 +290,10 @@ class FsClient : public net::Host {
     req->path = path;
     req->client = {.client_id = static_cast<std::uint64_t>(id()) + 1,
                    .op_seq = ++op_seq_};
+    // Opting into the lease protocol: reads become grant-eligible, and the
+    // server classifies this client's own grants as "own" on its mutations
+    // (revoked ids ride the ack instead of a push round-trip).
+    if (options_.cache.enabled) req->requester = id();
     return req;
   }
 
@@ -271,6 +327,7 @@ class FsClient : public net::Host {
     bool require_active = false;  ///< never offload this read
     bool force_active = false;    ///< offload failed once; stay on active
     bool via_standby = false;     ///< current attempt targets a standby
+    bool via_cache = false;       ///< answered locally from the lease cache
     NodeId target = kInvalidNode;
   };
 
@@ -296,6 +353,7 @@ class FsClient : public net::Host {
     };
     state->outcome.op = state->request->op;
     state->outcome.issued = sim().Now();
+    if (TryServeFromCache(state)) return;
     Attempt(state);
   }
 
@@ -335,7 +393,7 @@ class FsClient : public net::Host {
         *this, target, state->request, policy,
         [this, state, target](Result<net::MessagePtr> r) {
           if (state->via_standby) {
-            OnStandbyReadResult(state, target, std::move(r));
+            OnStandbyReadResult(state, std::move(r));
             return;
           }
           if (!r.ok()) {
@@ -371,7 +429,7 @@ class FsClient : public net::Host {
   /// wrong (lagging standby, deposed replica, dead node) the recovery is
   /// the same — retry this read against the active.
   void OnStandbyReadResult(const std::shared_ptr<OpState>& state,
-                           NodeId target, Result<net::MessagePtr> r) {
+                           Result<net::MessagePtr> r) {
     auto fall_back = [this, state] {
       state->force_active = true;
       ++counters_.retries;
@@ -439,9 +497,217 @@ class FsClient : public net::Host {
       }
     }
     if (newer) {
+      // Shard bounce with a newer map: cached directories whose slots moved
+      // to another group are no longer revocation-protected — drop them.
+      if (options_.cache.enabled) DropMovedCacheLines();
       Attempt(state);
     } else {
       AfterLocal(options_.resolve_poll, [this, state] { Attempt(state); });
+    }
+  }
+
+  // --- lease-protected namespace cache ---------------------------------------
+
+  struct CachedInfo {
+    fsns::FileInfo info;
+    SerialNumber sn = 0;  ///< applied sn the entry was read at
+  };
+  /// One leased directory: child stat entries plus (optionally) the listing.
+  struct DirCache {
+    std::uint64_t lease_id = 0;
+    FenceToken epoch = 0;   ///< granter's view epoch, stamped onto hits
+    SimTime expire_at = 0;  ///< absolute virtual-time lease deadline
+    GroupId group = 0;      ///< owner group at fill time (shard bounces)
+    bool has_listing = false;
+    std::vector<std::string> listing;
+    SerialNumber listing_sn = 0;
+    std::map<std::string, CachedInfo> entries;  ///< by child basename
+  };
+
+  /// The directory a read's answer lives under: the listing's own path, or
+  /// the stat target's parent — matching the server's grant key.
+  static std::string CacheDirOf(const core::ClientRequestMsg& req) {
+    return req.op == core::ClientOp::kListDir ? req.path
+                                              : fsns::ParentPath(req.path);
+  }
+
+  /// Serves the read locally when a live lease covers it AND the cached
+  /// value satisfies the session token (entry sn >= the read's min_sn) —
+  /// the same admission a standby applies, so cache hits inherit the
+  /// session-consistency story. Returns false to fall through to the wire.
+  bool TryServeFromCache(const std::shared_ptr<OpState>& state) {
+    const core::ClientRequestMsg& req = *state->request;
+    if (!options_.cache.enabled || core::IsMutation(req.op) ||
+        state->require_active) {
+      return false;
+    }
+    auto miss = [this] {
+      ++counters_.cache_misses;
+      m_cache_misses_->Add();
+      return false;
+    };
+    auto it = cache_.find(CacheDirOf(req));
+    if (it == cache_.end()) return miss();
+    DirCache& dc = it->second;
+    if (sim().Now() >= dc.expire_at) {
+      // TTL: the lease is dead whether or not a revocation ever reached us
+      // (this is the backstop for a lost push — and the window the
+      // ignore_revoke mutant exploits).
+      ++counters_.cache_expiries;
+      m_cache_expiries_->Add();
+      cache_.erase(it);
+      return miss();
+    }
+    auto resp = std::make_shared<core::ClientResponseMsg>();
+    resp->ok = true;
+    resp->group_epoch = dc.epoch;
+    if (req.op == core::ClientOp::kListDir) {
+      if (!dc.has_listing || dc.listing_sn < req.min_sn) return miss();
+      resp->listing = dc.listing;
+      resp->applied_sn = dc.listing_sn;
+    } else {
+      auto e = dc.entries.find(std::string(fsns::BaseName(req.path)));
+      if (e == dc.entries.end() || e->second.sn < req.min_sn) return miss();
+      resp->info = e->second.info;
+      resp->applied_sn = e->second.sn;
+    }
+    ++counters_.cache_hits;
+    m_cache_hits_->Add();
+    state->via_cache = true;
+    AfterLocal(options_.cache.hit_latency,
+               [this, state, resp] { Finish(state, RespPtr(resp)); });
+    return true;
+  }
+
+  /// Folds an active-served read reply's grant and payload into the cache.
+  void AdoptLease(const std::shared_ptr<OpState>& state,
+                  const core::ClientResponseMsg& resp) {
+    PruneTombstones();
+    // The grant raced a revocation push: the reply was serialized at the
+    // server before the conflicting mutation, the push after it — the push
+    // wins no matter which arrived here first (the server never reissues a
+    // revoked id, so the tombstone can't shadow a legitimate newer grant).
+    if (revoked_leases_.count(resp.lease_id) != 0) return;
+    auto it = cache_.find(resp.lease_dir);
+    if (it == cache_.end()) {
+      if (cache_.size() >= options_.cache.max_dirs) EvictEarliest();
+      it = cache_.emplace(resp.lease_dir, DirCache{}).first;
+    }
+    DirCache& dc = it->second;
+    if (dc.lease_id != resp.lease_id) {
+      // Different id = different grant generation (the old lease lapsed or
+      // was revoked while we held stale state): drop everything the old
+      // lease was protecting before trusting the new one.
+      dc = DirCache{};
+      dc.lease_id = resp.lease_id;
+    }
+    dc.epoch = std::max(dc.epoch, resp.lease_epoch);
+    // The server's recorded deadline is monotone per grant, so a reordered
+    // pair of replies must not shorten the lease.
+    dc.expire_at = std::max(dc.expire_at, resp.lease_expire_at);
+    dc.group = state->group;
+    const core::ClientRequestMsg& req = *state->request;
+    if (req.op == core::ClientOp::kListDir) {
+      dc.has_listing = true;
+      dc.listing = resp.listing;
+      dc.listing_sn = resp.applied_sn;
+    } else if (req.op == core::ClientOp::kGetFileInfo) {
+      dc.entries[std::string(fsns::BaseName(req.path))] =
+          CachedInfo{resp.info, resp.applied_sn};
+    }
+  }
+
+  /// Read-your-writes: before a mutation's callback runs, every cache line
+  /// its paths could cover is dropped — on errors and indeterminate
+  /// outcomes too, since the mutation may still have committed.
+  void InvalidateForMutation(const core::ClientRequestMsg& req) {
+    InvalidatePath(req.path);
+    if (req.op == core::ClientOp::kRename && !req.path2.empty()) {
+      InvalidatePath(req.path2);
+    }
+  }
+
+  void InvalidatePath(const std::string& path) {
+    const std::string parent = fsns::ParentPath(path);
+    if (!parent.empty()) cache_.erase(parent);
+    // `path` itself and any cached directory beneath it. The string-prefix
+    // region is contiguous in the sorted map; IsPrefixPath filters
+    // siblings ("/a/bc") that share the byte prefix of "/a/b".
+    for (auto it = cache_.lower_bound(path);
+         it != cache_.end() && it->first.compare(0, path.size(), path) == 0;) {
+      if (it->first == path || fsns::IsPrefixPath(path, it->first)) {
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Revocation push (active -> coordination relay -> here). Always acked —
+  /// the ack releases the conflicting mutation's reply barrier at the
+  /// granter; even the ignore_revoke mutant acks, because its deliberate
+  /// bug is serving stale state *after* the mutation completes normally.
+  void HandleLeaseRevoke(const net::MessagePtr& msg) {
+    const auto& push = net::Cast<coord::LeaseRevokeMsg>(msg);
+    std::vector<std::uint64_t> acked;
+    acked.reserve(push.leases.size());
+    for (const coord::LeaseRevocation& rev : push.leases) {
+      acked.push_back(rev.lease_id);
+      Tombstone(rev.lease_id);
+      ++counters_.cache_revocations;
+      m_cache_revocations_->Add();
+      if (options_.cache.ignore_revoke) continue;  // self-test mutant
+      auto it = cache_.find(rev.dir);
+      if (it != cache_.end() && it->second.lease_id == rev.lease_id) {
+        cache_.erase(it);
+      }
+    }
+    if (push.active != kInvalidNode && !acked.empty()) {
+      auto ack = std::make_shared<coord::LeaseRevokeAckMsg>();
+      ack->client = id();
+      ack->lease_ids = std::move(acked);
+      Send(push.active, std::move(ack));
+    }
+  }
+
+  /// A revoked id stays dead past any possible grant lifetime, so a reply
+  /// that left the active before the revocation can never resurrect it.
+  void Tombstone(std::uint64_t lease_id) {
+    if (lease_id == 0) return;
+    revoked_leases_[lease_id] = sim().Now() + 30 * kSecond;
+  }
+
+  void PruneTombstones() {
+    const SimTime now = sim().Now();
+    for (auto it = revoked_leases_.begin(); it != revoked_leases_.end();) {
+      it = it->second <= now ? revoked_leases_.erase(it) : std::next(it);
+    }
+  }
+
+  void EvictEarliest() {
+    if (cache_.empty()) return;
+    auto victim = cache_.begin();
+    for (auto it = std::next(cache_.begin()); it != cache_.end(); ++it) {
+      if (it->second.expire_at < victim->second.expire_at) victim = it;
+    }
+    cache_.erase(victim);
+  }
+
+  /// After adopting a newer partition map: a cached directory whose owner
+  /// group changed was leased by a group that can no longer see (or
+  /// revoke against) the mutations now committing at the new owner.
+  void DropMovedCacheLines() {
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      // Children of `dir` route by its container slot, so the group that
+      // granted the lease (and executes conflicting mutations) is the
+      // dir-slot owner for stats and listings alike.
+      if (OwnerGroupDir(it->first) != it->second.group) {
+        ++counters_.cache_revocations;
+        m_cache_revocations_->Add();
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 
@@ -513,7 +779,28 @@ class FsClient : public net::Host {
       token = std::max(token, resp.applied_sn);
       last_stamp_.applied_sn = resp.applied_sn;
       last_stamp_.via_standby = state->via_standby;
+      last_stamp_.via_cache = state->via_cache;
       last_stamp_.server = state->target;
+    }
+    if (options_.cache.enabled) {
+      if (result.ok()) {
+        const core::ClientResponseMsg& resp = *result.value();
+        // Own-ack piggyback: ids of this client's grants the mutation
+        // revoked. Tombstoned before the callback runs, so no in-flight
+        // read reply can re-adopt them afterwards.
+        for (std::uint64_t lease_id : resp.revoke_lease_ids) {
+          Tombstone(lease_id);
+          ++counters_.cache_revocations;
+          m_cache_revocations_->Add();
+        }
+        if (!core::IsMutation(state->request->op) && resp.ok &&
+            resp.lease_id != 0 && !state->via_cache && !state->via_standby) {
+          AdoptLease(state, resp);
+        }
+      }
+      if (core::IsMutation(state->request->op)) {
+        InvalidateForMutation(*state->request);
+      }
     }
     if (observer_) observer_(state->outcome);
     state->done(std::move(result));
@@ -546,6 +833,16 @@ class FsClient : public net::Host {
   Observer observer_;
   OpStamp last_stamp_;
   Counters counters_;
+  // Lease-protected namespace cache (see ClientCacheOptions).
+  std::map<std::string, DirCache> cache_;  ///< by leased directory path
+  /// Tombstones for revoked lease ids (id -> prune deadline): a revocation
+  /// and an in-flight grant-carrying reply race on different channels, and
+  /// the tombstone keeps the reply from resurrecting the dead lease.
+  std::map<std::uint64_t, SimTime> revoked_leases_;
+  obs::Counter* m_cache_hits_ = nullptr;
+  obs::Counter* m_cache_misses_ = nullptr;
+  obs::Counter* m_cache_revocations_ = nullptr;
+  obs::Counter* m_cache_expiries_ = nullptr;
 };
 
 }  // namespace mams::cluster

@@ -14,9 +14,11 @@
 // coordination service expire the session and trigger failover.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "coord/messages.hpp"
 #include "net/host.hpp"
@@ -89,6 +91,14 @@ class CoordClient {
   bool registered() const noexcept { return session_ != 0; }
   Policies& policies() noexcept { return policies_; }
 
+  /// Send time of the most recent exchange the service is known to have
+  /// processed (registration or acked heartbeat). The service measures
+  /// session expiry from *its* receipt of our traffic, which is no earlier
+  /// than this, so `last_ack_time() + session_timeout` lower-bounds the
+  /// instant a successor could possibly be elected. Lease granting uses
+  /// this to never issue a lease that could outlive this node's tenure.
+  SimTime last_ack_time() const noexcept { return last_ack_; }
+
   /// Fires when a heartbeat reveals the session has expired server-side
   /// (the client was partitioned past the timeout). Heartbeating stops;
   /// the owner decides how to rejoin.
@@ -121,9 +131,10 @@ class CoordClient {
     req->state = initial;
     net::RpcHooks hooks;
     hooks.cancelled = [this, epoch = epoch_] { return epoch != epoch_; };
+    const SimTime sent = host_.sim().Now();
     net::RpcCall::Start(
         host_, coord_, std::move(req), policies_.register_rpc,
-        [this, done = std::move(done)](Result<net::MessagePtr> r) {
+        [this, sent, done = std::move(done)](Result<net::MessagePtr> r) {
           if (!r.ok()) {
             done(r.status());
             return;
@@ -134,6 +145,7 @@ class CoordClient {
             return;
           }
           session_ = resp.session;
+          last_ack_ = std::max(last_ack_, sent);
           StartHeartbeats();
           done(resp.view);
         },
@@ -266,6 +278,28 @@ class CoordClient {
         });
   }
 
+  /// Asks the frontend to push lease revocations to the listed client
+  /// nodes (one bounded attempt, fire-and-forget semantics: the caller's
+  /// reply barrier is released by client acks or by lease TTL, so a lost
+  /// relay only costs latency, never correctness).
+  void RelayLeaseRevokes(std::vector<RevokeTarget> targets,
+                         std::function<void(Status)> done) {
+    auto req = std::make_shared<CoordRequestMsg>();
+    req->op = CoordOp::kRelayRevoke;
+    req->subject = host_.id();
+    req->revoke_targets = std::move(targets);
+    net::RpcCall::Start(
+        host_, coord_, std::move(req), policies_.rpc,
+        [done = std::move(done)](Result<net::MessagePtr> r) {
+          if (!r.ok()) {
+            done(r.status());
+            return;
+          }
+          const auto& resp = net::Cast<CoordResponseMsg>(r.value());
+          done(resp.ok ? Status::Ok() : Status::Unavailable(resp.error));
+        });
+  }
+
   /// Fetches the currently published partition map (epoch 0: none yet).
   void GetMap(MapCallback done) {
     auto req = std::make_shared<CoordRequestMsg>();
@@ -384,14 +418,19 @@ class CoordClient {
         host_.sim(), heartbeat_interval_, [this] {
           auto hb = std::make_shared<HeartbeatMsg>();
           hb->session = session_;
+          const SimTime sent = host_.sim().Now();
           net::RpcCall::Start(host_, coord_, hb, policies_.heartbeat,
-                              [this](Result<net::MessagePtr> r) {
+                              [this, sent](Result<net::MessagePtr> r) {
                                 // Timeouts are fine (transient partition);
                                 // an explicit "session expired" is terminal.
                                 if (!r.ok()) return;
                                 const auto& resp =
                                     net::Cast<CoordResponseMsg>(r.value());
-                                if (resp.ok || session_ == 0) return;
+                                if (resp.ok) {
+                                  last_ack_ = std::max(last_ack_, sent);
+                                  return;
+                                }
+                                if (session_ == 0) return;
                                 Stop();
                                 if (session_lost_) session_lost_();
                               });
@@ -404,6 +443,7 @@ class CoordClient {
   SimTime heartbeat_interval_;
   Policies policies_;
   SessionId session_ = 0;
+  SimTime last_ack_ = 0;     ///< see last_ack_time()
   std::uint64_t epoch_ = 0;  ///< bumped by Stop(); cancels in-flight joins
   WatchHandler watch_handler_;
   MapHandler map_handler_;

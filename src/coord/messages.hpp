@@ -24,6 +24,19 @@ enum class CoordOp : std::uint8_t {
   kCloseSession,   ///< graceful shutdown
   kPublishMap,     ///< install a newer namespace partition map
   kGetMap,         ///< fetch the current partition map
+  kRelayRevoke,    ///< fan lease revocations out to client nodes
+};
+
+/// One revoked directory lease, as pushed to the client that holds it.
+struct LeaseRevocation {
+  std::string dir;            ///< leased directory path
+  std::uint64_t lease_id = 0;
+};
+
+/// kRelayRevoke: all revocations destined for one client node.
+struct RevokeTarget {
+  NodeId node = kInvalidNode;
+  std::vector<LeaseRevocation> leases;
 };
 
 struct CoordRequestMsg final : net::Message {
@@ -40,6 +53,9 @@ struct CoordRequestMsg final : net::Message {
   // to the coordination layer; ordered by epoch).
   std::uint64_t map_epoch = 0;
   std::vector<char> map_bytes;
+  // kRelayRevoke: per-client revocation batches; `subject` carries the
+  // revoking active's node id (clients ack to it directly).
+  std::vector<RevokeTarget> revoke_targets;
 
   net::MsgType type() const noexcept override { return net::kCoordRequest; }
 };
@@ -74,6 +90,23 @@ struct WatchEventMsg final : net::Message {
 struct HeartbeatMsg final : net::Message {
   SessionId session = 0;
   net::MsgType type() const noexcept override { return net::kCoordHeartbeat; }
+};
+
+/// Lease revocation push, relayed by the coordination frontend to the
+/// client node that holds the leases. The client drops the named cache
+/// entries and acks straight to `active` (not the relay): the ack is what
+/// releases the mutation's reply barrier on the granter.
+struct LeaseRevokeMsg final : net::Message {
+  NodeId active = kInvalidNode;  ///< granter to ack to
+  std::vector<LeaseRevocation> leases;
+  net::MsgType type() const noexcept override { return net::kLeaseRevoke; }
+};
+
+/// Client -> active: the pushed revocations have been applied locally.
+struct LeaseRevokeAckMsg final : net::Message {
+  NodeId client = kInvalidNode;
+  std::vector<std::uint64_t> lease_ids;
+  net::MsgType type() const noexcept override { return net::kLeaseRevokeAck; }
 };
 
 }  // namespace mams::coord

@@ -5,6 +5,7 @@
 #include <limits>
 #include <string_view>
 
+#include "fsns/path.hpp"
 #include "journal/apply_plan.hpp"
 #include "net/rpc.hpp"
 
@@ -75,6 +76,10 @@ MdsServer::MdsServer(net::Network& network, std::string name,
   m_.standby_reads_parked = metrics.counter("mds.standby_reads_parked");
   m_.standby_reads_bounced = metrics.counter("mds.standby_reads_bounced");
   m_.shard_bounces = metrics.counter("mds.shard_bounces");
+  m_.leases_granted = metrics.counter("mds.leases_granted");
+  m_.leases_revoked = metrics.counter("mds.leases_revoked");
+  m_.lease_replies_held = metrics.counter("mds.lease_replies_held");
+  m_.lease_barrier_expiries = metrics.counter("mds.lease_barrier_expiries");
   m_.migrations_completed = metrics.counter("mds.migrations_completed");
   m_.cross_group_renames = metrics.counter("mds.cross_group_renames");
   m_.sync_batch_ns = metrics.histogram("mds.sync_batch_ns");
@@ -257,6 +262,9 @@ void MdsServer::OnCrash() {
   drives_.clear();
   rename_drives_.clear();
   migration_stats_.clear();
+  // Lease state is volatile by design: clients are protected by the TTL
+  // and by the session-expiry bound on how soon a successor can serve.
+  ResetLeaseState();
   map_ = options_.partition_map;
   role_ = ServerState::kDown;
 }
@@ -312,6 +320,12 @@ void MdsServer::BecomeRole(ServerState role) {
     renew_scan_timer_.reset();
     checkpoint_timer_.reset();
     writer_.reset();
+    // Only an active grants leases, so dropping the table here keeps the
+    // invariant that a (re)elected active starts lease-free. Barriers stay:
+    // their held completions are for *committed* mutations, and acks/TTL
+    // release them correctly in any role.
+    leases_.clear();
+    lease_count_ = 0;
   }
 }
 
@@ -933,6 +947,236 @@ void MdsServer::FlushParkedReads(const char* why) {
   }
 }
 
+// --- active: client-cache directory leases -----------------------------------
+//
+// Grant: active-served GetFileInfo/ListDir replies carry a per-(directory,
+// client) lease; repeat reads refresh the same grant (same id, extended
+// deadline). Revoke: a conflicting mutation drops every overlapping grant —
+// the mutator's own ids ride its ack, remote holders get a push through the
+// coordination relay, and the mutation's completion is held on a barrier
+// until every remote holder acks or the latest revoked grant's TTL passes.
+// That barrier is the correctness core: no client observes the mutation
+// complete while another client could still serve the stale entry.
+// Failover: the table is volatile, which is safe because a grant is only
+// issued while it would expire inside the granter's confirmed coordination
+// session window, and a successor active exists only after that window
+// closes. docs/PROTOCOLS.md has the full state machine.
+
+void MdsServer::MaybeGrantLease(const ClientRequestMsg& req,
+                                ClientResponseMsg& out) {
+  const ClientLeaseOptions& cl = options_.client_leases;
+  if (!cl.grant_leases || role_ != ServerState::kActive || !out.ok ||
+      req.requester == kInvalidNode) {
+    return;
+  }
+  // Never issue a grant that could outlive this node's tenure: the
+  // coordination service expires our session `session_timeout` after its
+  // last confirmed contact, and a successor active (which starts
+  // lease-free) can only be elected after that expiry. `last_ack_time()`
+  // under-approximates the contact instant, so this check is conservative
+  // even while partitioned.
+  const SimTime now = sim().Now();
+  if (now + cl.ttl > coord_client_->last_ack_time() + options_.session_timeout)
+    return;
+  const std::string dir = req.op == ClientOp::kListDir
+                              ? req.path
+                              : fsns::ParentPath(req.path);
+  if (dir.empty()) return;  // stat of "/" has no parent directory to lease
+  auto& holders = leases_[dir];
+  auto it = holders.find(req.requester);
+  if (it == holders.end()) {
+    if (lease_count_ >= cl.max_grants) {
+      if (holders.empty()) leases_.erase(dir);
+      return;  // at capacity: serve unleased rather than evict someone else
+    }
+    // Fresh grants always draw a fresh id — a revoked id is never reissued,
+    // so a client-side tombstone on it can never collide with a live grant.
+    it = holders.emplace(req.requester, LeaseGrant{++next_lease_id_, 0}).first;
+    ++lease_count_;
+    ++counters_.leases_granted;
+    m_.leases_granted->Add();
+  }
+  it->second.expire_at = std::max(it->second.expire_at, now + cl.ttl);
+  out.lease_dir = dir;
+  out.lease_id = it->second.id;
+  out.lease_epoch = view_.fence_token;
+  out.lease_expire_at = it->second.expire_at;
+}
+
+void MdsServer::CollectRevocations(
+    const std::string& path, NodeId own, std::vector<std::uint64_t>& own_ids,
+    std::map<NodeId, std::vector<coord::LeaseRevocation>>& pushes,
+    LeaseBarrier& barrier) {
+  auto revoke_dir = [&](const std::string& dir) {
+    auto it = leases_.find(dir);
+    if (it == leases_.end()) return;
+    for (const auto& [node, grant] : it->second) {
+      if (node == own) {
+        own_ids.push_back(grant.id);
+      } else {
+        pushes[node].push_back({dir, grant.id});
+        barrier.outstanding.emplace(node, grant.id);
+        barrier.release_at = std::max(barrier.release_at, grant.expire_at);
+      }
+      --lease_count_;
+      ++counters_.leases_revoked;
+      m_.leases_revoked->Add();
+    }
+    leases_.erase(it);
+  };
+  // A mutation of `path` changes its parent's listing and the parent's view
+  // of the entry itself...
+  const std::string parent = fsns::ParentPath(path);
+  if (!parent.empty()) revoke_dir(parent);
+  // ...and, when `path` is a directory (delete/rename), invalidates every
+  // cached listing at or below it. Scan the contiguous string-prefix region
+  // of the sorted table; IsPrefixPath filters siblings like "/a/bc" that
+  // share the byte prefix without being under "/a/b".
+  for (auto it = leases_.lower_bound(path);
+       it != leases_.end() &&
+       it->first.compare(0, path.size(), path) == 0;) {
+    const std::string dir = it->first;
+    ++it;  // revoke_dir erases `dir`'s node; `it` already moved past it
+    if (dir == path || fsns::IsPrefixPath(path, dir)) revoke_dir(dir);
+  }
+}
+
+std::vector<std::uint64_t> MdsServer::RevokeConflictingLeases(
+    const ClientRequestMsg& req, TxId txid) {
+  std::vector<std::uint64_t> own;
+  std::map<NodeId, std::vector<coord::LeaseRevocation>> pushes;
+  LeaseBarrier barrier;
+  CollectRevocations(req.path, req.requester, own, pushes, barrier);
+  if (req.op == ClientOp::kRename && !req.path2.empty())
+    CollectRevocations(req.path2, req.requester, own, pushes, barrier);
+  PushRevocations(std::move(pushes));
+  InstallLeaseBarrier(txid, std::move(barrier));
+  return own;
+}
+
+void MdsServer::PushRevocations(
+    std::map<NodeId, std::vector<coord::LeaseRevocation>> pushes) {
+  if (pushes.empty()) return;
+  std::vector<coord::RevokeTarget> targets;
+  targets.reserve(pushes.size());
+  for (auto& [node, leases] : pushes)
+    targets.push_back({node, std::move(leases)});
+  // Fire-and-forget: a lost relay (or dead coordination frontend) costs the
+  // barrier its fast path, never correctness — the TTL backstop releases it.
+  coord_client_->RelayLeaseRevokes(std::move(targets), [](Status) {});
+}
+
+void MdsServer::InstallLeaseBarrier(TxId txid, LeaseBarrier barrier) {
+  if (barrier.outstanding.empty()) return;
+  const SimTime release_at = barrier.release_at;
+  LeaseBarrier& b = lease_barriers_[txid];
+  b.release_at = std::max(b.release_at, release_at);
+  b.outstanding.insert(barrier.outstanding.begin(), barrier.outstanding.end());
+  // TTL backstop. Each install arms a timer for its own release_at; the one
+  // belonging to the final (maximum) deadline performs the release, earlier
+  // ones find the deadline still ahead and stand down. Local timer: if this
+  // node crashes the barrier dies with it, which is fine — the held replies
+  // were lost in the crash anyway and clients retry against the successor.
+  const SimTime now = sim().Now();
+  AfterLocal(release_at > now ? release_at - now : 0, [this, txid] {
+    auto it = lease_barriers_.find(txid);
+    if (it == lease_barriers_.end()) return;       // acks already drained it
+    if (sim().Now() < it->second.release_at) return;  // a later install owns it
+    ReleaseLeaseBarrier(txid, /*expired=*/true);
+  });
+}
+
+void MdsServer::RunOrHoldOnBarrier(TxId txid, std::function<void()> action) {
+  auto it = lease_barriers_.find(txid);
+  if (it == lease_barriers_.end()) {
+    action();
+    return;
+  }
+  ++counters_.lease_replies_held;
+  m_.lease_replies_held->Add();
+  it->second.held.push_back(std::move(action));
+}
+
+void MdsServer::ReleaseLeaseBarrier(TxId txid, bool expired) {
+  auto it = lease_barriers_.find(txid);
+  if (it == lease_barriers_.end()) return;
+  if (expired) {
+    ++counters_.lease_barrier_expiries;
+    m_.lease_barrier_expiries->Add();
+  }
+  std::vector<std::function<void()>> held = std::move(it->second.held);
+  lease_barriers_.erase(it);
+  for (auto& action : held) action();
+}
+
+void MdsServer::HandleLeaseRevokeAck(const net::MessagePtr& msg) {
+  const auto& ack = net::Cast<coord::LeaseRevokeAckMsg>(msg);
+  if (ack.client == kInvalidNode || ack.lease_ids.empty()) return;
+  std::vector<TxId> drained;
+  for (auto& [txid, barrier] : lease_barriers_) {
+    for (std::uint64_t id : ack.lease_ids)
+      barrier.outstanding.erase({ack.client, id});
+    if (barrier.outstanding.empty()) drained.push_back(txid);
+  }
+  for (TxId txid : drained) ReleaseLeaseBarrier(txid, /*expired=*/false);
+  // Slot barriers carry no held actions — SendActivate polls them — so an
+  // emptied one is simply dropped.
+  for (auto it = slot_lease_barriers_.begin();
+       it != slot_lease_barriers_.end();) {
+    for (std::uint64_t id : ack.lease_ids)
+      it->second.outstanding.erase({ack.client, id});
+    if (it->second.outstanding.empty())
+      it = slot_lease_barriers_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void MdsServer::RevokeSlotLeases(std::uint32_t slot) {
+  if (leases_.empty() || map_.empty()) return;
+  // A lease on directory `dir` protects cached entries for `dir`'s
+  // children, whose mutations all route by the container slot
+  // SlotOfDir(dir) — exactly the unit a migration moves.
+  std::map<NodeId, std::vector<coord::LeaseRevocation>> pushes;
+  LeaseBarrier& barrier = slot_lease_barriers_[slot];
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (map_.SlotOfDir(it->first) != slot) {
+      ++it;
+      continue;
+    }
+    for (const auto& [node, grant] : it->second) {
+      pushes[node].push_back({it->first, grant.id});
+      barrier.outstanding.emplace(node, grant.id);
+      barrier.release_at = std::max(barrier.release_at, grant.expire_at);
+      --lease_count_;
+      ++counters_.leases_revoked;
+      m_.leases_revoked->Add();
+    }
+    it = leases_.erase(it);
+  }
+  if (barrier.outstanding.empty()) slot_lease_barriers_.erase(slot);
+  PushRevocations(std::move(pushes));
+}
+
+bool MdsServer::SlotLeaseBarrierPending(std::uint32_t slot) {
+  auto it = slot_lease_barriers_.find(slot);
+  if (it == slot_lease_barriers_.end()) return false;
+  if (it->second.outstanding.empty() ||
+      sim().Now() >= it->second.release_at) {
+    // Every revoked grant has expired client-side; nothing left to wait on.
+    slot_lease_barriers_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void MdsServer::ResetLeaseState() {
+  leases_.clear();
+  lease_count_ = 0;
+  lease_barriers_.clear();
+  slot_lease_barriers_.clear();
+}
+
 void MdsServer::ProcessClientRequest(
     const std::shared_ptr<const ClientRequestMsg>& req, const ReplyFn& reply) {
   const OpCosts& c = options_.costs;
@@ -1091,6 +1335,7 @@ void MdsServer::ExecuteRead(const ClientRequestMsg& req, const ReplyFn& reply) {
                             std::chrono::steady_clock::now() - resolve_begin)
                             .count());
   PublishCacheStats();
+  MaybeGrantLease(req, *out);
   StampReply(*out, last_sn_);
   reply(out);
 }
@@ -1157,7 +1402,27 @@ void MdsServer::ExecuteMutation(
   CaptureMigrationDelta(rec.value());
   const TxId txid = writer_->Append(std::move(rec).value());
   tree_.set_last_txid(txid);  // keep the active's replay cursor in step
-  pending_replies_[txid].push_back(reply);
+  ReplyFn final_reply = reply;
+  if (!leases_.empty()) {
+    // Revoke every directory lease this mutation conflicts with. The
+    // requester's own revocations ride its ack (it must drop/patch its
+    // cache before acting on the reply); remote holders are pushed through
+    // the coordination relay and gate the ack via the txid barrier.
+    std::vector<std::uint64_t> own = RevokeConflictingLeases(*req, txid);
+    if (!own.empty()) {
+      final_reply = [reply, own = std::move(own)](net::MessagePtr out) {
+        if (const auto* resp =
+                dynamic_cast<const ClientResponseMsg*>(out.get())) {
+          auto patched = std::make_shared<ClientResponseMsg>(*resp);
+          patched->revoke_lease_ids = own;
+          reply(std::move(patched));
+          return;
+        }
+        reply(std::move(out));
+      };
+    }
+  }
+  pending_replies_[txid].push_back(std::move(final_reply));
   if (tx_commit) {
     // Transaction boundary: cross-group transactions commit their own
     // batch instead of riding the aggregation window.
@@ -1327,7 +1592,14 @@ void MdsServer::FinalizeCompletedSyncs() {
       for (const auto& rec : ps.batch->records) {
         auto rit = pending_replies_.find(rec.txid);
         if (rit == pending_replies_.end()) continue;
-        for (auto& reply : rit->second) ReplyStatus(reply, Status::Ok());
+        for (auto& reply : rit->second) {
+          // A mutation that revoked remote leases must not complete until
+          // every holder acked (or the last revoked grant expired): its ack
+          // is held on the txid barrier instead of leaving now.
+          RunOrHoldOnBarrier(rec.txid, [this, reply = std::move(reply)] {
+            ReplyStatus(reply, Status::Ok());
+          });
+        }
         pending_replies_.erase(rit);
       }
     }
@@ -2012,6 +2284,9 @@ void MdsServer::RegisterHandlers() {
                    const ReplyFn& reply) {
               HandleShardControl(env, msg, reply);
             });
+  OnRequest(net::kLeaseRevokeAck,
+            [this](const net::Envelope&, const net::MessagePtr& msg,
+                   const ReplyFn&) { HandleLeaseRevokeAck(msg); });
   OnRequest(net::kBlockReport,
             [this](const net::Envelope&, const net::MessagePtr& msg,
                    const ReplyFn& reply) {

@@ -105,6 +105,11 @@ class MdsServer : public net::Host {
     std::uint64_t standby_reads_parked = 0;
     std::uint64_t standby_reads_bounced = 0;
     std::uint64_t shard_bounces = 0;
+    /// Client-cache directory leases (active side).
+    std::uint64_t leases_granted = 0;
+    std::uint64_t leases_revoked = 0;
+    std::uint64_t lease_replies_held = 0;   ///< acks held on a revoke barrier
+    std::uint64_t lease_barrier_expiries = 0;  ///< barriers released by TTL
     /// Parallel-apply and pipeline observability (bench/micro_apply).
     std::uint64_t apply_waves = 0;           ///< dependency waves executed
     std::uint64_t apply_records = 0;         ///< records applied via plans
@@ -189,6 +194,47 @@ class MdsServer : public net::Host {
   void BounceRead(const ReplyFn& reply, const char* why);
   void DrainParkedReads();
   void FlushParkedReads(const char* why);
+
+  // --- active: client-cache directory leases (src/core/mds_server.cpp) ------
+  struct LeaseBarrier {
+    /// (client node, lease id) acks still missing.
+    std::set<std::pair<NodeId, std::uint64_t>> outstanding;
+    /// Latest expire_at among the revoked grants: past this instant no
+    /// client can serve them anyway, so the barrier self-releases.
+    SimTime release_at = 0;
+    /// Deferred completions (client acks, cross-group legs) run on release.
+    std::vector<std::function<void()>> held;
+  };
+  /// Stamps a directory lease grant onto an active-served read reply.
+  void MaybeGrantLease(const ClientRequestMsg& req, ClientResponseMsg& out);
+  /// Drops every grant conflicting with the mutation's path footprint,
+  /// pushes revocations to remote holders (coordination relay), installs a
+  /// reply barrier under `txid` when any remote holder exists, and returns
+  /// the requester's own revoked ids for ack piggybacking.
+  std::vector<std::uint64_t> RevokeConflictingLeases(
+      const ClientRequestMsg& req, TxId txid);
+  /// Collection core shared with the migration cutover: drops grants on
+  /// `path`'s parent, `path` itself, and its subtree.
+  void CollectRevocations(
+      const std::string& path, NodeId own, std::vector<std::uint64_t>& own_ids,
+      std::map<NodeId, std::vector<coord::LeaseRevocation>>& pushes,
+      LeaseBarrier& barrier);
+  void PushRevocations(
+      std::map<NodeId, std::vector<coord::LeaseRevocation>> pushes);
+  void InstallLeaseBarrier(TxId txid, LeaseBarrier barrier);
+  /// Runs `action` now, or holds it until `txid`'s barrier releases.
+  void RunOrHoldOnBarrier(TxId txid, std::function<void()> action);
+  void ReleaseLeaseBarrier(TxId txid, bool expired);
+  void HandleLeaseRevokeAck(const net::MessagePtr& msg);
+  /// Migration cutover: revoke every grant under the migrating slot into
+  /// the slot barrier; activation of the destination waits on it.
+  void RevokeSlotLeases(std::uint32_t slot);
+  bool SlotLeaseBarrierPending(std::uint32_t slot);
+  /// Crash teardown: drops the grant table and every barrier. Held
+  /// completions die with the process — their replies were lost anyway,
+  /// clients retry, and the TTL bounds how long a revoked copy stays
+  /// servable. (A live step-down keeps the barriers: see BecomeRole.)
+  void ResetLeaseState();
 
   // --- active: journal sync (modified 2PC, pipelined) -----------------------
   void OnBatchSealed(journal::Batch batch, std::vector<char> bytes);
@@ -383,6 +429,27 @@ class MdsServer : public net::Host {
       pending_batches_;
   bool backfill_inflight_ = false;
 
+  // --- active-side client-cache leases ----------------------------------------
+  /// Volatile grant table: leased directory -> holder node -> grant. Never
+  /// persisted or replicated — a successor active starts lease-free, which
+  /// is safe because no grant may outlive the granter's coordination
+  /// session (see ClientLeaseOptions).
+  struct LeaseGrant {
+    std::uint64_t id = 0;
+    SimTime expire_at = 0;
+  };
+  std::map<std::string, std::map<NodeId, LeaseGrant>> leases_;
+  std::size_t lease_count_ = 0;
+  std::uint64_t next_lease_id_ = 0;
+  /// Mutation reply barriers: a conflicting mutation's client ack is held
+  /// until every revoked holder acked (fast path) or the latest revoked
+  /// grant expired (TTL backstop), so no client can observe the mutation
+  /// complete while a stale cached copy is still servable somewhere.
+  std::map<TxId, LeaseBarrier> lease_barriers_;
+  /// Migration cutover barriers keyed by slot: SendActivate polls until
+  /// the moved slot's revocations drain before the destination activates.
+  std::map<std::uint32_t, LeaseBarrier> slot_lease_barriers_;
+
   // --- standby-side parked reads ---------------------------------------------
   /// Reads whose min_sn is slightly ahead of last_sn_, keyed by the sn they
   /// are waiting for; drained as batches apply, bounced on timeout or role
@@ -484,6 +551,10 @@ class MdsServer : public net::Host {
     obs::Counter* standby_reads_parked;
     obs::Counter* standby_reads_bounced;
     obs::Counter* shard_bounces;
+    obs::Counter* leases_granted;
+    obs::Counter* leases_revoked;
+    obs::Counter* lease_replies_held;
+    obs::Counter* lease_barrier_expiries;
     obs::Counter* migrations_completed;
     obs::Counter* cross_group_renames;
     obs::Histogram* sync_batch_ns;

@@ -379,6 +379,11 @@ void MdsServer::StartCutover(std::uint32_t slot) {
   } else {
     d.fence = true;
   }
+  // Client-cache leases on directories whose children live in this slot are
+  // revoked now: after cutover their mutations commit at the destination,
+  // which cannot reach grants recorded here. SendActivate waits for the
+  // revocations to drain before the destination starts serving.
+  RevokeSlotLeases(slot);
   d.stats.fence_time = sim().Now();
   DrainThenShip(slot, options_.migration_drain_polls);
 }
@@ -504,6 +509,20 @@ void MdsServer::SendActivate(std::uint32_t slot) {
   auto it = drives_.find(slot);
   if (it == drives_.end() || role_ != ServerState::kActive || !alive()) return;
   const TxId mid = it->second.migration_id;
+  if (SlotLeaseBarrierPending(slot)) {
+    // The destination must not commit mutations for the slot while a client
+    // could still serve a cached entry leased here. Wait for every revoked
+    // holder's ack — bounded by the lease TTL, which is under the failover
+    // window, so this never stalls a migration indefinitely. (A crash-
+    // resumed migration skips this: the crash dropped the grant table, and
+    // the successor's election already outwaited every possible TTL.)
+    AfterLocal(options_.migration_drain_poll, [this, slot, mid] {
+      auto it2 = drives_.find(slot);
+      if (it2 == drives_.end() || it2->second.migration_id != mid) return;
+      SendActivate(slot);
+    });
+    return;
+  }
   auto retry = [this, slot, mid] {
     AfterLocal(options_.migration_retry_delay, [this, slot, mid] {
       auto it = drives_.find(slot);
@@ -1129,6 +1148,20 @@ void MdsServer::HandleRenameCommit(
   commit.client = ctl->client;
   commit.mtime = ctl->mtime;
   const TxId txid = AppendShardRecord(std::move(commit));
+  if (!leases_.empty()) {
+    // Installing the destination entry conflicts with leases on its parent
+    // (and, defensively, its subtree). Every holder is remote to this
+    // transaction — even the renaming client's own grant is pushed, which
+    // keeps read-your-writes: the push round-trip completes before the
+    // barrier lets the ack (and hence the client's reply at the source)
+    // leave.
+    std::vector<std::uint64_t> own;
+    std::map<NodeId, std::vector<coord::LeaseRevocation>> pushes;
+    LeaseBarrier barrier;
+    CollectRevocations(ctl->rename_dst, kInvalidNode, own, pushes, barrier);
+    PushRevocations(std::move(pushes));
+    InstallLeaseBarrier(txid, std::move(barrier));
+  }
   pending_replies_[txid].push_back([ack_status](net::MessagePtr m) {
     const auto& resp = net::Cast<ClientResponseMsg>(m);
     ack_status(resp.ok ? Status::Ok()
@@ -1153,7 +1186,7 @@ void MdsServer::FinishRename(const std::string& src, bool committed,
   // Finish remembers the real client (the transaction is now durable on
   // both sides); abort stays anonymous so the client's retry re-executes.
   if (committed) rec.client = in->second.client;
-  JournalShardRecord(
+  const TxId txid = JournalShardRecord(
       std::move(rec), [this, src, committed, abort_status](bool ok) {
         auto it = rename_drives_.find(src);
         if (it == rename_drives_.end()) return;
@@ -1172,6 +1205,17 @@ void MdsServer::FinishRename(const std::string& src, bool committed,
           ReplyStatus(reply, abort_status);
         }
       });
+  if (committed && txid != 0 && !leases_.empty()) {
+    // The source entry disappears: revoke leases on its parent (and
+    // subtree) and hold the client's reply on the barrier, mirroring the
+    // destination side of the transaction.
+    std::vector<std::uint64_t> own;
+    std::map<NodeId, std::vector<coord::LeaseRevocation>> pushes;
+    LeaseBarrier barrier;
+    CollectRevocations(src, kInvalidNode, own, pushes, barrier);
+    PushRevocations(std::move(pushes));
+    InstallLeaseBarrier(txid, std::move(barrier));
+  }
 }
 
 // --- failover resume ----------------------------------------------------------

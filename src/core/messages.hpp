@@ -61,6 +61,10 @@ struct ClientRequestMsg final : net::Message {
   /// reached this value; the active ignores it (it is always current).
   SerialNumber min_sn = 0;
   ClientOpId client;
+  /// Requesting client's node id; the active uses it to address directory
+  /// lease grants and revocation pushes. kInvalidNode opts out of leases
+  /// (internal traffic: audits, migration legs, participant probes).
+  NodeId requester = kInvalidNode;
   /// Set on cross-group coordination legs (participant side of a tx);
   /// participants only validate/charge, they do not mutate.
   bool tx_participant = false;
@@ -99,6 +103,16 @@ struct ClientResponseMsg final : net::Message {
   bool shard_bounce = false;
   std::uint64_t map_epoch = 0;
   std::vector<char> map_bytes;
+  // Directory lease grant riding on an active-served read (lease_id 0 = no
+  // grant). The client may serve `lease_dir`'s cached entries locally until
+  // `lease_expire_at` (absolute virtual time) or until the lease is revoked.
+  std::string lease_dir;
+  std::uint64_t lease_id = 0;
+  FenceToken lease_epoch = 0;
+  SimTime lease_expire_at = 0;
+  /// Revocations piggybacked on the requester's own ack (its mutation
+  /// conflicted with leases it holds itself — no relay round needed).
+  std::vector<std::uint64_t> revoke_lease_ids;
 
   net::MsgType type() const noexcept override { return net::kClientResponse; }
   std::size_t ByteSize() const noexcept override {

@@ -58,6 +58,13 @@ struct TestHooks {
   /// parents and scramble parent mtimes — divergence the checker's replica
   /// audit (and any post-failover read) must flag.
   bool ignore_apply_deps = false;
+  /// Client keeps serving a revoked directory lease until its TTL (it still
+  /// acks the revocation, so conflicting mutations complete normally), as
+  /// if the revocation push did not exist: cache hits return pre-mutation
+  /// state after the mutation's ack. The harness mirrors this flag into
+  /// FsClientOptions::cache.ignore_revoke — the faulty behaviour lives on
+  /// the client; this switch keeps all self-test knobs in one place.
+  bool ignore_lease_revoke = false;
 };
 
 /// Standby read offload (session-consistent reads against hot standbys).
@@ -74,6 +81,27 @@ struct StandbyReadOptions {
   /// A parked read that has not been satisfied after this long bounces to
   /// the active (the standby is lagging, not merely behind by one sync).
   SimTime max_park_wait = 500 * kMillisecond;
+};
+
+/// Per-directory client cache leases issued by the active (off by default).
+/// TTLs are absolute virtual-time deadlines, so expiry is deterministic and
+/// needs no clock-skew margin; what the margin must cover instead is
+/// failover: a lease may never outlive its granter's coordination session,
+/// or a successor active (which starts lease-free) could commit conflicting
+/// mutations while a client still trusts its cache. Grants are therefore
+/// issued only while `now + ttl <= last confirmed session contact +
+/// session_timeout`, and `ttl` must stay below the coordination session
+/// timeout (5 s) for that window to ever be open.
+struct ClientLeaseOptions {
+  /// Master switch: active-served GetFileInfo/ListDir replies carry a
+  /// directory lease for the read's parent (stat) or target (listdir).
+  bool grant_leases = false;
+  /// Lease lifetime. Also the backstop for lost revocation acks: a
+  /// conflicting mutation's reply is held at most this long.
+  SimTime ttl = 2 * kSecond;
+  /// Bound on outstanding (directory, client) grants; at the cap, reads
+  /// are served without a lease rather than evicting someone else's.
+  std::size_t max_grants = 4096;
 };
 
 struct MdsOptions {
@@ -218,6 +246,9 @@ struct MdsOptions {
   /// Session-consistent read offload to standbys (off by default; the
   /// paper's active serves all client traffic).
   StandbyReadOptions standby_reads;
+
+  /// Client-cache directory leases (off by default).
+  ClientLeaseOptions client_leases;
 
   /// Deliberate-fault switches for checker self-tests; see TestHooks.
   TestHooks test_hooks;

@@ -73,6 +73,10 @@ inline constexpr MsgType kShardTransferAck = 0x0902;
 inline constexpr MsgType kShardControl = 0x0903;
 inline constexpr MsgType kShardControlAck = 0x0904;
 
+// 0x0axx — client cache lease protocol (revocation push and ack)
+inline constexpr MsgType kLeaseRevoke = 0x0a01;
+inline constexpr MsgType kLeaseRevokeAck = 0x0a02;
+
 /// Human-readable name for a message type, used to key per-type network
 /// metrics ("net.sent.journal_prepare" etc.). Unknown ids map to "unknown"
 /// so forgetting to extend this table cannot crash a bench.
@@ -125,6 +129,8 @@ inline const char* MsgTypeName(MsgType type) noexcept {
     case kShardTransferAck: return "shard_transfer_ack";
     case kShardControl: return "shard_control";
     case kShardControlAck: return "shard_control_ack";
+    case kLeaseRevoke: return "lease_revoke";
+    case kLeaseRevokeAck: return "lease_revoke_ack";
     default: return "unknown";
   }
 }

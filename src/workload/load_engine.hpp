@@ -87,17 +87,25 @@ class LoadEngine {
                 static_cast<std::uint32_t>(
                     options.directories > 0 ? options.directories : 1)) {
     if (options_.loop == Loop::kClosed) {
-      for (int s = 0; s < options_.sessions; ++s) {
+      // Sessions share a bounded stream pool instead of owning one
+      // OpStream each: a 100k-session closed-loop run needs 100k slots of
+      // issue state, not 100k generators. Ops are drawn at issue time, so
+      // interleaved draws by the sessions mapped onto one stream are just
+      // as valid a schedule. Pools of <= kMaxStreams sessions map
+      // one-to-one with the same per-stream seeds as before, so every
+      // existing bench keeps its digest.
+      constexpr int kMaxStreams = 64;
+      const int streams = std::min(options_.sessions, kMaxStreams);
+      for (int s = 0; s < streams; ++s) {
         streams_.push_back(
             std::make_unique<OpStream>(mix, seed * 1315423911u + s));
       }
-      if (options_.seed_files != nullptr) {
-        std::vector<std::vector<std::string>> shares(
-            static_cast<std::size_t>(options_.sessions));
+      if (options_.seed_files != nullptr && !streams_.empty()) {
+        std::vector<std::vector<std::string>> shares(streams_.size());
         for (std::size_t i = 0; i < options_.seed_files->size(); ++i) {
           shares[i % shares.size()].push_back((*options_.seed_files)[i]);
         }
-        for (int s = 0; s < options_.sessions; ++s) {
+        for (std::size_t s = 0; s < streams_.size(); ++s) {
           streams_[s]->AdoptFiles(std::move(shares[s]));
         }
       }
@@ -171,7 +179,8 @@ class LoadEngine {
   // --- closed loop (exactly the original Driver) -------------------------
   void IssueClosed(int session) {
     if (!running_) return;
-    const Op op = streams_[static_cast<std::size_t>(session)]->Next();
+    const Op op =
+        streams_[static_cast<std::size_t>(session) % streams_.size()]->Next();
     const SimTime issued = sim_.Now();
     IssueOp(apis_[static_cast<std::size_t>(session) % apis_.size()], op,
             [this, session, issued](Status s) {

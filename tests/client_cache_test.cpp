@@ -1,0 +1,374 @@
+// End-to-end tests for the client-side lease-protected namespace cache:
+// revocation ordering against conflicting acks, the TTL backstop for lost
+// revocations, lease flush across failover, shard-migration invalidation,
+// and cached==uncached equivalence under the fuzzer's full fault palette
+// (with the lease_revoke mutant proving the checker would catch a cache
+// that serves past a revocation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.hpp"
+#include "check/repro.hpp"
+#include "check/shrink.hpp"
+#include "cluster/cfs.hpp"
+#include "net/network.hpp"
+#include "shard/partition_map.hpp"
+#include "sim/simulator.hpp"
+#include "test_util.hpp"
+
+namespace mams::cluster {
+namespace {
+
+class ClientCacheTest : public ::testing::Test {
+ protected:
+  void Build(GroupId groups, int standbys, std::uint64_t seed = 7,
+             const std::function<void(CfsConfig&)>& tweak = {}) {
+    sim_ = std::make_unique<sim::Simulator>(seed);
+    net_ = std::make_unique<net::Network>(*sim_);
+    CfsConfig cfg;
+    cfg.groups = groups;
+    cfg.standbys_per_group = standbys;
+    cfg.data_servers = 1;
+    cfg.clients = 2;
+    if (groups > 1) cfg.mds.partition_map = shard::PartitionMap::Seed(groups);
+    cfg.mds.client_leases.grant_leases = true;
+    cfg.client.cache.enabled = true;
+    if (tweak) tweak(cfg);
+    cluster_ = std::make_unique<CfsCluster>(*net_, cfg);
+    cluster_->Start();
+    sim_->RunUntil(sim_->Now() + kSecond);
+  }
+
+  void Run(SimTime dt) { sim_->RunUntil(sim_->Now() + dt); }
+
+  Status CreateFile(const std::string& path, int client = 0) {
+    Status out = Status::TimedOut("no reply");
+    bool done = false;
+    cluster_->client(client).Create(path, [&](Status s) {
+      out = s;
+      done = true;
+    });
+    testutil::WaitFor(*sim_, [&] { return done; }, 60 * kSecond);
+    return out;
+  }
+
+  Status MkdirSync(const std::string& path, int client = 0) {
+    Status out = Status::TimedOut("no reply");
+    bool done = false;
+    cluster_->client(client).Mkdir(path, [&](Status s) {
+      out = s;
+      done = true;
+    });
+    testutil::WaitFor(*sim_, [&] { return done; }, 60 * kSecond);
+    return out;
+  }
+
+  Status AddBlockSync(const std::string& path, int client = 0) {
+    Status out = Status::TimedOut("no reply");
+    bool done = false;
+    cluster_->client(client).AddBlock(path, [&](Status s) {
+      out = s;
+      done = true;
+    });
+    testutil::WaitFor(*sim_, [&] { return done; }, 60 * kSecond);
+    return out;
+  }
+
+  Result<fsns::FileInfo> StatSync(const std::string& path, int client = 0) {
+    Result<fsns::FileInfo> out = Status::TimedOut("no reply");
+    bool done = false;
+    cluster_->client(client).GetFileInfo(path, [&](Result<fsns::FileInfo> r) {
+      out = std::move(r);
+      done = true;
+    });
+    testutil::WaitFor(*sim_, [&] { return done; }, 60 * kSecond);
+    return out;
+  }
+
+  Result<std::vector<std::string>> ListSync(const std::string& path,
+                                            int client = 0) {
+    Result<std::vector<std::string>> out = Status::TimedOut("no reply");
+    bool done = false;
+    cluster_->client(client).ListDir(path,
+                                     [&](Result<std::vector<std::string>> r) {
+                                       out = std::move(r);
+                                       done = true;
+                                     });
+    testutil::WaitFor(*sim_, [&] { return done; }, 60 * kSecond);
+    return out;
+  }
+
+  static bool Contains(const std::vector<std::string>& names,
+                       const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  }
+
+  std::uint64_t TotalLeasesGranted(GroupId g = 0) {
+    std::uint64_t n = 0;
+    for (std::size_t m = 0; m < cluster_->group_size(g); ++m) {
+      n += cluster_->mds(g, static_cast<int>(m)).counters().leases_granted;
+    }
+    return n;
+  }
+
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<CfsCluster> cluster_;
+};
+
+TEST_F(ClientCacheTest, RepeatReadsAreServedLocallyUnderLease) {
+  Build(1, 2);
+  ASSERT_TRUE(MkdirSync("/d").ok());
+  ASSERT_TRUE(CreateFile("/d/a").ok());
+
+  const Result<std::vector<std::string>> first = ListSync("/d");
+  ASSERT_TRUE(first.ok());
+  const auto misses = cluster_->client(0).counters().cache_misses;
+  const Result<std::vector<std::string>> second = ListSync("/d");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), first.value());
+
+  EXPECT_GE(cluster_->client(0).counters().cache_hits, 1u);
+  EXPECT_EQ(cluster_->client(0).counters().cache_misses, misses);
+  EXPECT_TRUE(cluster_->client(0).last_stamp().via_cache);
+  EXPECT_GE(TotalLeasesGranted(), 1u);
+
+  // Stats populate per-entry cache lines under the parent's lease too.
+  ASSERT_TRUE(StatSync("/d/a").ok());
+  const auto hits = cluster_->client(0).counters().cache_hits;
+  ASSERT_TRUE(StatSync("/d/a").ok());
+  EXPECT_GT(cluster_->client(0).counters().cache_hits, hits);
+}
+
+TEST_F(ClientCacheTest, RevocationLandsBeforeTheConflictingAck) {
+  Build(1, 2);
+  ASSERT_TRUE(MkdirSync("/d").ok());
+  ASSERT_TRUE(CreateFile("/d/a").ok());
+  ASSERT_TRUE(ListSync("/d").ok());
+  ASSERT_TRUE(ListSync("/d").ok());  // warm: the second list is a hit
+  ASSERT_GE(cluster_->client(0).counters().cache_hits, 1u);
+
+  // Another client mutates the leased directory. Its ack is barriered on
+  // client 0's revocation, so the instant it returns, client 0's cached
+  // listing is gone — the very next list must go to the wire and see the
+  // new entry.
+  ASSERT_TRUE(CreateFile("/d/b", 1).ok());
+  EXPECT_GE(cluster_->client(0).counters().cache_revocations, 1u);
+
+  const Result<std::vector<std::string>> after = ListSync("/d");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(Contains(after.value(), "a"));
+  EXPECT_TRUE(Contains(after.value(), "b"));
+  EXPECT_FALSE(cluster_->client(0).last_stamp().via_cache);
+
+  core::MdsServer* active = cluster_->FindActive(0);
+  ASSERT_NE(active, nullptr);
+  EXPECT_GE(active->counters().leases_revoked, 1u);
+}
+
+TEST_F(ClientCacheTest, OwnMutationsInvalidateTheCacheReadYourWrites) {
+  Build(1, 2);
+  ASSERT_TRUE(MkdirSync("/d").ok());
+  ASSERT_TRUE(CreateFile("/d/a").ok());
+  Result<fsns::FileInfo> info = StatSync("/d/a");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().block_count, 0u);
+  ASSERT_TRUE(StatSync("/d/a").ok());  // cached copy with block_count 0
+
+  // The client's own ack both tombstones the revoked lease ids it carries
+  // and drops the mutated paths, so the follow-up stat cannot serve the
+  // pre-mutation copy.
+  ASSERT_TRUE(AddBlockSync("/d/a").ok());
+  info = StatSync("/d/a");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().block_count, 1u);
+}
+
+TEST_F(ClientCacheTest, TtlExpiryBoundsALostRevocation) {
+  // The ignore_revoke mutant models a lost revocation push: the client
+  // acks it (so the mutator's reply is not held forever) but keeps
+  // serving the dead lease. The staleness window this opens must close
+  // at the lease TTL — nothing else revokes the entry.
+  Build(1, 2, 7, [](CfsConfig& cfg) { cfg.client.cache.ignore_revoke = true; });
+  ASSERT_TRUE(MkdirSync("/d").ok());
+  ASSERT_TRUE(CreateFile("/d/a").ok());
+  ASSERT_TRUE(ListSync("/d").ok());
+
+  ASSERT_TRUE(CreateFile("/d/x", 1).ok());
+  // Inside the TTL the dropped revocation is visible as a stale hit.
+  const Result<std::vector<std::string>> stale = ListSync("/d");
+  ASSERT_TRUE(stale.ok());
+  EXPECT_TRUE(cluster_->client(0).last_stamp().via_cache);
+  EXPECT_FALSE(Contains(stale.value(), "x"));
+
+  // Past the TTL the entry dies on its own and the read goes to the wire.
+  Run(3 * kSecond);
+  const Result<std::vector<std::string>> fresh = ListSync("/d");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(Contains(fresh.value(), "x"));
+  EXPECT_FALSE(cluster_->client(0).last_stamp().via_cache);
+  EXPECT_GE(cluster_->client(0).counters().cache_expiries, 1u);
+}
+
+TEST_F(ClientCacheTest, FailoverOutlivesEveryLeaseAndCacheRecovers) {
+  Build(1, 3);
+  ASSERT_TRUE(MkdirSync("/v").ok());
+  ASSERT_TRUE(CreateFile("/v/a").ok());
+  ASSERT_TRUE(ListSync("/v").ok());
+  ASSERT_TRUE(ListSync("/v").ok());
+  ASSERT_GE(cluster_->client(0).counters().cache_hits, 1u);
+
+  // Leases are granted only while `now + ttl` fits inside the granter's
+  // confirmed coordination session, so no lease can span the failover:
+  // by the time a successor serves its first mutation, every grant of the
+  // dead active has expired client-side.
+  cluster_->FindActive(0)->Crash();
+  Run(10 * kSecond);
+  ASSERT_NE(cluster_->FindActive(0), nullptr);
+
+  ASSERT_TRUE(CreateFile("/v/b", 1).ok());
+  const Result<std::vector<std::string>> after = ListSync("/v");
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(Contains(after.value(), "a"));
+  EXPECT_TRUE(Contains(after.value(), "b"));
+  EXPECT_FALSE(cluster_->client(0).last_stamp().via_cache);
+
+  // The successor active grants fresh leases; the cache re-engages.
+  const auto hits = cluster_->client(0).counters().cache_hits;
+  ASSERT_TRUE(ListSync("/v").ok());
+  EXPECT_GT(cluster_->client(0).counters().cache_hits, hits);
+}
+
+TEST_F(ClientCacheTest, ShardMigrationInvalidatesMovedLeases) {
+  Build(2, 2);
+  // A directory whose children (and dir slot) live in group 0.
+  const shard::PartitionMap seedmap = shard::PartitionMap::Seed(2);
+  std::string dir;
+  std::uint32_t slot = 0;
+  for (int i = 0;; ++i) {
+    dir = "/mv" + std::to_string(i);
+    slot = seedmap.SlotOfDir(dir);
+    if (seedmap.OwnerOfSlot(slot) == 0) break;
+  }
+  ASSERT_TRUE(CreateFile(dir + "/f0").ok());
+  ASSERT_TRUE(StatSync(dir + "/f0").ok());
+  const auto hits = cluster_->client(0).counters().cache_hits;
+  ASSERT_TRUE(StatSync(dir + "/f0").ok());
+  ASSERT_GT(cluster_->client(0).counters().cache_hits, hits);
+
+  // Cutover revokes every lease on the moving slot before the destination
+  // activates, so the cached line cannot outlive the old owner's
+  // authority.
+  ASSERT_TRUE(cluster_->StartShardMigration(slot, 1).ok());
+  Run(10 * kSecond);
+  EXPECT_GE(cluster_->client(0).counters().cache_revocations, 1u);
+
+  ASSERT_TRUE(CreateFile(dir + "/f1", 1).ok());
+  const Result<fsns::FileInfo> moved = StatSync(dir + "/f0");
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  const Result<fsns::FileInfo> fresh = StatSync(dir + "/f1");
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+
+  core::MdsServer* a1 = cluster_->FindActive(1);
+  ASSERT_NE(a1, nullptr);
+  EXPECT_TRUE(a1->tree().Exists(dir + "/f0"));
+  EXPECT_TRUE(a1->tree().Exists(dir + "/f1"));
+}
+
+}  // namespace
+}  // namespace mams::cluster
+
+namespace mams::check {
+namespace {
+
+FuzzProfile CacheProfile() {
+  // Mirrors the mams_check `cache` profile: one shared tree, hot clients,
+  // mutation-heavy with a strong read component, so leases are granted
+  // and revoked continuously and faults land inside revocation windows.
+  FuzzProfile profile;
+  profile.clients = 3;
+  profile.ops_per_client = 30;
+  profile.faults = 7;
+  profile.client_cache = true;
+  profile.shared_namespace = true;
+  profile.hot_clients = true;
+  profile.mix.create = 0.25;
+  profile.mix.remove = 0.15;
+  profile.mix.rename = 0.10;
+  profile.mix.getfileinfo = 0.30;
+  profile.mix.listdir = 0.20;
+  return profile;
+}
+
+TEST(ClientCacheSweepTest, CachedEqualsUncachedUnderFuzzedMutations) {
+  // Cached and uncached runs of the same spec must both pass the checker
+  // (audit reads pin the final state either way); the cached run's
+  // cache-served reads additionally satisfy the completed-mutation floor.
+  std::uint64_t cache_served = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RunSpec spec = MakeSpec(seed, CacheProfile());
+    ASSERT_TRUE(spec.client_cache);
+    const RunResult cached = RunSpecOnce(spec);
+    EXPECT_TRUE(cached.check.decided) << "seed " << seed;
+    ASSERT_FALSE(cached.violated())
+        << "seed " << seed << ": "
+        << FormatViolation(cached.history, cached.violations[0]);
+    for (const Event& e : cached.history.events()) {
+      if (e.via_cache) ++cache_served;
+    }
+
+    spec.client_cache = false;
+    const RunResult uncached = RunSpecOnce(spec);
+    ASSERT_FALSE(uncached.violated())
+        << "seed " << seed << " (uncached): "
+        << FormatViolation(uncached.history, uncached.violations[0]);
+  }
+  // The sweep is not vacuous: the cache actually served reads.
+  EXPECT_GT(cache_served, 0u);
+}
+
+TEST(ClientCacheSweepTest, ReproRoundTripKeepsClientCache) {
+  RunSpec spec = MakeSpec(3, CacheProfile());
+  const Result<RunSpec> reparsed = ParseSpec(SerializeSpec(spec));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  EXPECT_TRUE(reparsed.value().client_cache);
+  EXPECT_EQ(SerializeSpec(reparsed.value()), SerializeSpec(spec));
+}
+
+TEST(MutationSelfTest, IgnoredLeaseRevokeIsCaught) {
+  // A client that drops revocations keeps serving a dead lease until its
+  // TTL; a read served from it after a conflicting mutation's ack
+  // violates the checker's completed-mutation floor for cache hits. The
+  // default profile keeps clients in disjoint trees (where the client's
+  // own-ack invalidation hides the bug), so the self-test runs the
+  // shared-tree cache profile.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    RunSpec spec = MakeSpec(seed, CacheProfile());
+    spec.mutation = Mutation::kIgnoreLeaseRevoke;
+    RunResult result = RunSpecOnce(spec);
+    if (!result.violated()) continue;
+
+    ShrinkOptions opts;
+    opts.max_runs = 80;
+    const ShrinkResult shrunk = Shrink(spec, opts);
+    ASSERT_TRUE(shrunk.result.violated())
+        << "seed " << seed << ": shrunk spec no longer violates";
+
+    const Result<RunSpec> reparsed = ParseSpec(SerializeSpec(shrunk.spec));
+    ASSERT_TRUE(reparsed.ok());
+    const RunResult replay = RunSpecOnce(reparsed.value());
+    EXPECT_EQ(replay.run_digest, shrunk.result.run_digest) << "seed " << seed;
+    EXPECT_TRUE(replay.violated());
+    return;
+  }
+  FAIL() << "lease_revoke produced no violation in seeds 1..40 — the "
+         << "checker would not catch a cache that ignores revocations";
+}
+
+}  // namespace
+}  // namespace mams::check

@@ -53,22 +53,27 @@ void Usage() {
       "  --seed-base B      first seed (default 1)\n"
       "  --seed S           run exactly one seed\n"
       "  --mutation M       none|sn_dedup|fencing|min_sn|cutover_fence|\n"
-      "                     apply_deps (default none; cutover_fence implies\n"
-      "                     the migrations profile's two-group topology;\n"
-      "                     apply_deps implies the apply_race profile)\n"
+      "                     apply_deps|lease_revoke (default none;\n"
+      "                     cutover_fence implies the migrations profile's\n"
+      "                     two-group topology; apply_deps implies the\n"
+      "                     apply_race profile; lease_revoke implies the\n"
+      "                     cache profile)\n"
       "  --standby-reads    serve reads from standbys (session-consistent\n"
       "                     offload; min_sn mutation implies this)\n"
       "  --clients N        fuzz clients per run (default 2)\n"
       "  --ops N            ops per client (default 40)\n"
       "  --faults N         faults per run (default 5)\n"
-      "  --profile P        default|renames|migrations|apply_race — renames\n"
-      "                     is rename/delete-heavy (resolve-cache pressure);\n"
-      "                     migrations runs two replica groups with live\n"
-      "                     shard migrations and cross-group renames;\n"
-      "                     apply_race points all clients at one shared\n"
-      "                     tree with a widened batch window so batches\n"
-      "                     carry intra-batch dependencies (parallel-apply\n"
-      "                     planner pressure)\n"
+      "  --profile P        default|renames|migrations|apply_race|cache —\n"
+      "                     renames is rename/delete-heavy (resolve-cache\n"
+      "                     pressure); migrations runs two replica groups\n"
+      "                     with live shard migrations and cross-group\n"
+      "                     renames; apply_race points all clients at one\n"
+      "                     shared tree with a widened batch window so\n"
+      "                     batches carry intra-batch dependencies\n"
+      "                     (parallel-apply planner pressure); cache turns\n"
+      "                     on the lease-protected client cache with a\n"
+      "                     mutation-heavy shared tree so grants and\n"
+      "                     revocations constantly interleave\n"
       "  --no-shrink        skip schedule shrinking on violation\n"
       "  --shrink-runs N    shrink rerun budget (default 200)\n"
       "  --out-dir DIR      where .repro files go (default .)\n"
@@ -109,7 +114,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     } else if (arg == "--profile") {
       args->profile = value();
       if (args->profile != "default" && args->profile != "renames" &&
-          args->profile != "migrations" && args->profile != "apply_race") {
+          args->profile != "migrations" && args->profile != "apply_race" &&
+          args->profile != "cache") {
         std::fprintf(stderr, "unknown profile %s\n", args->profile.c_str());
         return false;
       }
@@ -221,6 +227,28 @@ int Sweep(const Args& args) {
     profile.mix.remove = 0.20;
     profile.mix.rename = 0.10;
     profile.mix.getfileinfo = 0.10;
+  } else if (args.profile == "cache" ||
+             args.mutation == Mutation::kIgnoreLeaseRevoke) {
+    // Lease-cache pressure: every client reads and mutates one shared
+    // tree, so directory leases are granted and revoked continuously and
+    // reads race mutations on the same directories — the window where a
+    // dropped or late revocation turns a cache hit stale. Hot clients
+    // keep revocation barriers live for most of the run, so the fault
+    // schedule (crashes, flaps, migrations) lands inside revocation
+    // windows instead of between them. Extra faults widen the failover
+    // coverage (lease flush on view change, TTL-expiry backstop).
+    profile.clients = std::max(args.clients, 3);
+    profile.shared_namespace = true;
+    profile.hot_clients = true;
+    profile.faults = std::max(args.faults, 7);
+    profile.client_cache = true;
+    // Mutation-heavy with a strong read component: mutations drive
+    // revocations, reads re-populate the cache right behind them.
+    profile.mix.create = 0.25;
+    profile.mix.remove = 0.15;
+    profile.mix.rename = 0.10;
+    profile.mix.getfileinfo = 0.30;
+    profile.mix.listdir = 0.20;
   }
 
   const std::uint64_t base = args.single_seed ? args.seed : args.seed_base;
