@@ -38,7 +38,7 @@ int main() {
 
   // Grow the group twice, under load.
   for (int round = 0; round < 2; ++round) {
-    auto& added = cfs.AddBackupNode(0);
+    auto& added = cfs.AddStandby(0);
     std::printf("t=%s: added backup %s (boots as junior)\n",
                 FormatTime(sim.Now()).c_str(), added.name().c_str());
     const SimTime t0 = sim.Now();

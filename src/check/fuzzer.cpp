@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 
+#include "cluster/autoscaler.hpp"
 #include "cluster/cfs.hpp"
 #include "common/rng.hpp"
 #include "fsns/path.hpp"
@@ -112,6 +113,7 @@ RunSpec MakeSpec(std::uint64_t seed, const FuzzProfile& profile) {
   spec.groups = std::max(1, profile.groups);
   spec.standby_reads = profile.standby_reads;
   spec.client_cache = profile.client_cache;
+  spec.autoscale = profile.autoscale;
   spec.batch_delay = profile.batch_delay;
   spec.pipeline_depth = profile.pipeline_depth;
   // Generation rng is decoupled from the execution seed so that replaying
@@ -351,6 +353,24 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
   cluster::CfsCluster cfs(net, cfg);
   cfs.Start();
 
+  // Elastic sweeps run an aggressive controller so membership itself is a
+  // moving part of the schedule: low capacity and thresholds make both
+  // directions reachable under the light fuzz workload.
+  std::unique_ptr<cluster::Autoscaler> autoscaler;
+  if (spec.autoscale) {
+    cluster::AutoscalerOptions aopts;
+    aopts.evaluate_period = 250 * kMillisecond;
+    aopts.min_standbys = 1;
+    aopts.max_standbys = spec.standbys + 2;
+    aopts.reads_per_standby_capacity = 40.0;
+    aopts.scale_up_utilization = 0.5;
+    aopts.scale_down_utilization = 0.05;
+    aopts.breach_ticks = 2;
+    aopts.cooldown = 2 * kSecond;
+    autoscaler = std::make_unique<cluster::Autoscaler>(cfs, aopts);
+    autoscaler->Start();
+  }
+
   HistoryRecorder recorder(sim);
   std::vector<std::unique_ptr<RecordingClient>> clients;
   for (int c = 0; c < spec.clients; ++c) {
@@ -411,12 +431,17 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
   // Heal everything after the op/fault phase and force any still-dead
   // process back up, so the audit runs against a fully recovered cluster.
   const SimTime heal_at = spec.warmup + spec.run_for;
-  sim.At(heal_at, [&cfs, &inject, members, groups] {
+  sim.At(heal_at, [&cfs, &inject, members, groups,
+                   as = autoscaler.get()] {
+    // Freeze elasticity first: the audit must run against a stable fleet,
+    // not race a scale decision.
+    if (as != nullptr) as->Stop();
     inject.HealEverything();
+    // Members(g) covers elastic additions and retirees too, not just the
+    // configured membership.
     for (int g = 0; g < groups; ++g) {
-      for (int m = 0; m < members; ++m) {
-        core::MdsServer& mds = cfs.mds(static_cast<GroupId>(g), m);
-        if (!mds.alive()) mds.Restart(0);
+      for (const auto& mi : cfs.Members(static_cast<GroupId>(g))) {
+        if (!mi.server->alive()) mi.server->Restart(0);
       }
     }
     for (int m = 0; m < members; ++m) {
@@ -492,12 +517,9 @@ RunResult RunSpecOnce(const RunSpec& spec, CheckOptions check) {
     core::MdsServer* active = cfs.FindActive(static_cast<GroupId>(g));
     if (active == nullptr) continue;
     const std::uint64_t want = active->tree().Fingerprint();
-    for (int m = 0; m < members; ++m) {
-      core::MdsServer& mds = cfs.mds(static_cast<GroupId>(g), m);
-      if (&mds == active || !mds.alive() ||
-          mds.role() != ServerState::kStandby) {
-        continue;
-      }
+    for (const auto& mi : cfs.Members(static_cast<GroupId>(g))) {
+      core::MdsServer& mds = *mi.server;
+      if (&mds == active || mi.role != ServerState::kStandby) continue;
       if (mds.tree().Fingerprint() != want) {
         result.violations.push_back(
             {Violation::Type::kReplicaDivergence,

@@ -106,6 +106,11 @@ struct RunSpec {
   /// per-directory leases on reads and clients answer repeat reads locally
   /// while the lease lives. Audit reads bypass the cache (require_active).
   bool client_cache = false;
+  /// Run an aggressive cluster::Autoscaler over the whole op/fault phase,
+  /// so elastic membership (junior promotion, standby retirement, member
+  /// reuse) interleaves with the fault schedule. Stopped at heal time so
+  /// the audit sees a stable fleet.
+  bool autoscale = false;
   SimTime warmup = 2 * kSecond;     ///< boot -> first op
   SimTime run_for = 30 * kSecond;   ///< op/fault phase -> heal
   SimTime quiesce = 45 * kSecond;   ///< heal -> audit reads
@@ -140,6 +145,8 @@ struct FuzzProfile {
   bool standby_reads = false;
   /// Copied into RunSpec::client_cache by MakeSpec.
   bool client_cache = false;
+  /// Copied into RunSpec::autoscale by MakeSpec.
+  bool autoscale = false;
   /// Copied into RunSpec::groups by MakeSpec.
   int groups = 1;
   /// Shard migrations to schedule as kMigrateSlot faults (in addition to

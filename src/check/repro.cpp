@@ -47,6 +47,9 @@ std::string SerializeSpec(const RunSpec& spec) {
   if (spec.client_cache) {
     out << "client_cache=1\n";
   }
+  if (spec.autoscale) {
+    out << "autoscale=1\n";
+  }
   if (spec.batch_delay != 0) {
     out << "batch_delay_us=" << spec.batch_delay << "\n";
   }
@@ -129,6 +132,8 @@ Result<RunSpec> ParseSpec(const std::string& text) {
           spec.standby_reads = std::stoi(value) != 0;
         } else if (key == "client_cache") {
           spec.client_cache = std::stoi(value) != 0;
+        } else if (key == "autoscale") {
+          spec.autoscale = std::stoi(value) != 0;
         } else if (key == "warmup_us") {
           spec.warmup = std::stoll(value);
         } else if (key == "run_us") {

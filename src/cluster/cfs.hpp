@@ -164,22 +164,132 @@ class CfsCluster {
     return in_view == kInvalidNode ? fallback : nullptr;
   }
 
-  /// Dynamically adds a backup node to group g at runtime (Section III.D:
-  /// "more new backup nodes can also be added in the replica group"); it
-  /// boots as a junior and is renewed into a standby by the active.
-  core::MdsServer& AddBackupNode(GroupId g) {
-    core::MdsOptions opts = config_.mds;
-    opts.group = g;
-    auto mds = std::make_unique<core::MdsServer>(
-        network_, "mds-g" + std::to_string(g) + "-add" +
-                     std::to_string(groups_[g].size()),
-        opts, coord_.frontend_id(), pool_ids_, &directory_, &failover_log_);
-    groups_[g].push_back(std::move(mds));
-    std::vector<NodeId> member_ids;
-    for (auto& m : groups_[g]) member_ids.push_back(m->id());
-    for (auto& m : groups_[g]) m->SetGroupMembers(member_ids);
-    groups_[g].back()->Start(ServerState::kJunior);
-    return *groups_[g].back();
+  // --- membership API -----------------------------------------------------
+  //
+  // Typed elastic-membership surface. Scenario commands, tests, and the
+  // Autoscaler all go through these four calls; nothing outside CfsCluster
+  // reaches into the member vectors to mutate group composition.
+
+  /// One row of a group-membership snapshot. `role` is the member's *local*
+  /// role (kDown when the process is not running), which can briefly differ
+  /// from the coordination view mid-transition.
+  struct MemberInfo {
+    NodeId id;
+    int index;  ///< position within the group (stable for a member's life)
+    ServerState role;
+    core::MdsServer* server;
+  };
+
+  /// Snapshot of group g's membership, including down/retired members.
+  std::vector<MemberInfo> Members(GroupId g) {
+    std::vector<MemberInfo> out;
+    out.reserve(groups_[g].size());
+    for (std::size_t m = 0; m < groups_[g].size(); ++m) {
+      auto* mds = groups_[g][m].get();
+      out.push_back({mds->id(), static_cast<int>(m),
+                     mds->alive() ? mds->role() : ServerState::kDown,
+                     mds});
+    }
+    return out;
+  }
+
+  /// Alive members of group g currently in `role`.
+  int CountRole(GroupId g, ServerState role) {
+    int n = 0;
+    for (auto& mds : groups_[g]) {
+      if (mds->alive() && mds->role() == role) ++n;
+    }
+    return n;
+  }
+
+  /// Grows group g by one standby (Section III.D: "more new backup nodes
+  /// can also be added in the replica group"). A previously retired (down)
+  /// member is restarted in place when one exists; otherwise a fresh node
+  /// is allocated. Either way the member joins as a junior and is renewed
+  /// into a standby by the active — the ordinary catch-up path, so
+  /// linearizability is untouched. Nudges the active's renew scan so the
+  /// promotion does not wait out a full scan period.
+  core::MdsServer& AddStandby(GroupId g) {
+    core::MdsServer* joined = nullptr;
+    for (auto& mds : groups_[g]) {
+      if (!mds->alive()) {
+        joined = mds.get();
+        joined->Restart(0);  // OnRestart rejoins as junior
+        break;
+      }
+    }
+    if (joined == nullptr) {
+      core::MdsOptions opts = config_.mds;
+      opts.group = g;
+      auto mds = std::make_unique<core::MdsServer>(
+          network_, "mds-g" + std::to_string(g) + "-add" +
+                       std::to_string(groups_[g].size()),
+          opts, coord_.frontend_id(), pool_ids_, &directory_, &failover_log_);
+      groups_[g].push_back(std::move(mds));
+      std::vector<NodeId> member_ids;
+      for (auto& m : groups_[g]) member_ids.push_back(m->id());
+      for (auto& m : groups_[g]) m->SetGroupMembers(member_ids);
+      joined = groups_[g].back().get();
+      joined->Start(ServerState::kJunior);
+    }
+    if (core::MdsServer* active = FindActive(g)) active->KickRenewScan();
+    return *joined;
+  }
+
+  /// The standby RemoveStandby(g) would retire right now, or null when no
+  /// standby is safely demotable (none drained, or the group has no settled
+  /// active). Exposed so the Autoscaler can check before acting and tests
+  /// can assert on the demotion policy.
+  core::MdsServer* PickDemotable(GroupId g, NodeId id = kInvalidNode) {
+    const NodeId active_id = coord_.frontend().PeekView(g).FindActive();
+    if (active_id == kInvalidNode) return nullptr;  // mid-failover: hands off
+    core::MdsServer* best = nullptr;
+    for (auto& mds : groups_[g]) {
+      if (!mds->alive() || mds->role() != ServerState::kStandby) continue;
+      if (mds->id() == active_id) continue;
+      if (id != kInvalidNode && mds->id() != id) continue;
+      // Drained only: no parked standby reads, and caught up with the
+      // group's committed prefix (a lagging standby still holds journal
+      // state the group may need for the next failover).
+      if (mds->parked_read_count() != 0) continue;
+      if (mds->last_sn() < CommittedFloor(g)) continue;
+      if (best == nullptr || mds->last_sn() > best->last_sn()) {
+        best = mds.get();
+      }
+    }
+    return best;
+  }
+
+  /// Shrinks group g by retiring one drained standby (the specific node
+  /// when `id` is given). The retiree bounces its parked reads, reports
+  /// itself down, and stops; it remains in the group vector as reusable
+  /// capacity for a later AddStandby. Refuses to touch the active, a
+  /// lagging standby, or anything while the group has no settled active.
+  Status RemoveStandby(GroupId g, NodeId id = kInvalidNode) {
+    core::MdsServer* victim = PickDemotable(g, id);
+    if (victim == nullptr) {
+      return Status::Unavailable("group " + std::to_string(g) +
+                                 " has no drained standby to retire");
+    }
+    victim->Retire();
+    return Status::Ok();
+  }
+
+  /// Asks group g's active to renew a junior into a standby now instead of
+  /// on its next scheduled scan. Promotion still runs the full renewing
+  /// protocol (image fetch + journal catch-up + fenced SetState).
+  Status PromoteJunior(GroupId g) {
+    if (CountRole(g, ServerState::kJunior) == 0) {
+      return Status::NotFound("group " + std::to_string(g) +
+                              " has no junior to promote");
+    }
+    core::MdsServer* active = FindActive(g);
+    if (active == nullptr) {
+      return Status::Unavailable("group " + std::to_string(g) +
+                                 " has no settled active");
+    }
+    active->KickRenewScan();
+    return Status::Ok();
   }
 
   /// Pre-populates every member of group g with the same namespace (bench
@@ -218,6 +328,17 @@ class CfsCluster {
   static constexpr GroupId kNoGroup = 0xffffffffu;
 
  private:
+  /// The group's committed prefix: the highest batch any member knows to be
+  /// committed. A standby below this floor is still catching up and must
+  /// not be retired.
+  SerialNumber CommittedFloor(GroupId g) {
+    SerialNumber floor = 0;
+    for (auto& mds : groups_[g]) {
+      if (mds->alive()) floor = std::max(floor, mds->committed_sn());
+    }
+    return floor;
+  }
+
   /// Registers the MAMS safety invariants with the simulator's probe
   /// registry. They are re-evaluated on every committed view change and on
   /// every local role flip; a violation is logged via MAMS_ERROR and

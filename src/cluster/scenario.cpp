@@ -1,5 +1,6 @@
 #include "cluster/scenario.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -18,8 +19,26 @@ std::vector<std::string> Tokenize(const std::string& line) {
   return tokens;
 }
 
-/// Parses "2s" / "500ms" / "250us" into virtual time.
-Result<SimTime> ParseDuration(const std::string& s) {
+/// Classic dynamic-programming edit distance; command names are short, so
+/// the quadratic table is a handful of bytes.
+std::size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+Result<SimTime> ScenarioRunner::ParseDuration(const std::string& s) {
   std::size_t pos = 0;
   double value = 0;
   try {
@@ -34,7 +53,7 @@ Result<SimTime> ParseDuration(const std::string& s) {
   return Status::InvalidArgument("bad duration unit: " + s);
 }
 
-Result<int> ParseInt(const std::string& s) {
+Result<int> ScenarioRunner::ParseInt(const std::string& s) {
   try {
     return std::stoi(s);
   } catch (...) {
@@ -42,8 +61,16 @@ Result<int> ParseInt(const std::string& s) {
   }
 }
 
-/// Parses "key=value" pairs.
-bool KeyValue(const std::string& tok, std::string& key, std::string& value) {
+Result<double> ScenarioRunner::ParseDouble(const std::string& s) {
+  try {
+    return std::stod(s);
+  } catch (...) {
+    return Status::InvalidArgument("bad number: " + s);
+  }
+}
+
+bool ScenarioRunner::KeyValue(const std::string& tok, std::string& key,
+                              std::string& value) {
   const auto eq = tok.find('=');
   if (eq == std::string::npos) return false;
   key = tok.substr(0, eq);
@@ -51,7 +78,33 @@ bool KeyValue(const std::string& tok, std::string& key, std::string& value) {
   return true;
 }
 
-}  // namespace
+ScenarioRunner::ScenarioRunner(Options options) : options_(options) {
+  RegisterBuiltins();
+}
+
+ScenarioRunner::~ScenarioRunner() {
+  // Packs hold controllers (autoscaler, load engine) that reference the
+  // cluster and simulator; drop them first.
+  extensions_.clear();
+}
+
+Status ScenarioRunner::RegisterCommand(Command cmd) {
+  if (cmd.name.empty() || !cmd.handler) {
+    return Status::InvalidArgument("command needs a name and a handler");
+  }
+  if (commands_.contains(cmd.name)) {
+    return Status::AlreadyExists("command already registered: " + cmd.name);
+  }
+  commands_.emplace(cmd.name, std::move(cmd));
+  return Status::Ok();
+}
+
+std::vector<const ScenarioRunner::Command*> ScenarioRunner::Commands() const {
+  std::vector<const Command*> out;
+  out.reserve(commands_.size());
+  for (const auto& [name, cmd] : commands_) out.push_back(&cmd);
+  return out;  // std::map iteration is already name-ordered
+}
 
 Status ScenarioRunner::Run(const std::string& script) {
   std::istringstream in(script);
@@ -84,34 +137,141 @@ Status ScenarioRunner::Execute(const std::vector<std::string>& tokens,
     for (const auto& a : args) joined += " " + a;
     std::printf("[scenario:%d] %s\n", line_no, joined.c_str());
   }
-  if (cmd == "cluster") return CmdCluster(args);
-  if (cmd == "run") return CmdRun(args);
-  if (cmd == "create" || cmd == "mkdir" || cmd == "delete" ||
-      cmd == "stat") {
-    return CmdClientOp(cmd, args);
+  const auto it = commands_.find(cmd);
+  if (it == commands_.end()) {
+    std::string msg = "unknown command: " + cmd;
+    const std::string near = Suggest(cmd);
+    if (!near.empty()) msg += " (did you mean `" + near + "`?)";
+    msg += "; `help` lists all commands";
+    return Status::InvalidArgument(msg);
   }
-  if (cmd == "crash-active") return CmdCrashActive(args);
-  if (cmd == "crash") return CmdCrash(args);
-  if (cmd == "restart") return CmdRestart(args);
-  if (cmd == "unplug") return CmdUnplug(args, false);
-  if (cmd == "replug") return CmdUnplug(args, true);
-  if (cmd == "force-lock-release") return CmdForceLockRelease(args);
-  if (cmd == "add-backup") return CmdAddBackup(args);
-  if (cmd == "expect-active") return CmdExpectActive(args);
-  if (cmd == "expect-exists") return CmdExpectExists(args, true);
-  if (cmd == "expect-missing") return CmdExpectExists(args, false);
-  if (cmd == "expect-converged") return CmdExpectConverged(args);
-  if (cmd == "expect-state") return CmdExpectState(args);
-  if (cmd == "expect-counts") return CmdExpectCounts(args);
-  if (cmd == "expect-ops-ok") {
-    if (ops_failed_ > 0) {
-      Fail("expect-ops-ok: " + std::to_string(ops_failed_) +
-           " client op(s) failed");
+  return it->second.handler(args);
+}
+
+std::string ScenarioRunner::Suggest(const std::string& cmd) const {
+  std::string best;
+  std::size_t best_dist = cmd.size();  // a full rewrite is not a typo
+  for (const auto& [name, command] : commands_) {
+    const std::size_t d = EditDistance(cmd, name);
+    if (d < best_dist) {
+      best_dist = d;
+      best = name;
     }
-    return Status::Ok();
   }
-  if (cmd == "print-view") return CmdPrintView(args);
-  return Status::InvalidArgument("unknown command: " + cmd);
+  // Only suggest plausible slips: at most 2 edits, or 3 on long names.
+  const std::size_t cutoff = cmd.size() >= 10 ? 3 : 2;
+  return best_dist <= cutoff ? best : std::string();
+}
+
+void ScenarioRunner::RegisterBuiltins() {
+  auto add = [this](const char* name, const char* usage, const char* help,
+                    Handler handler) {
+    Status s = RegisterCommand({name, usage, help, std::move(handler)});
+    (void)s;  // builtins are registered once, from here only
+  };
+
+  add("cluster",
+      "cluster [groups=N] [standbys=N] [juniors=N] [clients=N] [seed=N] "
+      "[standby_reads=0|1]",
+      "Builds and boots the cluster under test. Must run before any other "
+      "command. standby_reads=1 enables bounded-staleness standby reads "
+      "with round-robin client routing.",
+      [this](const std::vector<std::string>& a) { return CmdCluster(a); });
+  add("run", "run <duration>",
+      "Advances virtual time, e.g. `run 2s`, `run 500ms`.",
+      [this](const std::vector<std::string>& a) { return CmdRun(a); });
+  for (const char* op : {"create", "mkdir", "delete", "stat"}) {
+    add(op, (std::string(op) + " <path>").c_str(),
+        "Issues the client op through client 0 and waits for the reply. "
+        "Failures are logged and counted, not fatal (see expect-ops-ok).",
+        [this, op = std::string(op)](const std::vector<std::string>& a) {
+          return CmdClientOp(op, a);
+        });
+  }
+  add("crash-active", "crash-active <group>",
+      "Kills the group's current active (the paper's failover trigger).",
+      [this](const std::vector<std::string>& a) { return CmdCrashActive(a); });
+  add("crash", "crash <group> <member>",
+      "Kills one specific member by group index.",
+      [this](const std::vector<std::string>& a) { return CmdCrash(a); });
+  add("restart", "restart <group> <member>",
+      "Restarts a crashed member; it rejoins as a junior and is renewed.",
+      [this](const std::vector<std::string>& a) { return CmdRestart(a); });
+  add("crash-pool", "crash-pool <group> <member>",
+      "Kills the pool (SSP) node co-hosted with member (group, member).",
+      [this](const std::vector<std::string>& a) {
+        return CmdCrashPool(a, /*restart=*/false);
+      });
+  add("restart-pool", "restart-pool <group> <member>",
+      "Restarts the co-hosted pool node killed by crash-pool.",
+      [this](const std::vector<std::string>& a) {
+        return CmdCrashPool(a, /*restart=*/true);
+      });
+  add("unplug", "unplug <group> <member>",
+      "Pulls the member's network cable (paper Test B); in-flight messages "
+      "are lost.",
+      [this](const std::vector<std::string>& a) {
+        return CmdUnplug(a, /*up=*/false);
+      });
+  add("replug", "replug <group> <member>",
+      "Plugs the cable back in.",
+      [this](const std::vector<std::string>& a) {
+        return CmdUnplug(a, /*up=*/true);
+      });
+  add("force-lock-release", "force-lock-release <group>",
+      "Admin-releases the group lock (the paper's Test A injection).",
+      [this](const std::vector<std::string>& a) {
+        return CmdForceLockRelease(a);
+      });
+  add("add-backup", "add-backup <group>",
+      "Grows the group by one standby (joins as junior, renewed by the "
+      "active). Alias of the elastic pack's add-standby.",
+      [this](const std::vector<std::string>& a) { return CmdAddBackup(a); });
+  add("help", "help [command]",
+      "Lists every registered command, or one command's usage and help.",
+      [this](const std::vector<std::string>& a) { return CmdHelp(a); });
+  add("expect-active", "expect-active <group>",
+      "Waits until the coordination view names an alive, serving active.",
+      [this](const std::vector<std::string>& a) { return CmdExpectActive(a); });
+  add("expect-exists", "expect-exists <path>",
+      "Asserts the path exists on its owner group's active.",
+      [this](const std::vector<std::string>& a) {
+        return CmdExpectExists(a, /*want=*/true);
+      });
+  add("expect-missing", "expect-missing <path>",
+      "Asserts the path does not exist on its owner group's active.",
+      [this](const std::vector<std::string>& a) {
+        return CmdExpectExists(a, /*want=*/false);
+      });
+  add("expect-converged", "expect-converged <group>",
+      "Waits until every alive standby's namespace matches the active's.",
+      [this](const std::vector<std::string>& a) {
+        return CmdExpectConverged(a);
+      });
+  add("expect-state", "expect-state <group> <A|S|J|- ...>",
+      "Waits until the view row equals the given letters (Table II rows).",
+      [this](const std::vector<std::string>& a) { return CmdExpectState(a); });
+  add("expect-counts", "expect-counts <group> [A=n] [S=n] [J=n]",
+      "Waits until the view holds the given per-state counts.",
+      [this](const std::vector<std::string>& a) { return CmdExpectCounts(a); });
+  add("expect-ops-ok", "expect-ops-ok",
+      "Asserts no client op issued so far failed.",
+      [this](const std::vector<std::string>&) -> Status {
+        if (ops_failed_ > 0) {
+          Fail("expect-ops-ok: " + std::to_string(ops_failed_) +
+               " client op(s) failed");
+        }
+        return Status::Ok();
+      });
+  add("expect-probes-clean", "expect-probes-clean",
+      "Evaluates every safety probe now and asserts no invariant violation "
+      "has been recorded in the whole run.",
+      [this](const std::vector<std::string>& a) {
+        return CmdExpectProbesClean(a);
+      });
+  add("print-view", "print-view <group>",
+      "Prints the group's coordination view row, lock and fence.",
+      [this](const std::vector<std::string>& a) { return CmdPrintView(a); });
 }
 
 bool ScenarioRunner::RequireCluster(const char* cmd) {
@@ -161,10 +321,20 @@ Status ScenarioRunner::CmdCluster(const std::vector<std::string>& args) {
       cfg.clients = num.value();
     } else if (key == "seed") {
       seed = static_cast<std::uint64_t>(num.value());
+    } else if (key == "standby_reads") {
+      if (num.value() != 0) {
+        cfg.mds.standby_reads.serve_reads = true;
+        cfg.client.read_routing = ReadRouting::kRoundRobinStandby;
+      }
     } else {
       return Status::InvalidArgument("unknown cluster option: " + key);
     }
   }
+  // Re-running `cluster` rebuilds the world: drop pack state first, it
+  // references the old cluster.
+  extensions_.clear();
+  cluster_.reset();
+  net_.reset();
   sim_ = std::make_unique<sim::Simulator>(seed);
   net_ = std::make_unique<net::Network>(*sim_);
   cluster_ = std::make_unique<CfsCluster>(*net_, cfg);
@@ -258,6 +428,37 @@ Status ScenarioRunner::CmdRestart(const std::vector<std::string>& args) {
   return Status::Ok();
 }
 
+Status ScenarioRunner::CmdCrashPool(const std::vector<std::string>& args,
+                                    bool restart) {
+  const char* name = restart ? "restart-pool" : "crash-pool";
+  if (args.size() != 2) {
+    return Status::InvalidArgument(std::string(name) + " <group> <member>");
+  }
+  if (!RequireCluster(name)) return Status::Ok();
+  auto g = ParseInt(args[0]);
+  auto m = ParseInt(args[1]);
+  if (!g.ok()) return g.status();
+  if (!m.ok()) return m.status();
+  // Pool nodes are allocated one per initially-configured metadata node,
+  // co-hosted in construction order: group-major, member-minor.
+  const auto& cfg = cluster_->config();
+  const int members =
+      1 + cfg.standbys_per_group + cfg.juniors_per_group;
+  if (m.value() < 0 || m.value() >= members) {
+    return Status::InvalidArgument(std::string(name) +
+                                   ": member out of pool range");
+  }
+  auto& pool = cluster_->pool_node(g.value() * members + m.value());
+  if (restart) {
+    pool.Restart();
+    Note("restarted " + pool.name());
+  } else {
+    pool.Crash();
+    Note("crashed " + pool.name());
+  }
+  return Status::Ok();
+}
+
 Status ScenarioRunner::CmdUnplug(const std::vector<std::string>& args,
                                  bool up) {
   const char* name = up ? "replug" : "unplug";
@@ -293,8 +494,27 @@ Status ScenarioRunner::CmdAddBackup(const std::vector<std::string>& args) {
   if (!RequireCluster("add-backup")) return Status::Ok();
   auto g = ParseInt(args[0]);
   if (!g.ok()) return g.status();
-  auto& added = cluster_->AddBackupNode(static_cast<GroupId>(g.value()));
+  auto& added = cluster_->AddStandby(static_cast<GroupId>(g.value()));
   Note("added " + added.name());
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdHelp(const std::vector<std::string>& args) {
+  if (args.size() > 1) return Status::InvalidArgument("help [command]");
+  if (args.size() == 1) {
+    const auto it = commands_.find(args[0]);
+    if (it == commands_.end()) {
+      std::string msg = "help: unknown command " + args[0];
+      const std::string near = Suggest(args[0]);
+      if (!near.empty()) msg += " (did you mean `" + near + "`?)";
+      return Status::InvalidArgument(msg);
+    }
+    Note(it->second.usage);
+    Note("  " + it->second.help);
+    return Status::Ok();
+  }
+  Note("commands:");
+  for (const Command* cmd : Commands()) Note("  " + cmd->usage);
   return Status::Ok();
 }
 
@@ -353,13 +573,9 @@ Status ScenarioRunner::CmdExpectConverged(
   }
   // Standbys may still be applying in-flight batches; give them a moment.
   const bool ok = PumpUntil([this, group, active] {
-    for (std::size_t m = 0; m < cluster_->group_size(group); ++m) {
-      auto& mds = cluster_->mds(group, static_cast<int>(m));
-      if (&mds == active || !mds.alive() ||
-          mds.role() != ServerState::kStandby) {
-        continue;
-      }
-      if (mds.tree().Fingerprint() != active->tree().Fingerprint()) {
+    for (const auto& m : cluster_->Members(group)) {
+      if (m.server == active || m.role != ServerState::kStandby) continue;
+      if (m.server->tree().Fingerprint() != active->tree().Fingerprint()) {
         return false;
       }
     }
@@ -435,6 +651,20 @@ Status ScenarioRunner::CmdExpectCounts(const std::vector<std::string>& args) {
   if (!ok) {
     Fail("expect-counts: group " + args[0] + " is [" +
          cluster_->coord().frontend().PeekView(group).Row() + "]");
+  }
+  return Status::Ok();
+}
+
+Status ScenarioRunner::CmdExpectProbesClean(
+    const std::vector<std::string>& args) {
+  if (!args.empty()) return Status::InvalidArgument("expect-probes-clean");
+  if (!RequireCluster("expect-probes-clean")) return Status::Ok();
+  auto& probes = sim_->obs().probes();
+  probes.Evaluate();
+  if (probes.violation_count() > 0) {
+    const auto& v = probes.violations().front();
+    Fail("expect-probes-clean: " + std::to_string(probes.violation_count()) +
+         " violation(s); first: " + v.probe + ": " + v.detail);
   }
   return Status::Ok();
 }

@@ -19,12 +19,21 @@
 //   expect-state 0 "S A S S"  # Table II row
 //   print-view 0
 //
+// Commands dispatch through a registry (name -> handler + usage + help),
+// not a hard-coded switch: `help` lists every registered command, an
+// unknown command suggests its nearest neighbour, and command packs —
+// e.g. RegisterElasticCommands, which plugs in `autoscale`, `load`,
+// `slow-disk`, `asymmetry`, `expect-standbys`, `expect-metric` — extend
+// the language without editing this file.
+//
 // The runner executes commands sequentially, pumping the simulator as
 // needed; failed expectations are collected (not thrown) so a scenario
 // reports all its violations. Used by examples/scenario_runner and by
 // scenario-driven tests.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -42,12 +51,64 @@ struct ScenarioRunnerOptions {
 class ScenarioRunner {
  public:
   using Options = ScenarioRunnerOptions;
+  using Handler = std::function<Status(const std::vector<std::string>& args)>;
 
-  explicit ScenarioRunner(Options options = {}) : options_(options) {}
+  /// One entry in the command registry. `usage` is the one-line synopsis
+  /// shown on arity errors and by `help`; `help` is the prose description.
+  struct Command {
+    std::string name;
+    std::string usage;
+    std::string help;
+    Handler handler;
+  };
+
+  explicit ScenarioRunner(Options options = {});
+  ~ScenarioRunner();
 
   /// Runs a whole script; returns OK when every command executed and every
   /// expectation held. Parse errors abort; expectation failures accumulate.
   Status Run(const std::string& script);
+
+  // --- extension surface --------------------------------------------------
+
+  /// Adds a command to the registry. Fails on a duplicate name — a pack
+  /// must not silently shadow a builtin.
+  Status RegisterCommand(Command cmd);
+  bool HasCommand(const std::string& name) const {
+    return commands_.contains(name);
+  }
+  /// Registered commands in name order (drives `help`).
+  std::vector<const Command*> Commands() const;
+
+  /// Named slot for a command pack to stash cross-command state in (an
+  /// Autoscaler, a LoadEngine, ...). The slot lives as long as the runner;
+  /// its contents are destroyed before the cluster on reset/destruction.
+  std::shared_ptr<void>& ExtensionSlot(const std::string& key) {
+    return extensions_[key];
+  }
+
+  // --- helpers for handlers (builtin and pack alike) ----------------------
+
+  /// True when a `cluster` command has run; otherwise records a failure
+  /// attributed to `cmd` and returns false.
+  bool RequireCluster(const char* cmd);
+  /// Records an expectation failure (collected, not thrown).
+  void Fail(std::string what);
+  /// Records a log line (and echoes it when echo is on).
+  void Note(std::string what);
+  /// Pumps the simulator in 50 ms steps until `done` or the budget elapses.
+  bool PumpUntil(const std::function<bool()>& done,
+                 SimTime budget = 120 * kSecond);
+
+  /// Parses "2s" / "500ms" / "250us" into virtual time.
+  static Result<SimTime> ParseDuration(const std::string& s);
+  static Result<int> ParseInt(const std::string& s);
+  static Result<double> ParseDouble(const std::string& s);
+  /// Splits "key=value"; returns false when there is no '='.
+  static bool KeyValue(const std::string& tok, std::string& key,
+                       std::string& value);
+
+  // --- observability ------------------------------------------------------
 
   const std::vector<std::string>& failures() const noexcept {
     return failures_;
@@ -57,12 +118,20 @@ class ScenarioRunner {
   /// The cluster under test (valid after a `cluster` command ran).
   CfsCluster* cluster() noexcept { return cluster_.get(); }
   sim::Simulator* simulator() noexcept { return sim_.get(); }
+  net::Network* network() noexcept { return net_.get(); }
+
+  std::uint64_t ops_ok() const noexcept { return ops_ok_; }
+  std::uint64_t ops_failed() const noexcept { return ops_failed_; }
 
  private:
+  void RegisterBuiltins();
   Status Execute(const std::vector<std::string>& tokens, int line_no);
+  /// Closest registered command by edit distance, or "" when nothing is
+  /// close enough to be a plausible typo.
+  std::string Suggest(const std::string& cmd) const;
 
-  // Command implementations (each returns a parse/shape error or OK;
-  // expectation outcomes go to failures_).
+  // Builtin command implementations (each returns a parse/shape error or
+  // OK; expectation outcomes go to failures_).
   Status CmdCluster(const std::vector<std::string>& args);
   Status CmdRun(const std::vector<std::string>& args);
   Status CmdClientOp(const std::string& op,
@@ -70,25 +139,24 @@ class ScenarioRunner {
   Status CmdCrashActive(const std::vector<std::string>& args);
   Status CmdCrash(const std::vector<std::string>& args);
   Status CmdRestart(const std::vector<std::string>& args);
+  Status CmdCrashPool(const std::vector<std::string>& args, bool restart);
   Status CmdUnplug(const std::vector<std::string>& args, bool up);
   Status CmdForceLockRelease(const std::vector<std::string>& args);
   Status CmdAddBackup(const std::vector<std::string>& args);
+  Status CmdHelp(const std::vector<std::string>& args);
   Status CmdExpectActive(const std::vector<std::string>& args);
   Status CmdExpectExists(const std::vector<std::string>& args, bool want);
   Status CmdExpectConverged(const std::vector<std::string>& args);
   Status CmdExpectState(const std::vector<std::string>& args);
   Status CmdExpectCounts(const std::vector<std::string>& args);
+  Status CmdExpectProbesClean(const std::vector<std::string>& args);
   Status CmdPrintView(const std::vector<std::string>& args);
 
-  bool RequireCluster(const char* cmd);
-  void Fail(std::string what);
-  void Note(std::string what);
-
-  /// Pumps the simulator until `done` or the budget elapses.
-  bool PumpUntil(const std::function<bool()>& done,
-                 SimTime budget = 120 * kSecond);
-
   Options options_;
+  std::map<std::string, Command> commands_;
+  /// Cleared (in the destructor and on cluster reset) before the cluster
+  /// goes away — packs hold controllers that reference it.
+  std::map<std::string, std::shared_ptr<void>> extensions_;
   std::unique_ptr<sim::Simulator> sim_;
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<CfsCluster> cluster_;
@@ -98,5 +166,12 @@ class ScenarioRunner {
   std::uint64_t ops_ok_ = 0;
   std::uint64_t ops_failed_ = 0;
 };
+
+/// Registers the elastic command pack: `autoscale`, `load`, `slow-disk`,
+/// `asymmetry`, `add-standby`, `remove-standby`, `promote`,
+/// `expect-standbys`, `expect-metric`. Implemented in
+/// scenario_commands.cpp; kept out of the core runner deliberately — it is
+/// the proof that the registry extension surface is sufficient.
+Status RegisterElasticCommands(ScenarioRunner& runner);
 
 }  // namespace mams::cluster

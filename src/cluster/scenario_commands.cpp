@@ -1,0 +1,430 @@
+// The elastic command pack: everything the autoscaler scenarios need,
+// registered through ScenarioRunner's public registry surface — no edits
+// to the core runner. This file doubles as the reference for writing
+// third-party packs: stash cross-command state in ExtensionSlot, report
+// outcomes through Note/Fail, and keep every handler a pure function of
+// (runner, args).
+#include <memory>
+
+#include "cluster/autoscaler.hpp"
+#include "cluster/scenario.hpp"
+#include "workload/load_engine.hpp"
+
+namespace mams::cluster {
+
+namespace {
+
+/// Pack state parked in ExtensionSlot("elastic"): at most one autoscaler
+/// and one load engine per scenario at a time.
+struct ElasticState {
+  std::unique_ptr<Autoscaler> autoscaler;
+  std::unique_ptr<workload::LoadEngine> load;
+};
+
+ElasticState& StateOf(ScenarioRunner& r) {
+  auto& slot = r.ExtensionSlot("elastic");
+  if (!slot) slot = std::make_shared<ElasticState>();
+  return *std::static_pointer_cast<ElasticState>(slot);
+}
+
+/// Resolves (group, member) to the co-hosted pool node, mirroring the
+/// cluster's construction order (group-major over the initial membership).
+storage::PoolNode* PoolOf(ScenarioRunner& r, int g, int m) {
+  const auto& cfg = r.cluster()->config();
+  const int members = 1 + cfg.standbys_per_group + cfg.juniors_per_group;
+  if (g < 0 || g >= static_cast<int>(cfg.groups) || m < 0 || m >= members) {
+    return nullptr;
+  }
+  return &r.cluster()->pool_node(g * members + m);
+}
+
+Status CmdAutoscale(ScenarioRunner& r, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument("autoscale on|off [key=value...]");
+  }
+  if (!r.RequireCluster("autoscale")) return Status::Ok();
+  ElasticState& state = StateOf(r);
+  if (args[0] == "off") {
+    if (!state.autoscaler) {
+      r.Fail("autoscale off: autoscaler is not running");
+      return Status::Ok();
+    }
+    state.autoscaler->Stop();
+    const auto& st = state.autoscaler->stats();
+    r.Note("autoscale off: " + std::to_string(st.scale_ups) + " up, " +
+           std::to_string(st.scale_downs) + " down, " +
+           std::to_string(st.ticks) + " ticks");
+    return Status::Ok();
+  }
+  if (args[0] != "on") {
+    return Status::InvalidArgument("autoscale on|off [key=value...]");
+  }
+  AutoscalerOptions opts;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string key, value;
+    if (!ScenarioRunner::KeyValue(args[i], key, value)) {
+      return Status::InvalidArgument("expected key=value, got " + args[i]);
+    }
+    if (key == "period" || key == "cooldown") {
+      auto d = ScenarioRunner::ParseDuration(value);
+      if (!d.ok()) return d.status();
+      (key == "period" ? opts.evaluate_period : opts.cooldown) = d.value();
+    } else if (key == "min" || key == "max" || key == "breach" ||
+               key == "commit_depth") {
+      auto n = ScenarioRunner::ParseInt(value);
+      if (!n.ok()) return n.status();
+      if (key == "min") opts.min_standbys = n.value();
+      else if (key == "max") opts.max_standbys = n.value();
+      else if (key == "breach") opts.breach_ticks = n.value();
+      else opts.commit_depth_up = static_cast<std::size_t>(n.value());
+    } else if (key == "capacity" || key == "up" || key == "down" ||
+               key == "park_bounce") {
+      auto x = ScenarioRunner::ParseDouble(value);
+      if (!x.ok()) return x.status();
+      if (key == "capacity") opts.reads_per_standby_capacity = x.value();
+      else if (key == "up") opts.scale_up_utilization = x.value();
+      else if (key == "down") opts.scale_down_utilization = x.value();
+      else opts.park_bounce_rate_up = x.value();
+    } else {
+      return Status::InvalidArgument("unknown autoscale option: " + key);
+    }
+  }
+  state.autoscaler = std::make_unique<Autoscaler>(*r.cluster(), opts);
+  state.autoscaler->Start();
+  r.Note("autoscale on: min=" + std::to_string(opts.min_standbys) +
+         " max=" + std::to_string(opts.max_standbys));
+  return Status::Ok();
+}
+
+Status CmdLoad(ScenarioRunner& r, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument(
+        "load open [key=value...] | load stop");
+  }
+  if (!r.RequireCluster("load")) return Status::Ok();
+  ElasticState& state = StateOf(r);
+  if (args[0] == "stop") {
+    if (!state.load) {
+      r.Fail("load stop: no load engine running");
+      return Status::Ok();
+    }
+    state.load->Stop();
+    r.Note("load stopped: " + std::to_string(state.load->completed()) +
+           " ok, " + std::to_string(state.load->failed()) + " failed");
+    return Status::Ok();
+  }
+  if (args[0] != "open") {
+    return Status::InvalidArgument("load open [key=value...] | load stop");
+  }
+
+  double rate = 500.0, flash_mult = 0.0, create_frac = 0.2, hot_weight = 8.0;
+  SimTime flash_start = 0, flash_len = 0, think = 0;
+  int dirs = 64, ops = 4;
+  int hot_group = -1;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string key, value;
+    if (!ScenarioRunner::KeyValue(args[i], key, value)) {
+      return Status::InvalidArgument("expected key=value, got " + args[i]);
+    }
+    if (key == "rate" || key == "flash_mult" || key == "create" ||
+        key == "hot_weight") {
+      auto x = ScenarioRunner::ParseDouble(value);
+      if (!x.ok()) return x.status();
+      if (key == "rate") rate = x.value();
+      else if (key == "flash_mult") flash_mult = x.value();
+      else if (key == "create") create_frac = x.value();
+      else hot_weight = x.value();
+    } else if (key == "flash_start" || key == "flash_len" || key == "think") {
+      auto d = ScenarioRunner::ParseDuration(value);
+      if (!d.ok()) return d.status();
+      if (key == "flash_start") flash_start = d.value();
+      else if (key == "flash_len") flash_len = d.value();
+      else think = d.value();
+    } else if (key == "dirs" || key == "ops" || key == "hot_group") {
+      auto n = ScenarioRunner::ParseInt(value);
+      if (!n.ok()) return n.status();
+      if (key == "dirs") dirs = n.value();
+      else if (key == "ops") ops = n.value();
+      else hot_group = n.value();
+    } else {
+      return Status::InvalidArgument("unknown load option: " + key);
+    }
+  }
+
+  workload::LoadEngineOptions opts;
+  opts.loop = workload::LoadEngineOptions::Loop::kOpen;
+  opts.arrival =
+      flash_mult > 1.0
+          ? workload::ArrivalCurve::FlashCrowd(
+                rate, ToSeconds(flash_start), ToSeconds(flash_len),
+                flash_mult)
+          : workload::ArrivalCurve::Constant(rate);
+  opts.ops_per_session = static_cast<std::uint32_t>(ops > 0 ? ops : 1);
+  opts.think_time = think;
+  opts.directories = dirs;
+  if (hot_group >= 0) {
+    // Skew arrivals toward one group: weight `hot_weight` for the hot
+    // group, 1 for everyone else, classified by the cluster's partitioner.
+    const auto groups = r.cluster()->config().groups;
+    opts.group_weights.assign(groups, 1.0);
+    if (hot_group < static_cast<int>(groups)) {
+      opts.group_weights[static_cast<std::size_t>(hot_group)] = hot_weight;
+    }
+    const fsns::HashPartitioner* part = &r.cluster()->partitioner();
+    opts.group_of = [part](const std::string& path) {
+      return part->OwnerOf(path);
+    };
+  }
+
+  workload::Mix mix;
+  mix.create = create_frac;
+  mix.getfileinfo = 1.0 - create_frac;
+
+  std::vector<workload::ClientApi> apis;
+  for (int c = 0; c < r.cluster()->client_count(); ++c) {
+    apis.push_back(workload::MakeApi(r.cluster()->client(c)));
+  }
+  state.load = std::make_unique<workload::LoadEngine>(
+      *r.simulator(), std::move(apis), mix, /*seed=*/42, opts);
+  state.load->Start();
+  r.Note("load open: rate=" + std::to_string(rate) +
+         (flash_mult > 1.0 ? " flash x" + std::to_string(flash_mult) : ""));
+  return Status::Ok();
+}
+
+Status CmdSlowDisk(ScenarioRunner& r, const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return Status::InvalidArgument("slow-disk <group> <member> <factor|off>");
+  }
+  if (!r.RequireCluster("slow-disk")) return Status::Ok();
+  auto g = ScenarioRunner::ParseInt(args[0]);
+  auto m = ScenarioRunner::ParseInt(args[1]);
+  if (!g.ok()) return g.status();
+  if (!m.ok()) return m.status();
+  double factor = 1.0;
+  if (args[2] != "off") {
+    auto x = ScenarioRunner::ParseDouble(args[2]);
+    if (!x.ok()) return x.status();
+    factor = x.value();
+  }
+  storage::PoolNode* pool = PoolOf(r, g.value(), m.value());
+  if (pool == nullptr) {
+    return Status::InvalidArgument("slow-disk: no such pool node");
+  }
+  pool->SetDiskSlowdown(factor);
+  r.Note("slow-disk " + pool->name() + " x" + std::to_string(factor));
+  return Status::Ok();
+}
+
+Status CmdAsymmetry(ScenarioRunner& r, const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return Status::InvalidArgument("asymmetry <group> <member> in|out|off");
+  }
+  if (!r.RequireCluster("asymmetry")) return Status::Ok();
+  auto g = ScenarioRunner::ParseInt(args[0]);
+  auto m = ScenarioRunner::ParseInt(args[1]);
+  if (!g.ok()) return g.status();
+  if (!m.ok()) return m.status();
+  auto& mds = r.cluster()->mds(static_cast<GroupId>(g.value()), m.value());
+  net::Network& net = r.cluster()->network();
+  if (args[2] == "out") {
+    net.SetSendUp(mds.id(), false);  // hears the world, cannot answer
+  } else if (args[2] == "in") {
+    net.SetRecvUp(mds.id(), false);
+  } else if (args[2] == "off") {
+    net.SetSendUp(mds.id(), true);
+    net.SetRecvUp(mds.id(), true);
+  } else {
+    return Status::InvalidArgument("asymmetry <group> <member> in|out|off");
+  }
+  r.Note("asymmetry " + mds.name() + " " + args[2]);
+  return Status::Ok();
+}
+
+Status CmdAddStandby(ScenarioRunner& r, const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("add-standby <group>");
+  if (!r.RequireCluster("add-standby")) return Status::Ok();
+  auto g = ScenarioRunner::ParseInt(args[0]);
+  if (!g.ok()) return g.status();
+  auto& added = r.cluster()->AddStandby(static_cast<GroupId>(g.value()));
+  r.Note("added " + added.name());
+  return Status::Ok();
+}
+
+Status CmdRemoveStandby(ScenarioRunner& r,
+                        const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return Status::InvalidArgument("remove-standby <group>");
+  }
+  if (!r.RequireCluster("remove-standby")) return Status::Ok();
+  auto g = ScenarioRunner::ParseInt(args[0]);
+  if (!g.ok()) return g.status();
+  Status s = r.cluster()->RemoveStandby(static_cast<GroupId>(g.value()));
+  if (!s.ok()) {
+    r.Fail("remove-standby: " + s.ToString());
+  } else {
+    r.Note("removed one standby from group " + args[0]);
+  }
+  return Status::Ok();
+}
+
+Status CmdPromote(ScenarioRunner& r, const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("promote <group>");
+  if (!r.RequireCluster("promote")) return Status::Ok();
+  auto g = ScenarioRunner::ParseInt(args[0]);
+  if (!g.ok()) return g.status();
+  Status s = r.cluster()->PromoteJunior(static_cast<GroupId>(g.value()));
+  if (!s.ok()) r.Fail("promote: " + s.ToString());
+  return Status::Ok();
+}
+
+Status CmdExpectStandbys(ScenarioRunner& r,
+                         const std::vector<std::string>& args) {
+  if (args.size() != 2 && args.size() != 3) {
+    return Status::InvalidArgument("expect-standbys <group> <min> [max]");
+  }
+  if (!r.RequireCluster("expect-standbys")) return Status::Ok();
+  auto g = ScenarioRunner::ParseInt(args[0]);
+  auto lo = ScenarioRunner::ParseInt(args[1]);
+  if (!g.ok()) return g.status();
+  if (!lo.ok()) return lo.status();
+  int hi = lo.value();
+  if (args.size() == 3) {
+    auto x = ScenarioRunner::ParseInt(args[2]);
+    if (!x.ok()) return x.status();
+    hi = x.value();
+  }
+  const auto group = static_cast<GroupId>(g.value());
+  const bool ok = r.PumpUntil([&r, group, lo = lo.value(), hi] {
+    const int n = r.cluster()->CountRole(group, ServerState::kStandby);
+    return n >= lo && n <= hi;
+  });
+  if (!ok) {
+    r.Fail("expect-standbys: group " + args[0] + " has " +
+           std::to_string(r.cluster()->CountRole(group,
+                                                 ServerState::kStandby)) +
+           " standbys, wanted [" + std::to_string(lo.value()) + ", " +
+           std::to_string(hi) + "]");
+  }
+  return Status::Ok();
+}
+
+Status CmdExpectMetric(ScenarioRunner& r,
+                       const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return Status::InvalidArgument("expect-metric <name> <op> <value>");
+  }
+  if (!r.RequireCluster("expect-metric")) return Status::Ok();
+  const std::string& name = args[0];
+  const std::string& op = args[1];
+  auto want = ScenarioRunner::ParseDouble(args[2]);
+  if (!want.ok()) return want.status();
+
+  // Resolve: counter, gauge, or histogram with a .p50/.p90/.p99/.mean/
+  // .count suffix. Resolution failure is an expectation failure, not a
+  // parse error — a scenario may legitimately probe a metric that was
+  // never touched.
+  const auto& metrics = r.simulator()->obs().metrics();
+  double have = 0;
+  bool found = false;
+  if (const auto it = metrics.counters().find(name);
+      it != metrics.counters().end()) {
+    have = static_cast<double>(it->second.value);
+    found = true;
+  } else if (const auto git = metrics.gauges().find(name);
+             git != metrics.gauges().end()) {
+    have = static_cast<double>(git->second.value);
+    found = true;
+  } else if (const auto dot = name.rfind('.'); dot != std::string::npos) {
+    const std::string base = name.substr(0, dot);
+    const std::string stat = name.substr(dot + 1);
+    if (const auto hit = metrics.histograms().find(base);
+        hit != metrics.histograms().end()) {
+      const obs::Histogram& h = hit->second;
+      found = true;
+      if (stat == "p50") have = static_cast<double>(h.Quantile(0.50));
+      else if (stat == "p90") have = static_cast<double>(h.Quantile(0.90));
+      else if (stat == "p99") have = static_cast<double>(h.Quantile(0.99));
+      else if (stat == "mean") have = h.Mean();
+      else if (stat == "count") have = static_cast<double>(h.count());
+      else found = false;
+    }
+  }
+  if (!found) {
+    r.Fail("expect-metric: no metric named " + name);
+    return Status::Ok();
+  }
+
+  bool ok;
+  if (op == "==") ok = have == want.value();
+  else if (op == ">=") ok = have >= want.value();
+  else if (op == "<=") ok = have <= want.value();
+  else if (op == ">") ok = have > want.value();
+  else if (op == "<") ok = have < want.value();
+  else return Status::InvalidArgument("expect-metric op must be == >= <= > <");
+  if (!ok) {
+    r.Fail("expect-metric: " + name + " = " + std::to_string(have) +
+           ", wanted " + op + " " + args[2]);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RegisterElasticCommands(ScenarioRunner& runner) {
+  struct Entry {
+    const char* name;
+    const char* usage;
+    const char* help;
+    Status (*fn)(ScenarioRunner&, const std::vector<std::string>&);
+  };
+  const Entry entries[] = {
+      {"autoscale",
+       "autoscale on|off [period=500ms] [min=N] [max=N] [capacity=R] "
+       "[up=U] [down=U] [breach=N] [cooldown=D] [park_bounce=R] "
+       "[commit_depth=N]",
+       "Starts or stops the elastic standby controller on the cluster.",
+       CmdAutoscale},
+      {"load",
+       "load open [rate=R] [flash_mult=M] [flash_start=D] [flash_len=D] "
+       "[create=F] [think=D] [dirs=N] [ops=N] [hot_group=G] [hot_weight=W] "
+       "| load stop",
+       "Runs open-loop session load against the cluster; flash_* shapes a "
+       "flash crowd, hot_group skews arrivals onto one group.",
+       CmdLoad},
+      {"slow-disk", "slow-disk <group> <member> <factor|off>",
+       "Gray failure: multiplies the co-hosted pool node's disk time.",
+       CmdSlowDisk},
+      {"asymmetry", "asymmetry <group> <member> in|out|off",
+       "Directional link failure: kill only the member's receive half "
+       "(in), its transmit half (out), or restore both (off).",
+       CmdAsymmetry},
+      {"add-standby", "add-standby <group>",
+       "Grows the group by one standby via the membership API.",
+       CmdAddStandby},
+      {"remove-standby", "remove-standby <group>",
+       "Retires one drained standby via the membership API.",
+       CmdRemoveStandby},
+      {"promote", "promote <group>",
+       "Nudges the active to renew a junior into a standby now.",
+       CmdPromote},
+      {"expect-standbys", "expect-standbys <group> <min> [max]",
+       "Waits until the group's alive standby count is within [min, max].",
+       CmdExpectStandbys},
+      {"expect-metric", "expect-metric <name> <op> <value>",
+       "Asserts on a counter, gauge, or histogram stat "
+       "(name.p50/.p90/.p99/.mean/.count); ops: == >= <= > <.",
+       CmdExpectMetric},
+  };
+  for (const Entry& e : entries) {
+    Status s = runner.RegisterCommand(
+        {e.name, e.usage, e.help,
+         [&runner, fn = e.fn](const std::vector<std::string>& args) {
+           return fn(runner, args);
+         }});
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+}  // namespace mams::cluster

@@ -214,6 +214,18 @@ void MdsServer::OnStartRetry(ServerState initial) {
   OnStart();
 }
 
+void MdsServer::Retire() {
+  if (!alive()) return;
+  obs_->tracer().Instant("mds", "retire", id(), options_.group);
+  FlushParkedReads("retiring");
+  // Annotate the view before dying so peers and clients stop routing here
+  // immediately; the session-expiry sweep would say the same thing 5 s
+  // later. Fire-and-forget: the reply has nowhere to land after Crash().
+  coord_client_->SetState(options_.group, id(), ServerState::kDown,
+                          /*fence=*/0, [](Result<coord::GroupView>) {});
+  Crash();
+}
+
 void MdsServer::OnCrash() {
   net::Host::OnCrash();
   // Close whatever spans the dead incarnation left open so the timeline

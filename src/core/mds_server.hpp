@@ -74,6 +74,36 @@ class MdsServer : public net::Host {
   /// acquires the group lock before serving.
   void Start(ServerState initial_role);
 
+  /// Elastic scale-down: takes this server out of service cleanly. Parked
+  /// reads are bounced first (clients retry elsewhere immediately instead
+  /// of timing out), the coordination view is annotated kDown right away
+  /// (no 5 s session-expiry lag), then the process stops. Safety-wise a
+  /// retirement is indistinguishable from a tolerated crash; rejoining
+  /// later rides Restart() -> junior -> renewing, the same catch-up path
+  /// as any other admission.
+  void Retire();
+
+  /// Elastic scale-up nudge: runs the renewing-protocol scan immediately
+  /// instead of waiting for the periodic timer — the autoscaler calls this
+  /// right after admitting a junior so promotion latency is one RPC round,
+  /// not one scan period. No-op unless this server is the active.
+  void KickRenewScan() {
+    if (role_ == ServerState::kActive) RenewScan();
+  }
+
+  /// Reads currently parked on this standby waiting for a journal batch
+  /// (the autoscaler's "drained" criterion for demotion candidates).
+  std::size_t parked_read_count() const noexcept {
+    return parked_reads_.size();
+  }
+
+  /// Instantaneous commit-path backlog: syncs in flight plus sealed
+  /// batches deferred past the pipeline window. One of the autoscaler's
+  /// pressure signals (nonzero only on an active).
+  std::size_t commit_queue_depth() const noexcept {
+    return pending_sync_.size() + deferred_batches_.size();
+  }
+
   // --- observability -----------------------------------------------------
   ServerState role() const noexcept { return role_; }
   SerialNumber last_sn() const noexcept { return last_sn_; }

@@ -62,6 +62,25 @@ class FaultInjector {
     net_.Heal(a, b);
   }
 
+  /// Directional gray failure: kill only the transmit half of `node`'s
+  /// link (it hears the world but cannot answer) or only the receive half
+  /// (it talks into the void). HealEverything restores both halves.
+  void CutOutbound(NodeId node) {
+    directional_.insert(node);
+    net_.SetSendUp(node, false);
+  }
+
+  void CutInbound(NodeId node) {
+    directional_.insert(node);
+    net_.SetRecvUp(node, false);
+  }
+
+  void RestoreDirections(NodeId node) {
+    directional_.erase(node);
+    net_.SetSendUp(node, true);
+    net_.SetRecvUp(node, true);
+  }
+
   // --- timing faults --------------------------------------------------------
 
   /// Raises delivery jitter by `extra` for `duration` (a congested-switch
@@ -103,6 +122,11 @@ class FaultInjector {
     }
     for (const auto& [a, b] : pairs_) net_.Heal(a, b);
     pairs_.clear();
+    for (NodeId node : directional_) {
+      net_.SetSendUp(node, true);
+      net_.SetRecvUp(node, true);
+    }
+    directional_.clear();
     ++jitter_epoch_;
     net_.set_extra_jitter(0);
   }
@@ -117,6 +141,7 @@ class FaultInjector {
   Network& net_;
   std::map<NodeId, std::uint64_t> cut_epoch_;
   std::set<std::pair<NodeId, NodeId>> pairs_;
+  std::set<NodeId> directional_;
   std::uint64_t jitter_epoch_ = 0;
 };
 

@@ -12,6 +12,10 @@
 //     paper): the node keeps running but every message to or from it is
 //     dropped, including ones already in flight.
 //   * Partition(a, b)        — block a specific pair both ways.
+//   * SetSendUp / SetRecvUp  — directional gray failure: one half of a
+//     node's duplex link dies (a failing transceiver, a one-way firewall
+//     rule). The node can still hear the world but not answer, or vice
+//     versa — the asymmetry the failure detectors must not be fooled by.
 //
 // Deliverability is checked both at send time and delivery time, so a wire
 // pulled while a message is in flight loses that message, exactly like a
@@ -61,6 +65,8 @@ class Network {
   NodeId Attach(Endpoint* endpoint) {
     endpoints_.push_back(endpoint);
     link_up_.push_back(true);
+    send_up_.push_back(true);
+    recv_up_.push_back(true);
     return static_cast<NodeId>(endpoints_.size() - 1);
   }
 
@@ -105,6 +111,14 @@ class Network {
   void Heal(NodeId a, NodeId b) { partitioned_.erase(Key(a, b)); }
   void HealAll() { partitioned_.clear(); }
 
+  /// Directional faults: kill only the transmit (or receive) half of a
+  /// node's link. Loopback traffic is unaffected (it never leaves the
+  /// host). Checked at send and delivery time like every other fault.
+  void SetSendUp(NodeId node, bool up) { send_up_[node] = up; }
+  void SetRecvUp(NodeId node, bool up) { recv_up_[node] = up; }
+  bool SendUp(NodeId node) const { return send_up_[node]; }
+  bool RecvUp(NodeId node) const { return recv_up_[node]; }
+
   /// Additional queueing noise applied on top of LinkParams::jitter to
   /// every non-loopback message until reset to 0 — a clock-independent
   /// delivery-jitter fault (congested switch), injected by net::FaultInjector.
@@ -115,7 +129,8 @@ class Network {
 
   bool Connected(NodeId a, NodeId b) const {
     if (a == b) return link_up_[a];
-    return link_up_[a] && link_up_[b] && !partitioned_.contains(Key(a, b));
+    return link_up_[a] && link_up_[b] && send_up_[a] && recv_up_[b] &&
+           !partitioned_.contains(Key(a, b));
   }
 
   struct Stats {
@@ -175,6 +190,8 @@ class Network {
   Rng rng_;
   std::vector<Endpoint*> endpoints_;
   std::vector<bool> link_up_;
+  std::vector<bool> send_up_;
+  std::vector<bool> recv_up_;
   std::set<std::uint64_t> partitioned_;
   Stats stats_;
   std::unordered_map<MsgType, PerType> per_type_;

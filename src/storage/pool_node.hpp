@@ -28,6 +28,15 @@ class PoolNode : public net::Host {
   FileStore& store() noexcept { return store_; }
   const FileStore& store() const noexcept { return store_; }
 
+  /// Gray-failure injection: multiplies every disk charge by `factor`
+  /// (>= 1). The node stays up and keeps answering — just pathologically
+  /// slowly, the failure mode crash detectors never see. 1 restores the
+  /// healthy disk.
+  void SetDiskSlowdown(double factor) noexcept {
+    slowdown_ = factor < 1.0 ? 1.0 : factor;
+  }
+  double disk_slowdown() const noexcept { return slowdown_; }
+
  private:
   void RegisterHandlers() {
     OnRequest(net::kSspWrite, [this](const net::Envelope&,
@@ -91,14 +100,17 @@ class PoolNode : public net::Host {
 
   /// Charges disk time, serializing through a single-arm busy cursor.
   void WithDisk(SimTime cost, std::function<void()> done) {
+    const SimTime charged =
+        static_cast<SimTime>(static_cast<double>(cost) * slowdown_);
     const SimTime start = std::max(sim().Now(), disk_free_at_);
-    disk_free_at_ = start + cost;
+    disk_free_at_ = start + charged;
     AfterLocal(disk_free_at_ - sim().Now(), std::move(done));
   }
 
   DiskModel disk_;
   FileStore store_;
   SimTime disk_free_at_ = 0;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace mams::storage

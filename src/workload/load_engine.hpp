@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -57,6 +58,14 @@ struct LoadEngineOptions {
   int directories = 64;               ///< namespace fan-out for generated paths
   std::uint32_t files_per_dir = 0;    ///< preloaded read targets per directory
   std::string root = "/bench";
+
+  /// Per-group arrival skew. When non-empty, each op first draws a target
+  /// group from these (relative) weights, then picks a directory owned by
+  /// that group — so a flash crowd can slam group 0 while group 1 idles,
+  /// which is exactly the asymmetry an elastic fleet must react to.
+  /// Requires `group_of` to classify a directory path to its owner group.
+  std::vector<double> group_weights;
+  std::function<GroupId(const std::string&)> group_of;
 };
 
 class LoadEngine {
@@ -331,7 +340,49 @@ class LoadEngine {
   }
 
   std::string Dir() {
-    return options_.root + "/d" + std::to_string(picker_.Sample(rng_));
+    if (options_.group_weights.empty() || !options_.group_of) {
+      return options_.root + "/d" + std::to_string(picker_.Sample(rng_));
+    }
+    BuildGroupBuckets();
+    // Draw the group by weight, then a directory it owns; the popularity
+    // picker still shapes which of the group's directories is hot.
+    double total = 0;
+    for (std::size_t g = 0; g < group_dirs_.size(); ++g) {
+      if (!group_dirs_[g].empty()) total += WeightOf(g);
+    }
+    if (total <= 0) {
+      return options_.root + "/d" + std::to_string(picker_.Sample(rng_));
+    }
+    double roll = rng_.Uniform() * total;
+    std::size_t chosen = 0;
+    for (std::size_t g = 0; g < group_dirs_.size(); ++g) {
+      if (group_dirs_[g].empty()) continue;
+      roll -= WeightOf(g);
+      chosen = g;
+      if (roll <= 0) break;
+    }
+    const auto& bucket = group_dirs_[chosen];
+    const std::uint32_t d = bucket[picker_.Sample(rng_) % bucket.size()];
+    return options_.root + "/d" + std::to_string(d);
+  }
+
+  double WeightOf(std::size_t g) const {
+    return g < options_.group_weights.size() ? options_.group_weights[g] : 0.0;
+  }
+
+  /// Classifies the directory fan-out by owner group once, lazily: buckets
+  /// depend only on root/directories/group_of, all fixed after construction.
+  void BuildGroupBuckets() {
+    if (!group_dirs_.empty()) return;
+    for (std::uint32_t d = 0;
+         d < static_cast<std::uint32_t>(
+                 options_.directories > 0 ? options_.directories : 1);
+         ++d) {
+      const GroupId g =
+          options_.group_of(options_.root + "/d" + std::to_string(d));
+      if (group_dirs_.size() <= g) group_dirs_.resize(g + 1);
+      group_dirs_[g].push_back(d);
+    }
   }
 
   /// A path in the known file population: the preloaded fN set when one
@@ -377,6 +428,7 @@ class LoadEngine {
   std::vector<std::unique_ptr<OpStream>> streams_;
 
   // open loop
+  std::vector<std::vector<std::uint32_t>> group_dirs_;  ///< skew buckets
   std::vector<Session> sessions_;
   std::vector<std::uint32_t> free_;
   sim::EventHandle arrival_;

@@ -1,0 +1,251 @@
+// Tests for cluster::Autoscaler — the elastic-standby controller — plus
+// a seed sweep of the checker's `elastic` shaping, so elastic membership
+// is exercised under the full fault palette with linearizability checked.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.hpp"
+#include "cluster/autoscaler.hpp"
+#include "net/network.hpp"
+#include "workload/client_api.hpp"
+#include "workload/load_engine.hpp"
+
+namespace mams::cluster {
+namespace {
+
+constexpr int kDirs = 8;
+constexpr int kFilesPerDir = 4;
+
+/// A one-group cluster with standby read offload on and a preloaded file
+/// population, ready for a read-heavy load engine.
+struct World {
+  sim::Simulator sim;
+  net::Network net;
+  std::unique_ptr<CfsCluster> cfs;
+  std::vector<std::string> paths;
+
+  World(std::uint64_t seed, int standbys, int juniors)
+      : sim(seed), net(sim) {
+    CfsConfig cfg;
+    cfg.groups = 1;
+    cfg.standbys_per_group = standbys;
+    cfg.juniors_per_group = juniors;
+    cfg.clients = 2;
+    cfg.data_servers = 2;
+    cfg.mds.standby_reads.serve_reads = true;
+    cfg.client.read_routing = ReadRouting::kRoundRobinStandby;
+    cfs = std::make_unique<CfsCluster>(net, cfg);
+    cfs->Start();
+    sim.RunUntil(sim.Now() + 2 * kSecond);
+    for (int d = 0; d < kDirs; ++d) {
+      for (int f = 0; f < kFilesPerDir; ++f) {
+        paths.push_back("/bench/d" + std::to_string(d) + "/f" +
+                        std::to_string(f));
+      }
+    }
+    cfs->PreloadGroup(0, [this](fsns::Tree& tree) {
+      for (const auto& p : paths) {
+        ClientOpId none{};
+        (void)tree.Create(p, 3, 0, none);
+      }
+    });
+  }
+
+  /// Closed-loop pure-stat load over both clients.
+  std::unique_ptr<workload::LoadEngine> StatLoad(int sessions) {
+    workload::Mix mix;
+    mix.getfileinfo = 1.0;
+    workload::LoadEngineOptions opts;
+    opts.loop = workload::LoadEngineOptions::Loop::kClosed;
+    opts.sessions = sessions;
+    opts.seed_files = &paths;
+    std::vector<workload::ClientApi> apis;
+    apis.push_back(workload::MakeApi(cfs->client(0)));
+    apis.push_back(workload::MakeApi(cfs->client(1)));
+    auto engine = std::make_unique<workload::LoadEngine>(
+        sim, std::move(apis), mix, 99, opts);
+    engine->Start();
+    return engine;
+  }
+
+  void CreateSync(const std::string& path) {
+    bool done = false;
+    cfs->client(0).Create(path, [&done](Status) { done = true; });
+    const SimTime deadline = sim.Now() + 30 * kSecond;
+    while (!done && sim.Now() < deadline) {
+      sim.RunUntil(sim.Now() + 10 * kMillisecond);
+    }
+    ASSERT_TRUE(done);
+  }
+
+  /// Advances one evaluation period of virtual time, then ticks `scaler`
+  /// once — the deterministic stand-in for the timer loop.
+  void Tick(Autoscaler& scaler) {
+    sim.RunUntil(sim.Now() + scaler.options().evaluate_period);
+    scaler.TickNow();
+  }
+};
+
+TEST(AutoscalerTest, ScaleUpOnThresholdBreach) {
+  World w(1, /*standbys=*/1, /*juniors=*/1);
+  AutoscalerOptions opts;
+  opts.evaluate_period = 250 * kMillisecond;
+  opts.min_standbys = 1;
+  opts.max_standbys = 3;
+  opts.reads_per_standby_capacity = 50.0;  // any real load breaches
+  opts.breach_ticks = 2;
+  opts.cooldown = 500 * kMillisecond;
+  Autoscaler scaler(*w.cfs, opts);
+  scaler.Start();
+
+  auto load = w.StatLoad(8);
+  w.sim.RunUntil(w.sim.Now() + 6 * kSecond);
+  load->Stop();
+  scaler.Stop();
+
+  EXPECT_GE(scaler.stats().scale_ups, 1u);
+  // The junior went through renewing and is a serving standby now.
+  EXPECT_GE(w.cfs->CountRole(0, ServerState::kStandby), 2);
+  EXPECT_GT(scaler.utilization(0), 0.0);
+}
+
+TEST(AutoscalerTest, HysteresisDampsShortSpikeAndCooldownBlocksFlap) {
+  // No boot-time junior: the active's renew scan auto-promotes juniors
+  // regardless of the controller, which would mask what this test pins
+  // down — that membership only changes when the *controller* decides.
+  World w(2, /*standbys=*/1, /*juniors=*/0);
+  AutoscalerOptions opts;
+  opts.evaluate_period = 250 * kMillisecond;
+  opts.min_standbys = 1;
+  opts.max_standbys = 3;
+  opts.reads_per_standby_capacity = 400.0;
+  opts.breach_ticks = 3;
+  opts.cooldown = 60 * kSecond;  // effectively: one action per test
+  Autoscaler scaler(*w.cfs, opts);
+
+  // A two-tick spike is shorter than breach_ticks: no action.
+  auto spike = w.StatLoad(8);
+  w.Tick(scaler);  // baseline
+  w.Tick(scaler);  // breach 1
+  w.Tick(scaler);  // breach 2
+  spike->Stop();
+  w.Tick(scaler);  // pressure gone -> breach counter resets
+  w.Tick(scaler);
+  EXPECT_EQ(scaler.stats().scale_ups, 0u);
+  EXPECT_EQ(w.cfs->CountRole(0, ServerState::kStandby), 1);
+
+  // Sustained pressure scales up exactly once...
+  auto load = w.StatLoad(8);
+  for (int i = 0; i < 5; ++i) w.Tick(scaler);
+  EXPECT_EQ(scaler.stats().scale_ups, 1u);
+
+  // ...and the idle period right after stays inside the cooldown, so the
+  // controller must not flap the new capacity straight back down.
+  load->Stop();
+  w.sim.RunUntil(w.sim.Now() + 3 * kSecond);  // junior finishes renewing
+  for (int i = 0; i < 6; ++i) w.Tick(scaler);
+  EXPECT_EQ(scaler.stats().scale_downs, 0u);
+  EXPECT_GE(scaler.stats().skipped_cooldown, 1u);
+}
+
+TEST(AutoscalerTest, DemoteOnlyWhenDrainedAndNeverTheActive) {
+  World w(3, /*standbys=*/2, /*juniors=*/0);
+  core::MdsServer* active = w.cfs->FindActive(0);
+  ASSERT_NE(active, nullptr);
+
+  // A converged group: any standby is demotable, the active never is.
+  core::MdsServer* pick = w.cfs->PickDemotable(0);
+  ASSERT_NE(pick, nullptr);
+  EXPECT_NE(pick, active);
+  EXPECT_EQ(pick->role(), ServerState::kStandby);
+
+  // Naming the active explicitly must refuse, not retire it.
+  EXPECT_FALSE(w.cfs->RemoveStandby(0, active->id()).ok());
+  EXPECT_TRUE(active->alive());
+  EXPECT_EQ(w.cfs->CountRole(0, ServerState::kStandby), 2);
+
+  // Cut one standby's cable and commit writes past it: the lagging
+  // replica must not be demoted (retiring it would be harmless, but the
+  // policy is to shed only fully caught-up capacity).
+  const auto members = w.cfs->Members(0);
+  core::MdsServer* lagging = nullptr;
+  for (const auto& m : members) {
+    if (m.role == ServerState::kStandby) {
+      lagging = m.server;
+      break;
+    }
+  }
+  ASSERT_NE(lagging, nullptr);
+  w.net.SetLinkUp(lagging->id(), false);
+  w.CreateSync("/after/cut1");
+  w.CreateSync("/after/cut2");
+  pick = w.cfs->PickDemotable(0);
+  ASSERT_NE(pick, nullptr);
+  EXPECT_NE(pick->id(), lagging->id());
+  w.net.SetLinkUp(lagging->id(), true);
+}
+
+TEST(AutoscalerTest, NoMembershipActionDuringViewChange) {
+  World w(4, /*standbys=*/1, /*juniors=*/1);
+  AutoscalerOptions opts;
+  opts.evaluate_period = 250 * kMillisecond;
+  opts.reads_per_standby_capacity = 50.0;
+  opts.breach_ticks = 1;  // would act on the first breach
+  opts.cooldown = 0;
+  Autoscaler scaler(*w.cfs, opts);
+
+  auto load = w.StatLoad(8);
+  w.Tick(scaler);  // baseline under load
+
+  core::MdsServer* active = w.cfs->FindActive(0);
+  ASSERT_NE(active, nullptr);
+  active->Crash();
+  ASSERT_EQ(w.cfs->FindActive(0), nullptr);
+
+  // Mid-failover ticks: pressure is screaming, but the controller must
+  // sit on its hands until a new active settles.
+  const std::uint64_t before = scaler.stats().skipped_no_active;
+  w.Tick(scaler);
+  w.Tick(scaler);
+  EXPECT_GE(scaler.stats().skipped_no_active, before + 2);
+  EXPECT_EQ(scaler.stats().scale_ups, 0u);
+  EXPECT_EQ(scaler.stats().scale_downs, 0u);
+
+  // The group recovers on its own; elasticity resumes afterwards.
+  load->Stop();
+  w.sim.RunUntil(w.sim.Now() + 15 * kSecond);
+  EXPECT_NE(w.cfs->FindActive(0), nullptr);
+}
+
+// The checker's elastic shaping end to end: an aggressive autoscaler
+// interleaves junior promotion, member admission, and standby retirement
+// with the random fault schedule, and every seed must stay linearizable
+// and divergence-free.
+TEST(AutoscalerSweepTest, ElasticProfileFifteenSeedsClean) {
+  check::FuzzProfile profile;
+  profile.clients = 4;
+  profile.ops_per_client = 25;
+  profile.standby_reads = true;
+  profile.autoscale = true;
+  profile.hot_clients = true;
+  profile.mix.create = 0.20;
+  profile.mix.remove = 0.05;
+  profile.mix.getfileinfo = 0.55;
+  profile.mix.listdir = 0.20;
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const check::RunSpec spec = check::MakeSpec(seed, profile);
+    const check::RunResult result = check::RunSpecOnce(spec);
+    EXPECT_FALSE(result.violated()) << "seed " << seed << ": "
+                                    << result.violations.size()
+                                    << " violations, first: "
+                                    << (result.violations.empty()
+                                            ? ""
+                                            : result.violations[0].detail);
+  }
+}
+
+}  // namespace
+}  // namespace mams::cluster

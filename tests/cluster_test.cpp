@@ -289,7 +289,7 @@ TEST_F(ClusterTest, DynamicBackupAdditionAtRuntime) {
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE(CreateFile("/d/f" + std::to_string(i)).ok());
   }
-  auto& added = cluster_->AddBackupNode(0);
+  auto& added = cluster_->AddStandby(0);
   Run(20 * kSecond);
   EXPECT_EQ(added.role(), ServerState::kStandby);
   EXPECT_EQ(added.tree().Fingerprint(),

@@ -80,7 +80,7 @@ TEST_F(CoreTest, JuniorUsesImageWhenLagIsLarge) {
   Run(5 * kSecond);  // checkpoint happens
 
   // A brand-new backup starts from sn 0 -> image-first renewal.
-  auto& added = cfs_->AddBackupNode(0);
+  auto& added = cfs_->AddStandby(0);
   Run(30 * kSecond);
   EXPECT_EQ(added.role(), ServerState::kStandby);
   EXPECT_EQ(added.tree().Fingerprint(),

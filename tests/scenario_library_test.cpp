@@ -1,0 +1,56 @@
+// One test per named scenario (src/cluster/scenario_library.cpp) at a
+// fixed seed — the PR-gate half of the scenario sweep; the nightly runs
+// the same library across many seeds via examples/scenario_runner --all.
+#include <gtest/gtest.h>
+
+#include "cluster/scenario_library.hpp"
+
+namespace mams::cluster {
+namespace {
+
+void RunScenario(const std::string& name, std::uint64_t seed) {
+  std::vector<std::string> failures;
+  const Status s = RunNamedScenario(name, seed, /*options=*/{}, &failures);
+  EXPECT_TRUE(s.ok()) << name << " seed " << seed << ": " << s.ToString();
+  for (const auto& f : failures) ADD_FAILURE() << name << ": " << f;
+}
+
+TEST(ScenarioLibraryTest, LibraryIsCompleteAndFindable) {
+  EXPECT_EQ(ScenarioLibrary().size(), 5u);
+  for (const auto& s : ScenarioLibrary()) {
+    EXPECT_EQ(FindScenario(s.name), &s);
+    EXPECT_FALSE(s.title.empty());
+    // Every script is seed-parameterized and self-checking.
+    EXPECT_NE(s.script.find("$SEED"), std::string::npos) << s.name;
+    EXPECT_NE(s.script.find("expect-probes-clean"), std::string::npos)
+        << s.name;
+  }
+  EXPECT_EQ(FindScenario("no_such_scenario"), nullptr);
+}
+
+TEST(ScenarioLibraryTest, InstantiateSubstitutesEverySeedToken) {
+  const NamedScenario* s = FindScenario("flash_crowd");
+  ASSERT_NE(s, nullptr);
+  const std::string script = InstantiateScenario(*s, 1234);
+  EXPECT_EQ(script.find("$SEED"), std::string::npos);
+  EXPECT_NE(script.find("seed=1234"), std::string::npos);
+}
+
+TEST(ScenarioLibraryTest, FlashCrowd) { RunScenario("flash_crowd", 3); }
+
+TEST(ScenarioLibraryTest, RollingUpgrade) { RunScenario("rolling_upgrade", 3); }
+
+TEST(ScenarioLibraryTest, RackFailure) { RunScenario("rack_failure", 3); }
+
+TEST(ScenarioLibraryTest, SlowDisk) { RunScenario("slow_disk", 3); }
+
+TEST(ScenarioLibraryTest, Asymmetry) { RunScenario("asymmetry", 3); }
+
+TEST(ScenarioLibraryTest, UnknownScenarioNamesTheLibrary) {
+  const Status s = RunNamedScenario("flash_mob", 1, {}, nullptr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("flash_crowd"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mams::cluster

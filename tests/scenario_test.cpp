@@ -115,6 +115,97 @@ expect-exists /x
   EXPECT_TRUE(s.ok()) << s.ToString();
 }
 
+TEST(ScenarioRegistryTest, UnknownCommandSuggestsNearestName) {
+  ScenarioRunner runner;
+  Status s = runner.Run("cluster groups=1 standbys=1\ncraete /x\n");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("did you mean"), std::string::npos);
+  EXPECT_NE(s.message().find("create"), std::string::npos);
+}
+
+TEST(ScenarioRegistryTest, HelpListsCommandsAndExplainsOne) {
+  ScenarioRunner runner;
+  EXPECT_TRUE(runner.Run("help\n").ok());
+  EXPECT_TRUE(runner.Run("help crash-active\n").ok());
+  // help for an unknown command is an error, with the same suggestion.
+  Status s = runner.Run("help crash-actve\n");
+  ASSERT_FALSE(s.ok());
+}
+
+TEST(ScenarioRegistryTest, DuplicateRegistrationRejected) {
+  ScenarioRunner runner;
+  ASSERT_TRUE(runner.HasCommand("create"));
+  Status s = runner.RegisterCommand(
+      {"create", "create <path>", "dup",
+       [](const std::vector<std::string>&) { return Status::Ok(); }});
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ScenarioRegistryTest, CommandPackRegistersAndRuns) {
+  ScenarioRunner runner;
+  int hits = 0;
+  ASSERT_TRUE(runner
+                  .RegisterCommand({"touch-counter", "touch-counter",
+                                    "test-pack command",
+                                    [&hits](const std::vector<std::string>&) {
+                                      ++hits;
+                                      return Status::Ok();
+                                    }})
+                  .ok());
+  EXPECT_TRUE(runner.Run("touch-counter\ntouch-counter\n").ok());
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(ScenarioElasticPackTest, ExpectMetricReadsRegistryValues) {
+  ScenarioRunner runner;
+  ASSERT_TRUE(RegisterElasticCommands(runner).ok());
+  Status s = runner.Run(R"(
+cluster groups=1 standbys=1 seed=23
+run 500ms
+create /m/f
+expect-metric mds.ops_served >= 1
+)");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  // An unsatisfied comparison is an expectation failure, not a parse error.
+  ScenarioRunner runner2;
+  ASSERT_TRUE(RegisterElasticCommands(runner2).ok());
+  s = runner2.Run(R"(
+cluster groups=1 standbys=1 seed=23
+run 500ms
+expect-metric mds.ops_served >= 1000000
+)");
+  ASSERT_FALSE(s.ok());
+  EXPECT_FALSE(runner2.failures().empty());
+}
+
+TEST(ScenarioElasticPackTest, ExpectStandbysWaitsForMembership) {
+  ScenarioRunner runner;
+  ASSERT_TRUE(RegisterElasticCommands(runner).ok());
+  Status s = runner.Run(R"(
+cluster groups=1 standbys=1 seed=29
+run 1s
+expect-standbys 0 1 1
+add-standby 0
+expect-standbys 0 2
+expect-converged 0
+remove-standby 0
+expect-standbys 0 1 1
+)");
+  EXPECT_TRUE(s.ok()) << s.ToString();
+
+  // Promoting when no junior exists is an expectation failure, reported
+  // through the normal failure channel rather than aborting the script.
+  ScenarioRunner runner2;
+  ASSERT_TRUE(RegisterElasticCommands(runner2).ok());
+  s = runner2.Run(R"(
+cluster groups=1 standbys=1 seed=31
+run 500ms
+promote 0
+)");
+  ASSERT_FALSE(s.ok());
+  EXPECT_FALSE(runner2.failures().empty());
+}
+
 TEST(ScenarioTest, AddBackupScenario) {
   ScenarioRunner runner;
   Status s = runner.Run(R"(

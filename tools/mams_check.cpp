@@ -63,17 +63,19 @@ void Usage() {
       "  --clients N        fuzz clients per run (default 2)\n"
       "  --ops N            ops per client (default 40)\n"
       "  --faults N         faults per run (default 5)\n"
-      "  --profile P        default|renames|migrations|apply_race|cache —\n"
-      "                     renames is rename/delete-heavy (resolve-cache\n"
-      "                     pressure); migrations runs two replica groups\n"
-      "                     with live shard migrations and cross-group\n"
-      "                     renames; apply_race points all clients at one\n"
-      "                     shared tree with a widened batch window so\n"
-      "                     batches carry intra-batch dependencies\n"
-      "                     (parallel-apply planner pressure); cache turns\n"
-      "                     on the lease-protected client cache with a\n"
-      "                     mutation-heavy shared tree so grants and\n"
-      "                     revocations constantly interleave\n"
+      "  --profile P        default|renames|migrations|apply_race|cache|\n"
+      "                     elastic — renames is rename/delete-heavy\n"
+      "                     (resolve-cache pressure); migrations runs two\n"
+      "                     replica groups with live shard migrations and\n"
+      "                     cross-group renames; apply_race points all\n"
+      "                     clients at one shared tree with a widened\n"
+      "                     batch window so batches carry intra-batch\n"
+      "                     dependencies (parallel-apply planner\n"
+      "                     pressure); cache turns on the lease-protected\n"
+      "                     client cache with a mutation-heavy shared\n"
+      "                     tree; elastic runs an aggressive autoscaler\n"
+      "                     (with standby reads) so membership changes\n"
+      "                     interleave with the fault schedule\n"
       "  --no-shrink        skip schedule shrinking on violation\n"
       "  --shrink-runs N    shrink rerun budget (default 200)\n"
       "  --out-dir DIR      where .repro files go (default .)\n"
@@ -115,7 +117,7 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->profile = value();
       if (args->profile != "default" && args->profile != "renames" &&
           args->profile != "migrations" && args->profile != "apply_race" &&
-          args->profile != "cache") {
+          args->profile != "cache" && args->profile != "elastic") {
         std::fprintf(stderr, "unknown profile %s\n", args->profile.c_str());
         return false;
       }
@@ -248,6 +250,20 @@ int Sweep(const Args& args) {
     profile.mix.remove = 0.15;
     profile.mix.rename = 0.10;
     profile.mix.getfileinfo = 0.30;
+    profile.mix.listdir = 0.20;
+  } else if (args.profile == "elastic") {
+    // Elastic membership as a fault-schedule ingredient: an aggressive
+    // autoscaler promotes, admits, and retires standbys all through the
+    // op/fault phase while crashes and flaps land on the same members.
+    // Standby reads are on so read routing chases the moving membership,
+    // and a read-heavy mix gives the controller a real signal to act on.
+    profile.standby_reads = true;
+    profile.autoscale = true;
+    profile.hot_clients = true;
+    profile.clients = std::max(args.clients, 4);
+    profile.mix.create = 0.20;
+    profile.mix.remove = 0.05;
+    profile.mix.getfileinfo = 0.55;
     profile.mix.listdir = 0.20;
   }
 
